@@ -1,0 +1,92 @@
+// Shared scaffolding for the figure-reproduction benches.
+//
+// Every bench builds a fresh simulated host with the paper's testbed
+// geometry (8 ranks x 60 functional DPUs at 350 MHz, §5.1), runs the
+// workload natively and/or under vPIM, and reports *virtual* time. Bench
+// binaries use google-benchmark with manual time: the reported seconds are
+// simulated seconds, not wall-clock.
+//
+// Set VPIM_BENCH_SCALE (e.g. 0.05) to shrink datasets for smoke runs; the
+// default 1.0 reproduces the paper-scale shapes recorded in EXPERIMENTS.md.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+
+#include "prim/app.h"
+#include "prim/micro.h"
+#include "sdk/native.h"
+#include "vpim/guest_platform.h"
+#include "vpim/host.h"
+#include "vpim/vpim_vm.h"
+
+namespace vpim::bench {
+
+inline double env_scale() {
+  if (const char* s = std::getenv("VPIM_BENCH_SCALE")) {
+    const double v = std::atof(s);
+    if (v > 0) return v;
+  }
+  return 1.0;
+}
+
+inline core::ManagerConfig bench_manager() {
+  core::ManagerConfig cfg;
+  cfg.retry_wait_ns = 10 * kMs;
+  cfg.max_attempts = 3;
+  return cfg;
+}
+
+// A fresh host per measurement keeps virtual clocks independent.
+struct NativeRig {
+  core::Host host{upmem::MachineConfig{}, CostModel{}, bench_manager()};
+  sdk::NativePlatform platform{host.drv, "bench-native"};
+};
+
+struct VmRig {
+  explicit VmRig(const core::VpimConfig& config,
+                 std::uint32_t nr_devices = 8, std::uint32_t vcpus = 16,
+                 std::uint64_t guest_ram = 2 * kGiB)
+      : vm(host,
+           {.name = "bench-vm",
+            .vcpus = vcpus,
+            .guest_ram_bytes = guest_ram},
+           nr_devices, config),
+        platform(vm) {}
+
+  core::Host host{upmem::MachineConfig{}, CostModel{}, bench_manager()};
+  core::VpimVm vm;
+  core::GuestPlatform platform;
+};
+
+inline prim::AppResult run_prim_native(const std::string& app,
+                                       const prim::AppParams& params) {
+  NativeRig rig;
+  return prim::make_app(app)->run(rig.platform, params);
+}
+
+inline prim::AppResult run_prim_vpim(const std::string& app,
+                                     const prim::AppParams& params,
+                                     const core::VpimConfig& config) {
+  VmRig rig(config);
+  return prim::make_app(app)->run(rig.platform, params);
+}
+
+// ---- small output helpers ------------------------------------------------
+
+inline void print_header(const char* figure, const char* claim) {
+  std::printf("\n============================================================"
+              "====================\n");
+  std::printf("%s\n", figure);
+  std::printf("paper: %s\n", claim);
+  std::printf("=============================================================="
+              "==================\n");
+}
+
+inline double ratio(SimNs a, SimNs b) {
+  return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+}
+
+}  // namespace vpim::bench

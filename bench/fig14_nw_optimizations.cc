@@ -1,0 +1,123 @@
+// Fig 14: NW under vPIM-C / vPIM+P / vPIM+B / vPIM+PB, with segment
+// breakdown. Paper: the prefetch cache cuts read (DPU-CPU) time ~89.3%,
+// request batching cuts CPU-DPU and Inter-DPU writes ~95.8%/95.3%, the
+// combination improves vPIM-C by ~10.8x; unoptimized vPIM-C is ~53x
+// native.
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+namespace vpim::bench {
+namespace {
+
+struct Row {
+  prim::AppResult app;
+  core::DeviceStats stats;
+};
+std::map<int, Row> g_rows;  // ordered by config index
+SimNs g_native_total = 0;
+prim::AppResult g_native;
+
+const std::vector<core::VpimConfig>& configs() {
+  static const std::vector<core::VpimConfig> kConfigs = {
+      core::VpimConfig::c_only(), core::VpimConfig::with_prefetch(),
+      core::VpimConfig::with_batching(),
+      core::VpimConfig::with_prefetch_batching()};
+  return kConfigs;
+}
+
+prim::AppParams nw_params() {
+  prim::AppParams prm;
+  prm.nr_dpus = 60;  // strong-scaling single-rank configuration
+  prm.scale = env_scale();
+  // The paper's Fig 14 NW variant moves boundaries element-wise (>15000
+  // operations of ~109 bytes per DPU); run with finer-grained transfers
+  // than the Fig 8 configuration.
+  prm.xfer_grain = 0.25;
+  return prm;
+}
+
+void run_native(benchmark::State& state) {
+  for (auto _ : state) {
+    NativeRig rig;
+    g_native = prim::make_app("NW")->run(rig.platform, nw_params());
+    g_native_total = g_native.total();
+    state.SetIterationTime(ns_to_s(g_native_total));
+    state.counters["correct"] = g_native.correct ? 1 : 0;
+  }
+}
+
+void run_config(benchmark::State& state, int index) {
+  const core::VpimConfig& config = configs()[index];
+  for (auto _ : state) {
+    VmRig rig(config, 1);
+    Row row;
+    row.app = prim::make_app("NW")->run(rig.platform, nw_params());
+    row.stats = rig.vm.device(0).stats;
+    state.SetIterationTime(ns_to_s(row.app.total()));
+    state.counters["correct"] = row.app.correct ? 1 : 0;
+    state.counters["messages"] = static_cast<double>(row.stats.notifies);
+    g_rows[index] = row;
+  }
+}
+
+void print_summary() {
+  print_header(
+      "Fig 14 - NW with prefetch/batching ablation (single rank)",
+      "vPIM-C ~53x native; +P cuts read time ~89.3% (messages 5000->125); "
+      "+B cuts CPU-DPU/Inter-DPU writes ~95.8%/95.3% (messages "
+      "10000->402); +PB improves vPIM-C by ~10.8x");
+  std::printf("%-9s | %10s %10s %10s %10s | %10s | %8s | %9s | %8s\n",
+              "config", "CPU-DPU", "DPU", "Inter-DPU", "DPU-CPU", "total",
+              "vs nat", "messages", "speedup");
+  std::printf("%-9s | %9.1fms %9.1fms %9.1fms %9.1fms | %9.1fms |\n",
+              "native", ns_to_ms(g_native.breakdown[Segment::kCpuDpu]),
+              ns_to_ms(g_native.breakdown[Segment::kDpu]),
+              ns_to_ms(g_native.breakdown[Segment::kInterDpu]),
+              ns_to_ms(g_native.breakdown[Segment::kDpuCpu]),
+              ns_to_ms(g_native_total));
+  const SimNs base =
+      g_rows.count(0) ? g_rows.at(0).app.total() : 0;
+  for (const auto& [index, row] : g_rows) {
+    std::printf(
+        "%-9s | %9.1fms %9.1fms %9.1fms %9.1fms | %9.1fms | %7.1fx | "
+        "%9lu | %7.2fx\n",
+        configs()[index].label.c_str(),
+        ns_to_ms(row.app.breakdown[Segment::kCpuDpu]),
+        ns_to_ms(row.app.breakdown[Segment::kDpu]),
+        ns_to_ms(row.app.breakdown[Segment::kInterDpu]),
+        ns_to_ms(row.app.breakdown[Segment::kDpuCpu]),
+        ns_to_ms(row.app.total()), ratio(row.app.total(), g_native_total),
+        static_cast<unsigned long>(row.stats.notifies),
+        ratio(base, row.app.total()));
+  }
+}
+
+}  // namespace
+}  // namespace vpim::bench
+
+int main(int argc, char** argv) {
+  using namespace vpim::bench;
+  benchmark::Initialize(&argc, argv);
+  benchmark::RegisterBenchmark("fig14/native", run_native)
+      ->UseManualTime()
+      ->Iterations(1)
+      ->Unit(benchmark::kMillisecond);
+  for (int i = 0; i < 4; ++i) {
+    const std::string name = "fig14/" + configs()[i].label;
+    benchmark::RegisterBenchmark(name.c_str(),
+                                 [i](benchmark::State& state) {
+                                   run_config(state, i);
+                                 })
+        ->UseManualTime()
+        ->Iterations(1)
+        ->Unit(benchmark::kMillisecond);
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  print_summary();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,30 @@
+// Error type and contract-check helpers.
+//
+// Contract violations (programming errors, malformed requests that a real
+// device would reject) throw VpimError. Expected runtime outcomes (e.g. the
+// manager timing out on rank allocation) are reported through status enums
+// on the relevant APIs instead.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace vpim {
+
+class VpimError : public std::runtime_error {
+ public:
+  explicit VpimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+[[noreturn]] inline void fail(const std::string& msg) { throw VpimError(msg); }
+
+}  // namespace vpim
+
+// Checks a contract; throws vpim::VpimError with location info on failure.
+#define VPIM_CHECK(cond, msg)                                                \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      ::vpim::fail(std::string(__FILE__) + ":" + std::to_string(__LINE__) +  \
+                   ": check `" #cond "` failed: " + (msg));                  \
+    }                                                                        \
+  } while (0)

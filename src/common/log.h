@@ -1,0 +1,37 @@
+// Minimal leveled logger. Off by default so tests and benches stay quiet;
+// examples turn it on to narrate what the stack is doing.
+#pragma once
+
+#include <cstdio>
+#include <string_view>
+#include <utility>
+
+namespace vpim {
+
+enum class LogLevel : int { kError = 0, kWarn, kInfo, kDebug };
+
+LogLevel log_level();
+void set_log_level(LogLevel level);
+
+namespace detail {
+void log_line(LogLevel level, std::string_view tag, const char* fmt, ...)
+#if defined(__GNUC__)
+    __attribute__((format(printf, 3, 4)))
+#endif
+    ;
+}  // namespace detail
+
+}  // namespace vpim
+
+#define VPIM_LOG(level, tag, ...)                            \
+  do {                                                       \
+    if (static_cast<int>(level) <=                           \
+        static_cast<int>(::vpim::log_level())) {             \
+      ::vpim::detail::log_line(level, tag, __VA_ARGS__);     \
+    }                                                        \
+  } while (0)
+
+#define VPIM_INFO(tag, ...) VPIM_LOG(::vpim::LogLevel::kInfo, tag, __VA_ARGS__)
+#define VPIM_WARN(tag, ...) VPIM_LOG(::vpim::LogLevel::kWarn, tag, __VA_ARGS__)
+#define VPIM_DEBUG(tag, ...) \
+  VPIM_LOG(::vpim::LogLevel::kDebug, tag, __VA_ARGS__)

@@ -1,0 +1,68 @@
+// Seeded deterministic RNG helpers. All workload generators take an explicit
+// seed so every experiment is reproducible run to run.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <vector>
+
+namespace vpim {
+
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed) {}
+
+  std::uint64_t next_u64() { return engine_(); }
+
+  // Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform(std::int64_t lo, std::int64_t hi) {
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  double uniform_real(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  // Fills `out` with pseudo-random bytes.
+  void fill_bytes(std::uint8_t* out, std::size_t n) {
+    std::size_t i = 0;
+    for (; i + 8 <= n; i += 8) {
+      std::uint64_t v = engine_();
+      std::memcpy(out + i, &v, 8);
+    }
+    if (i < n) {
+      std::uint64_t v = engine_();
+      std::memcpy(out + i, &v, n - i);
+    }
+  }
+
+  // Zipfian rank in [0, n) with exponent `s`; used by the synthetic
+  // Wikipedia corpus so term frequencies look like natural language.
+  std::size_t zipf(std::size_t n, double s = 1.0) {
+    // Rejection-inversion would be overkill for corpus generation; a
+    // cached-CDF draw is fine at our corpus sizes.
+    if (cdf_.size() != n || cdf_s_ != s) {
+      cdf_.resize(n);
+      double sum = 0.0;
+      for (std::size_t k = 0; k < n; ++k) {
+        sum += 1.0 / std::pow(static_cast<double>(k + 1), s);
+        cdf_[k] = sum;
+      }
+      for (auto& v : cdf_) v /= sum;
+      cdf_s_ = s;
+    }
+    double u = uniform_real(0.0, 1.0);
+    auto it = std::lower_bound(cdf_.begin(), cdf_.end(), u);
+    return static_cast<std::size_t>(it - cdf_.begin());
+  }
+
+ private:
+  std::mt19937_64 engine_;
+  std::vector<double> cdf_;
+  double cdf_s_ = 0.0;
+};
+
+}  // namespace vpim

@@ -1,0 +1,81 @@
+// Deterministic virtual clock.
+//
+// The whole system runs on virtual time: every modeled operation advances
+// the clock by its calibrated cost instead of sleeping. Parallel sections
+// are expressed with run_parallel(), which executes branches sequentially
+// (the simulation itself is single-threaded on the data path) but advances
+// the clock by the *maximum* branch duration, i.e. ideal parallel timing.
+#pragma once
+
+#include <algorithm>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace vpim {
+
+class SimClock {
+ public:
+  SimNs now() const { return now_; }
+
+  void advance(SimNs ns) { now_ += ns; }
+
+  // Rewinds/forwards the clock; only run_parallel and checkpointed scopes
+  // should need this.
+  void set(SimNs ns) { now_ = ns; }
+
+  // Earliest virtual time any future event can occur: now(), except inside
+  // run_parallel where later branches restart from the section's start.
+  // Resource models (e.g. the VMM event loop) may prune bookkeeping that
+  // ends before this point.
+  SimNs floor() const { return parallel_depth_ > 0 ? floor_ : now_; }
+
+  // Runs every branch from the same virtual start time and leaves the clock
+  // at the latest branch end (ideal parallelism). Returns the per-branch
+  // durations, in branch order, for callers that want a timeline (Fig 16).
+  std::vector<SimNs> run_parallel(
+      std::span<const std::function<void()>> branches) {
+    const SimNs start = now_;
+    const SimNs saved_floor = floor_;
+    if (parallel_depth_++ == 0) floor_ = start;
+    SimNs end = start;
+    std::vector<SimNs> durations;
+    durations.reserve(branches.size());
+    for (const auto& branch : branches) {
+      now_ = start;
+      branch();
+      VPIM_CHECK(now_ >= start, "branch rewound the clock");
+      durations.push_back(now_ - start);
+      end = std::max(end, now_);
+    }
+    now_ = end;
+    if (--parallel_depth_ == 0) floor_ = saved_floor;
+    return durations;
+  }
+
+ private:
+  SimNs now_ = 0;
+  SimNs floor_ = 0;
+  int parallel_depth_ = 0;
+};
+
+// Measures the virtual duration of a scope.
+class ScopedTimer {
+ public:
+  ScopedTimer(const SimClock& clock, SimNs& accumulator)
+      : clock_(clock), accumulator_(accumulator), start_(clock.now()) {}
+  ~ScopedTimer() { accumulator_ += clock_.now() - start_; }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  const SimClock& clock_;
+  SimNs& accumulator_;
+  SimNs start_;
+};
+
+}  // namespace vpim

@@ -1,0 +1,49 @@
+// Small statistics helpers for benches and EXPERIMENTS.md tables.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vpim {
+
+inline double mean(std::span<const double> xs) {
+  VPIM_CHECK(!xs.empty(), "mean of empty sample");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+inline double stddev(std::span<const double> xs) {
+  VPIM_CHECK(xs.size() >= 2, "stddev needs >= 2 samples");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (double x : xs) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(xs.size() - 1));
+}
+
+// Nearest-rank percentile, p in [0, 100].
+inline double percentile(std::vector<double> xs, double p) {
+  VPIM_CHECK(!xs.empty(), "percentile of empty sample");
+  VPIM_CHECK(p >= 0.0 && p <= 100.0, "percentile out of range");
+  std::sort(xs.begin(), xs.end());
+  const auto rank = static_cast<std::size_t>(
+      std::ceil(p / 100.0 * static_cast<double>(xs.size())));
+  return xs[rank == 0 ? 0 : rank - 1];
+}
+
+// Geometric mean, used for "average overhead" style summaries.
+inline double geomean(std::span<const double> xs) {
+  VPIM_CHECK(!xs.empty(), "geomean of empty sample");
+  double acc = 0.0;
+  for (double x : xs) {
+    VPIM_CHECK(x > 0.0, "geomean requires positive values");
+    acc += std::log(x);
+  }
+  return std::exp(acc / static_cast<double>(xs.size()));
+}
+
+}  // namespace vpim

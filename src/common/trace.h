@@ -1,0 +1,63 @@
+// Operation tracing.
+//
+// A Tracer records timestamped device operations (virtual time) so users
+// can see *why* a workload behaves the way it does — which ops were
+// batched, where prefetch fills happened, how big each message was. The
+// vUPMEM frontend records into an attached tracer; `vpim-sim --trace out.csv`
+// dumps one row per event.
+#pragma once
+
+#include <cstdint>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/units.h"
+
+namespace vpim {
+
+struct TraceEvent {
+  SimNs start = 0;
+  SimNs duration = 0;
+  std::string kind;            // e.g. "write", "read.fill", "ci.launch"
+  std::uint64_t bytes = 0;     // payload size, if any
+  std::uint32_t entries = 0;   // DPUs touched
+};
+
+class Tracer {
+ public:
+  void record(std::string_view kind, SimNs start, SimNs duration,
+              std::uint64_t bytes = 0, std::uint32_t entries = 0) {
+    events_.push_back({start, duration, std::string(kind), bytes, entries});
+  }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  void clear() { events_.clear(); }
+
+  // One CSV row per event: start_us,duration_us,kind,bytes,entries.
+  void dump_csv(std::ostream& os) const {
+    os << "start_us,duration_us,kind,bytes,entries\n";
+    for (const TraceEvent& e : events_) {
+      os << static_cast<double>(e.start) / 1000.0 << ','
+         << static_cast<double>(e.duration) / 1000.0 << ',' << e.kind
+         << ',' << e.bytes << ',' << e.entries << '\n';
+    }
+  }
+
+  // Total time attributed to events whose kind starts with `prefix`.
+  SimNs total_for(std::string_view prefix) const {
+    SimNs total = 0;
+    for (const TraceEvent& e : events_) {
+      if (std::string_view(e.kind).substr(0, prefix.size()) == prefix) {
+        total += e.duration;
+      }
+    }
+    return total;
+  }
+
+ private:
+  std::vector<TraceEvent> events_;
+};
+
+}  // namespace vpim

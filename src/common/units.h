@@ -1,0 +1,22 @@
+// Byte-size and time units used throughout the vPIM simulator.
+#pragma once
+
+#include <cstdint>
+
+namespace vpim {
+
+inline constexpr std::uint64_t kKiB = 1024;
+inline constexpr std::uint64_t kMiB = 1024 * kKiB;
+inline constexpr std::uint64_t kGiB = 1024 * kMiB;
+
+// Virtual time is expressed in nanoseconds everywhere.
+using SimNs = std::uint64_t;
+
+inline constexpr SimNs kUs = 1000;            // 1 microsecond in ns
+inline constexpr SimNs kMs = 1000 * kUs;      // 1 millisecond in ns
+inline constexpr SimNs kSec = 1000 * kMs;     // 1 second in ns
+
+constexpr double ns_to_ms(SimNs ns) { return static_cast<double>(ns) / 1e6; }
+constexpr double ns_to_s(SimNs ns) { return static_cast<double>(ns) / 1e9; }
+
+}  // namespace vpim

@@ -1,0 +1,263 @@
+#include "driver/driver.h"
+
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "common/error.h"
+#include "upmem/interleave.h"
+#include "upmem/layout.h"
+
+namespace vpim::driver {
+
+namespace {
+
+// Runs the physical interleave/deinterleave pair for one entry, exercising
+// the exact DDR wire format (only when DataPath::real_transform is set).
+void real_transform_roundtrip(std::span<const std::uint8_t> data, bool naive,
+                              std::vector<std::uint8_t>& scratch) {
+  // Sizes must be 8-byte aligned for the wire format; pad into the scratch.
+  const std::size_t padded = (data.size() + 7) / 8 * 8;
+  scratch.resize(padded * 2);
+  std::memcpy(scratch.data(), data.data(), data.size());
+  std::memset(scratch.data() + data.size(), 0, padded - data.size());
+  std::span<const std::uint8_t> linear(scratch.data(), padded);
+  std::span<std::uint8_t> wire(scratch.data() + padded, padded);
+  if (naive) {
+    upmem::interleave_naive(linear, wire);
+  } else {
+    upmem::interleave_wide(linear, wire);
+  }
+  // The bank-side view comes back linear; nothing further to keep.
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------- mapping
+
+RankMapping::RankMapping(UpmemDriver* drv, std::uint32_t rank_index)
+    : drv_(drv), rank_index_(rank_index) {}
+
+RankMapping::RankMapping(RankMapping&& other) noexcept
+    : drv_(std::exchange(other.drv_, nullptr)),
+      rank_index_(other.rank_index_),
+      data_path_(other.data_path_) {}
+
+RankMapping& RankMapping::operator=(RankMapping&& other) noexcept {
+  if (this != &other) {
+    unmap();
+    drv_ = std::exchange(other.drv_, nullptr);
+    rank_index_ = other.rank_index_;
+    data_path_ = other.data_path_;
+  }
+  return *this;
+}
+
+RankMapping::~RankMapping() { unmap(); }
+
+void RankMapping::unmap() {
+  if (drv_ != nullptr) {
+    drv_->unmap_rank(rank_index_);
+    drv_ = nullptr;
+  }
+}
+
+std::uint32_t RankMapping::nr_dpus() const {
+  VPIM_CHECK(drv_ != nullptr, "use of unmapped rank");
+  return drv_->machine().rank(rank_index_).nr_dpus();
+}
+
+double RankMapping::copy_gbps() const {
+  const CostModel& cost = drv_->machine().cost();
+  if (data_path_.gbps_override > 0.0) return data_path_.gbps_override;
+  return data_path_.naive ? cost.interleave_naive_gbps
+                          : cost.interleave_wide_gbps;
+}
+
+void RankMapping::transfer(const TransferMatrix& matrix) {
+  VPIM_CHECK(drv_ != nullptr, "use of unmapped rank");
+  upmem::PimMachine& machine = drv_->machine();
+  const CostModel& cost = machine.cost();
+  const std::uint64_t bytes = matrix.total_bytes();
+  VPIM_CHECK(bytes <= upmem::kMaxXferBytes,
+             "rank operations move at most 4 GiB");
+  machine.clock().advance(cost.native_xfer_fixed_ns +
+                          CostModel::bytes_time(bytes, copy_gbps()));
+
+  upmem::Rank& rank = machine.rank(rank_index_);
+  std::vector<std::uint8_t> scratch;
+  for (const XferEntry& e : matrix.entries) {
+    if (e.size == 0) continue;
+    VPIM_CHECK(e.host != nullptr, "transfer entry without a host buffer");
+    if (matrix.direction == XferDirection::kToRank) {
+      if (data_path_.real_transform) {
+        real_transform_roundtrip({e.host, e.size}, data_path_.naive, scratch);
+      }
+      rank.mram(e.dpu).write(e.mram_offset, {e.host, e.size});
+    } else {
+      rank.mram(e.dpu).read(e.mram_offset, {e.host, e.size});
+      if (data_path_.real_transform) {
+        real_transform_roundtrip({e.host, e.size}, data_path_.naive, scratch);
+      }
+    }
+  }
+}
+
+void RankMapping::broadcast(std::uint64_t mram_offset,
+                            std::span<const std::uint8_t> data) {
+  VPIM_CHECK(drv_ != nullptr, "use of unmapped rank");
+  upmem::PimMachine& machine = drv_->machine();
+  const CostModel& cost = machine.cost();
+  upmem::Rank& rank = machine.rank(rank_index_);
+  VPIM_CHECK(data.size() <= upmem::kMaxXferBytes,
+             "rank operations move at most 4 GiB");
+
+  // The host physically streams the payload into every bank.
+  machine.clock().advance(
+      cost.native_xfer_fixed_ns +
+      CostModel::bytes_time(data.size() * rank.nr_dpus(), copy_gbps()));
+
+  // Storage-side fast path: share immutable pages across banks (copy-on-
+  // write), so a 60 MB broadcast to 60 DPUs costs 60 MB of real memory.
+  const bool page_aligned = (mram_offset % upmem::kMramPageSize) == 0;
+  const std::size_t full_pages = data.size() / upmem::kMramPageSize;
+  if (page_aligned && full_pages > 0) {
+    const std::size_t shared_bytes = full_pages * upmem::kMramPageSize;
+    auto pages = upmem::MramBank::build_pages(data.first(shared_bytes));
+    for (std::uint32_t d = 0; d < rank.nr_dpus(); ++d) {
+      rank.mram(d).adopt_pages(mram_offset, pages);
+      if (shared_bytes < data.size()) {
+        rank.mram(d).write(mram_offset + shared_bytes,
+                           data.subspan(shared_bytes));
+      }
+    }
+  } else {
+    for (std::uint32_t d = 0; d < rank.nr_dpus(); ++d) {
+      rank.mram(d).write(mram_offset, data);
+    }
+  }
+}
+
+void RankMapping::ci_load(std::string_view kernel_name) {
+  VPIM_CHECK(drv_ != nullptr, "use of unmapped rank");
+  upmem::PimMachine& machine = drv_->machine();
+  machine.clock().advance(machine.cost().ci_op_native_ns);
+  machine.rank(rank_index_).ci_load(kernel_name);
+}
+
+void RankMapping::ci_launch(std::uint64_t dpu_mask,
+                            std::optional<std::uint32_t> nr_tasklets) {
+  VPIM_CHECK(drv_ != nullptr, "use of unmapped rank");
+  upmem::PimMachine& machine = drv_->machine();
+  machine.clock().advance(machine.cost().ci_op_native_ns);
+  machine.rank(rank_index_).ci_launch(dpu_mask, nr_tasklets);
+}
+
+std::uint64_t RankMapping::ci_running_mask() {
+  VPIM_CHECK(drv_ != nullptr, "use of unmapped rank");
+  upmem::PimMachine& machine = drv_->machine();
+  machine.clock().advance(machine.cost().ci_op_native_ns);
+  return machine.rank(rank_index_).ci_running_mask();
+}
+
+void RankMapping::ci_copy_to_symbol(std::uint32_t dpu,
+                                    std::string_view symbol,
+                                    std::uint32_t offset,
+                                    std::span<const std::uint8_t> data) {
+  VPIM_CHECK(drv_ != nullptr, "use of unmapped rank");
+  upmem::PimMachine& machine = drv_->machine();
+  machine.clock().advance(machine.cost().ci_op_native_ns);
+  machine.rank(rank_index_).ci_copy_to_symbol(dpu, symbol, offset, data);
+}
+
+void RankMapping::ci_copy_from_symbol(std::uint32_t dpu,
+                                      std::string_view symbol,
+                                      std::uint32_t offset,
+                                      std::span<std::uint8_t> out) {
+  VPIM_CHECK(drv_ != nullptr, "use of unmapped rank");
+  upmem::PimMachine& machine = drv_->machine();
+  machine.clock().advance(machine.cost().ci_op_native_ns);
+  machine.rank(rank_index_).ci_copy_from_symbol(dpu, symbol, offset, out);
+}
+
+// ----------------------------------------------------------------- driver
+
+UpmemDriver::UpmemDriver(upmem::PimMachine& machine)
+    : machine_(machine),
+      sysfs_(machine.nr_ranks()),
+      mapped_(machine.nr_ranks(), false) {}
+
+RankMapping UpmemDriver::map_rank(std::uint32_t rank,
+                                  const std::string& owner) {
+  VPIM_CHECK(rank < machine_.nr_ranks(), "rank index out of range");
+  {
+    std::lock_guard lock(map_mu_);
+    VPIM_CHECK(!mapped_[rank], "rank already mapped in performance mode");
+    mapped_[rank] = 1;
+  }
+  sysfs_.set_in_use(rank, owner);
+  return RankMapping(this, rank);
+}
+
+bool UpmemDriver::is_mapped(std::uint32_t rank) const {
+  VPIM_CHECK(rank < machine_.nr_ranks(), "rank index out of range");
+  std::lock_guard lock(map_mu_);
+  return mapped_[rank] != 0;
+}
+
+void UpmemDriver::unmap_rank(std::uint32_t rank) {
+  {
+    std::lock_guard lock(map_mu_);
+    mapped_[rank] = 0;
+  }
+  sysfs_.set_free(rank);
+}
+
+void UpmemDriver::safe_transfer(std::uint32_t rank,
+                                const TransferMatrix& matrix) {
+  machine_.clock().advance(machine_.cost().ioctl_ns);
+  do_transfer(rank, matrix, DataPath{});
+}
+
+void UpmemDriver::do_transfer(std::uint32_t rank,
+                              const TransferMatrix& matrix,
+                              const DataPath& path) {
+  // Reuse the mapping logic without toggling sysfs: build a transient
+  // mapping view. Safe mode is driver-internal, so exclusivity with perf
+  // mode is the caller's concern (as on real hardware).
+  RankMapping view(this, rank);
+  view.set_data_path(path);
+  view.transfer(matrix);
+  view.drv_ = nullptr;  // do not run unmap side effects
+}
+
+void UpmemDriver::safe_ci_load(std::uint32_t rank,
+                               std::string_view kernel_name) {
+  machine_.clock().advance(machine_.cost().ioctl_ns);
+  machine_.rank(rank).ci_load(kernel_name);
+}
+
+void UpmemDriver::safe_ci_launch(std::uint32_t rank, std::uint64_t dpu_mask,
+                                 std::optional<std::uint32_t> nr_tasklets) {
+  machine_.clock().advance(machine_.cost().ioctl_ns);
+  machine_.rank(rank).ci_launch(dpu_mask, nr_tasklets);
+}
+
+std::uint64_t UpmemDriver::safe_ci_running_mask(std::uint32_t rank) {
+  machine_.clock().advance(machine_.cost().ioctl_ns);
+  return machine_.rank(rank).ci_running_mask();
+}
+
+void UpmemDriver::reset_rank(std::uint32_t rank) {
+  VPIM_CHECK(rank < machine_.nr_ranks(), "rank index out of range");
+  VPIM_CHECK(!is_mapped(rank), "reset of a mapped rank");
+  // The manager memsets the whole 4 GiB rank-mapped region (64 slots x
+  // 64 MiB), independent of how many DPUs are functional.
+  const std::uint64_t region =
+      static_cast<std::uint64_t>(upmem::kDpuSlotsPerRank) * upmem::kMramSize;
+  machine_.clock().advance(
+      CostModel::bytes_time(region, machine_.cost().memset_gbps));
+  machine_.rank(rank).reset_memory();
+}
+
+}  // namespace vpim::driver

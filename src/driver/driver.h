@@ -1,0 +1,131 @@
+// Simulated UPMEM kernel driver (paper §2, Fig 3).
+//
+// Two access modes, with distinct cost profiles:
+//  - *safe mode*: operations go through ioctl calls into the driver, which
+//    provides isolation between host applications (each call pays the
+//    kernel-entry cost);
+//  - *performance mode*: a process mmaps the rank's MRAM and control
+//    interfaces and bypasses the driver entirely (RankMapping below).
+//
+// vPIM uses both: the guest SDK runs in safe mode against the frontend
+// device file, while the Firecracker backend maps ranks in performance
+// mode (§3.4).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+
+#include "driver/sysfs.h"
+#include "driver/xfer.h"
+#include "upmem/machine.h"
+
+namespace vpim::driver {
+
+// How a mapping moves bytes between host memory and rank MRAM.
+struct DataPath {
+  // Per-byte interleave loop (the paper's Rust/AVX2 baseline) instead of
+  // the wide-word path (the C/AVX512 rewrite).
+  bool naive = false;
+  // Physically run the (de)interleave kernels through a scratch buffer.
+  // Bit-for-bit faithful to the DDR wire format; used by fidelity tests.
+  // Benches leave it off: virtual time is charged either way.
+  bool real_transform = false;
+  // Overrides the cost-model bandwidth, e.g. for backend copies gathering
+  // from scattered guest pages. 0 = use the cost model.
+  double gbps_override = 0.0;
+};
+
+class UpmemDriver;
+
+// Performance-mode mapping of one rank. Exclusive: a rank can be mapped by
+// at most one process at a time. Move-only RAII; unmapping frees the rank
+// in sysfs, which is how the manager's observer learns about releases.
+class RankMapping {
+ public:
+  RankMapping(RankMapping&& other) noexcept;
+  RankMapping& operator=(RankMapping&& other) noexcept;
+  RankMapping(const RankMapping&) = delete;
+  RankMapping& operator=(const RankMapping&) = delete;
+  ~RankMapping();
+
+  std::uint32_t rank_index() const { return rank_index_; }
+  std::uint32_t nr_dpus() const;
+
+  void set_data_path(const DataPath& path) { data_path_ = path; }
+
+  // Scatter/gather data transfer for the whole matrix (one fixed software
+  // cost per call, plus streaming time).
+  void transfer(const TransferMatrix& matrix);
+
+  // Same payload to every DPU (UPMEM broadcast transfers). Physically the
+  // host still writes each bank, so virtual time scales with nr_dpus.
+  void broadcast(std::uint64_t mram_offset, std::span<const std::uint8_t> data);
+
+  // Control-interface operations; each charges the perf-mode CI cost.
+  void ci_load(std::string_view kernel_name);
+  void ci_launch(std::uint64_t dpu_mask,
+                 std::optional<std::uint32_t> nr_tasklets = std::nullopt);
+  std::uint64_t ci_running_mask();
+  void ci_copy_to_symbol(std::uint32_t dpu, std::string_view symbol,
+                         std::uint32_t offset,
+                         std::span<const std::uint8_t> data);
+  void ci_copy_from_symbol(std::uint32_t dpu, std::string_view symbol,
+                           std::uint32_t offset, std::span<std::uint8_t> out);
+
+  // Releases the mapping early (idempotent).
+  void unmap();
+
+ private:
+  friend class UpmemDriver;
+  RankMapping(UpmemDriver* drv, std::uint32_t rank_index);
+
+  double copy_gbps() const;
+
+  UpmemDriver* drv_ = nullptr;  // null once unmapped
+  std::uint32_t rank_index_ = 0;
+  DataPath data_path_;
+};
+
+class UpmemDriver {
+ public:
+  explicit UpmemDriver(upmem::PimMachine& machine);
+
+  upmem::PimMachine& machine() { return machine_; }
+  Sysfs& sysfs() { return sysfs_; }
+
+  // Performance mode: exclusive mmap of one rank.
+  RankMapping map_rank(std::uint32_t rank, const std::string& owner);
+  bool is_mapped(std::uint32_t rank) const;
+
+  // Safe mode: each call pays the ioctl cost, then performs the operation
+  // with the driver's own (wide) data path.
+  void safe_transfer(std::uint32_t rank, const TransferMatrix& matrix);
+  void safe_ci_load(std::uint32_t rank, std::string_view kernel_name);
+  void safe_ci_launch(std::uint32_t rank, std::uint64_t dpu_mask,
+                      std::optional<std::uint32_t> nr_tasklets = std::nullopt);
+  std::uint64_t safe_ci_running_mask(std::uint32_t rank);
+
+  // Clears a rank's memory, charging host memset time over the full 4 GiB
+  // rank-mapped region (manager reset path, ~597 ms in the paper).
+  void reset_rank(std::uint32_t rank);
+
+ private:
+  friend class RankMapping;
+  void do_transfer(std::uint32_t rank, const TransferMatrix& matrix,
+                   const DataPath& path);
+  void unmap_rank(std::uint32_t rank);
+
+  upmem::PimMachine& machine_;
+  Sysfs sysfs_;
+  // Mapping bookkeeping is mutex-protected like the real kernel driver's;
+  // the data path itself is single-threaded (virtual time).
+  mutable std::mutex map_mu_;
+  std::vector<char> mapped_;
+};
+
+}  // namespace vpim::driver

@@ -1,0 +1,25 @@
+#include "driver/sysfs.h"
+
+#include "common/error.h"
+
+namespace vpim::driver {
+
+void Sysfs::set_in_use(std::uint32_t rank, const std::string& owner) {
+  std::lock_guard lock(mu_);
+  VPIM_CHECK(rank < entries_.size(), "sysfs rank index out of range");
+  entries_[rank] = {true, owner};
+}
+
+void Sysfs::set_free(std::uint32_t rank) {
+  std::lock_guard lock(mu_);
+  VPIM_CHECK(rank < entries_.size(), "sysfs rank index out of range");
+  entries_[rank] = {false, {}};
+}
+
+RankSysfsEntry Sysfs::read(std::uint32_t rank) const {
+  std::lock_guard lock(mu_);
+  VPIM_CHECK(rank < entries_.size(), "sysfs rank index out of range");
+  return entries_[rank];
+}
+
+}  // namespace vpim::driver

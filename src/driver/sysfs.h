@@ -1,0 +1,38 @@
+// Simulated sysfs view of rank usage.
+//
+// The real UPMEM driver exposes per-rank status files under sysfs; the vPIM
+// manager's observer thread polls them to detect releases without any
+// cooperation from applications (§3.5). This registry is that surface:
+// perf-mode mappings flip a rank to "in use" on map and back to "free" on
+// unmap, and anyone may poll.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace vpim::driver {
+
+struct RankSysfsEntry {
+  bool in_use = false;
+  std::string owner;  // diagnostic tag: process/VM name
+};
+
+class Sysfs {
+ public:
+  explicit Sysfs(std::uint32_t nr_ranks) : entries_(nr_ranks) {}
+
+  void set_in_use(std::uint32_t rank, const std::string& owner);
+  void set_free(std::uint32_t rank);
+  RankSysfsEntry read(std::uint32_t rank) const;
+  std::uint32_t nr_ranks() const {
+    return static_cast<std::uint32_t>(entries_.size());
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<RankSysfsEntry> entries_;
+};
+
+}  // namespace vpim::driver

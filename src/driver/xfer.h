@@ -1,0 +1,33 @@
+// Host<->rank transfer descriptions shared by the SDK, the driver, and the
+// vPIM frontend/backend. A TransferMatrix is the per-DPU scatter list the
+// paper's Fig 6 serializes: one entry per DPU plus whole-transfer metadata.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+
+namespace vpim::driver {
+
+enum class XferDirection : std::uint8_t { kToRank, kFromRank };
+
+struct XferEntry {
+  std::uint32_t dpu = 0;          // DPU index within the rank
+  std::uint64_t mram_offset = 0;  // byte offset into that DPU's MRAM
+  std::uint8_t* host = nullptr;   // host/guest buffer (read or written)
+  std::uint64_t size = 0;         // bytes
+};
+
+struct TransferMatrix {
+  XferDirection direction = XferDirection::kToRank;
+  std::vector<XferEntry> entries;
+
+  std::uint64_t total_bytes() const {
+    std::uint64_t n = 0;
+    for (const auto& e : entries) n += e.size;
+    return n;
+  }
+};
+
+}  // namespace vpim::driver

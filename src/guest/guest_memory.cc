@@ -1,0 +1,35 @@
+#include "guest/guest_memory.h"
+
+namespace vpim::guest {
+
+GuestMemory::GuestMemory(std::uint64_t bytes) : backing_(bytes, 0) {
+  VPIM_CHECK(bytes % kGuestPageSize == 0,
+             "guest RAM must be page-aligned in size");
+  VPIM_CHECK(bytes >= 2 * kGuestPageSize, "guest RAM too small");
+}
+
+std::span<std::uint8_t> GuestMemory::alloc(std::uint64_t bytes) {
+  const std::uint64_t rounded =
+      (bytes + kGuestPageSize - 1) / kGuestPageSize * kGuestPageSize;
+  VPIM_CHECK(bump_ + rounded <= backing_.size(), "guest RAM exhausted");
+  std::uint8_t* p = backing_.data() + bump_;
+  bump_ += rounded;
+  return {p, bytes};
+}
+
+std::uint8_t* GuestMemory::hva_of(std::uint64_t gpa) {
+  VPIM_CHECK(gpa < backing_.size(), "GPA out of guest RAM");
+  return backing_.data() + gpa;
+}
+
+const std::uint8_t* GuestMemory::hva_of(std::uint64_t gpa) const {
+  VPIM_CHECK(gpa < backing_.size(), "GPA out of guest RAM");
+  return backing_.data() + gpa;
+}
+
+std::uint64_t GuestMemory::gpa_of(const std::uint8_t* hva) const {
+  VPIM_CHECK(contains(hva), "pointer is not into guest RAM");
+  return static_cast<std::uint64_t>(hva - backing_.data());
+}
+
+}  // namespace vpim::guest

@@ -1,0 +1,47 @@
+// Guest RAM: a flat guest-physical address space with a page allocator.
+//
+// Application buffers inside a VM are allocated here so the vUPMEM frontend
+// can resolve them to guest physical page lists (the Fig 6/7 transfer
+// matrix) and the backend can translate GPA -> HVA without copying.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+
+namespace vpim::guest {
+
+inline constexpr std::uint64_t kGuestPageSize = 4 * kKiB;
+
+class GuestMemory {
+ public:
+  explicit GuestMemory(std::uint64_t bytes);
+
+  std::uint64_t size() const { return backing_.size(); }
+
+  // Allocates a guest-contiguous buffer (page-granular bump allocator).
+  std::span<std::uint8_t> alloc(std::uint64_t bytes);
+
+  // Host virtual address of a GPA (bounds-checked).
+  std::uint8_t* hva_of(std::uint64_t gpa);
+  const std::uint8_t* hva_of(std::uint64_t gpa) const;
+
+  // Guest physical address of a pointer into guest RAM.
+  std::uint64_t gpa_of(const std::uint8_t* hva) const;
+
+  bool contains(const std::uint8_t* hva) const {
+    return hva >= backing_.data() && hva < backing_.data() + backing_.size();
+  }
+
+  std::uint64_t allocated_bytes() const { return bump_; }
+
+ private:
+  std::vector<std::uint8_t> backing_;
+  std::uint64_t bump_ = kGuestPageSize;  // GPA 0 reserved (null-ish)
+};
+
+}  // namespace vpim::guest

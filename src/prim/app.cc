@@ -1,0 +1,56 @@
+#include "prim/app.h"
+
+#include "prim/apps.h"
+
+namespace vpim::prim {
+
+const std::map<std::string, AppFactory, std::less<>>& app_registry() {
+  static const std::map<std::string, AppFactory, std::less<>> registry = {
+      {"VA", make_va},           {"GEMV", make_gemv},
+      {"MLP", make_mlp},         {"RED", make_red},
+      {"SCAN-SSA", make_scan_ssa}, {"SCAN-RSS", make_scan_rss},
+      {"HST-S", make_hst_s},     {"HST-L", make_hst_l},
+      {"SEL", make_sel},         {"UNI", make_uni},
+      {"BS", make_bs},           {"TS", make_ts},
+      {"SpMV", make_spmv},       {"BFS", make_bfs},
+      {"NW", make_nw},           {"TRNS", make_trns},
+  };
+  return registry;
+}
+
+std::unique_ptr<PrimApp> make_app(std::string_view name) {
+  const auto& registry = app_registry();
+  auto it = registry.find(name);
+  VPIM_CHECK(it != registry.end(),
+             "unknown PrIM application: " + std::string(name));
+  return it->second();
+}
+
+std::vector<std::string> app_names() {
+  // Fig 8 layout order.
+  return {"BS",       "TS",       "MLP",      "VA",  "HST-L", "HST-S",
+          "GEMV",     "SCAN-RSS", "SCAN-SSA", "RED", "TRNS",  "NW",
+          "SEL",      "UNI",      "SpMV",     "BFS"};
+}
+
+void register_prim_kernels() {
+  register_dense_kernels();
+  register_reduce_scan_kernels();
+  register_hist_kernels();
+  register_db_kernels();
+  register_sparse_kernels();
+  register_heavy_kernels();
+}
+
+namespace detail {
+std::uint64_t scaled_elems(std::uint64_t base, double scale,
+                           std::uint32_t nr_dpus, std::uint64_t align) {
+  auto n = static_cast<std::uint64_t>(static_cast<double>(base) * scale);
+  const std::uint64_t min_n = std::uint64_t{nr_dpus} * align;
+  if (n < min_n) n = min_n;
+  n = (n + align - 1) / align * align;
+  return n;
+}
+}  // namespace detail
+
+}  // namespace vpim::prim

@@ -1,0 +1,73 @@
+// PrIM application framework (paper §5, Table 1).
+//
+// Each application implements the UPMEM offload workflow against the SDK
+// (so it runs unmodified on the native platform or inside a VM) and
+// reports:
+//   - the application-centric time breakdown the paper plots in Fig 8
+//     (CPU-DPU / DPU / Inter-DPU / DPU-CPU);
+//   - whether the DPU-computed result matches a host CPU reference
+//     (the paper's correctness check in §5.2).
+//
+// Datasets are sized for the strong-scaling configuration: the total
+// problem fits one rank and is divided across however many DPUs are used.
+// `AppParams::scale` shrinks datasets proportionally for fast tests.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/breakdown.h"
+#include "sdk/dpu_set.h"
+#include "sdk/platform.h"
+
+namespace vpim::prim {
+
+struct AppParams {
+  std::uint32_t nr_dpus = 60;
+  std::uint32_t nr_tasklets = 16;
+  std::uint64_t seed = 42;
+  // Multiplies default dataset sizes (1.0 = bench scale; tests use less).
+  double scale = 1.0;
+  // Multiplies the size of individual boundary-transfer operations in
+  // transfer-bound apps (NW): < 1.0 means finer-grained (more, smaller)
+  // operations, like the element-wise PrIM implementations.
+  double xfer_grain = 1.0;
+};
+
+struct AppResult {
+  std::string app;
+  TimeBreakdown breakdown;
+  bool correct = false;
+  SimNs total() const { return breakdown.total(); }
+};
+
+class PrimApp {
+ public:
+  virtual ~PrimApp() = default;
+  virtual std::string_view name() const = 0;
+  virtual AppResult run(sdk::Platform& platform,
+                        const AppParams& params) = 0;
+};
+
+// Factory registry for the whole suite.
+using AppFactory = std::function<std::unique_ptr<PrimApp>()>;
+const std::map<std::string, AppFactory, std::less<>>& app_registry();
+std::unique_ptr<PrimApp> make_app(std::string_view name);
+std::vector<std::string> app_names();  // PrIM order used in Fig 8
+
+// Registers every PrIM DPU kernel (idempotent).
+void register_prim_kernels();
+
+namespace detail {
+// Scales a default element count, keeping it a multiple of `align` and at
+// least `align * nr_dpus` so every DPU receives work.
+std::uint64_t scaled_elems(std::uint64_t base, double scale,
+                           std::uint32_t nr_dpus, std::uint64_t align = 1);
+}  // namespace detail
+
+}  // namespace vpim::prim

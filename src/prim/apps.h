@@ -1,0 +1,34 @@
+// Internal: per-application factories and kernel registrars.
+#pragma once
+
+#include <memory>
+
+#include "prim/app.h"
+
+namespace vpim::prim {
+
+std::unique_ptr<PrimApp> make_va();
+std::unique_ptr<PrimApp> make_gemv();
+std::unique_ptr<PrimApp> make_mlp();
+std::unique_ptr<PrimApp> make_red();
+std::unique_ptr<PrimApp> make_scan_ssa();
+std::unique_ptr<PrimApp> make_scan_rss();
+std::unique_ptr<PrimApp> make_hst_s();
+std::unique_ptr<PrimApp> make_hst_l();
+std::unique_ptr<PrimApp> make_sel();
+std::unique_ptr<PrimApp> make_uni();
+std::unique_ptr<PrimApp> make_bs();
+std::unique_ptr<PrimApp> make_ts();
+std::unique_ptr<PrimApp> make_spmv();
+std::unique_ptr<PrimApp> make_bfs();
+std::unique_ptr<PrimApp> make_nw();
+std::unique_ptr<PrimApp> make_trns();
+
+void register_dense_kernels();       // VA, GEMV(+MLP)
+void register_reduce_scan_kernels(); // RED, SCAN-SSA, SCAN-RSS
+void register_hist_kernels();        // HST-S, HST-L
+void register_db_kernels();          // SEL, UNI, BS, TS
+void register_sparse_kernels();      // SpMV, BFS
+void register_heavy_kernels();       // NW, TRNS
+
+}  // namespace vpim::prim

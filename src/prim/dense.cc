@@ -1,0 +1,396 @@
+// Dense linear algebra PrIM applications: VA (vector addition), GEMV
+// (matrix-vector multiply), and MLP (3-layer perceptron built from GEMV
+// launches with host-side redistribution between layers).
+#include <cstring>
+
+#include "common/rng.h"
+#include "prim/apps.h"
+#include "prim/util.h"
+#include "upmem/kernel.h"
+
+namespace vpim::prim {
+namespace {
+
+using driver::XferDirection;
+using sdk::DpuSet;
+using sdk::Target;
+using upmem::DpuCtx;
+using upmem::DpuKernel;
+using upmem::KernelRegistry;
+
+struct VaArgs {
+  std::uint64_t n = 0;  // elements in this DPU's partition
+  std::uint64_t a_off = 0, b_off = 0, c_off = 0;
+};
+
+struct GemvArgs {
+  std::uint32_t n_rows = 0;  // rows in this DPU's partition
+  std::uint32_t n_cols = 0;
+  std::uint64_t w_off = 0, x_off = 0, y_off = 0;
+  std::uint32_t relu = 0;
+};
+
+constexpr std::uint32_t kGemvMaxCols = 1024;  // x fits the WRAM cache
+
+void va_stage(DpuCtx& ctx) {
+  const auto args = ctx.var<VaArgs>("va_args");
+  const auto [begin, end] =
+      partition(args.n, ctx.nr_tasklets(), ctx.me());
+  if (begin >= end) return;
+  // 1 KiB per buffer so 16 tasklets x 2 buffers fit the WRAM heap.
+  constexpr std::uint32_t kBlock = 256;
+  auto a_buf = ctx.mem_alloc(kBlock * 4);
+  auto b_buf = ctx.mem_alloc(kBlock * 4);
+  for (std::uint64_t e = begin; e < end; e += kBlock) {
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kBlock, end - e));
+    ctx.mram_read(args.a_off + e * 4, a_buf.first(n * 4));
+    ctx.mram_read(args.b_off + e * 4, b_buf.first(n * 4));
+    auto a = as<std::int32_t>(a_buf);
+    auto b = as<std::int32_t>(b_buf);
+    for (std::uint32_t i = 0; i < n; ++i) a[i] += b[i];
+    ctx.exec(n);
+    ctx.mram_write(a_buf.first(n * 4), args.c_off + e * 4);
+  }
+}
+
+void gemv_load_x(DpuCtx& ctx) {
+  if (ctx.me() != 0) return;
+  const auto args = ctx.var<GemvArgs>("gemv_args");
+  auto x_cache = ctx.symbol_bytes("x_cache");
+  ctx.mram_read(args.x_off, x_cache.first(args.n_cols * 4));
+}
+
+void gemv_rows(DpuCtx& ctx) {
+  const auto args = ctx.var<GemvArgs>("gemv_args");
+  const auto [row_begin, row_end] =
+      partition(args.n_rows, ctx.nr_tasklets(), ctx.me());
+  if (row_begin >= row_end) return;
+  auto x = as<std::int32_t>(ctx.symbol_bytes("x_cache"));
+  // Stream each row through a 1 KiB WRAM block (16 tasklets x 1 KiB must
+  // fit the shared WRAM heap alongside the per-tasklet y buffers).
+  constexpr std::uint32_t kChunkCols = 256;
+  auto row_buf = ctx.mem_alloc(kChunkCols * 4);
+  auto y_buf =
+      ctx.mem_alloc(static_cast<std::uint32_t>(row_end - row_begin) * 4);
+  auto y = as<std::int32_t>(y_buf);
+  for (std::uint64_t r = row_begin; r < row_end; ++r) {
+    std::int64_t acc = 0;
+    for (std::uint32_t c0 = 0; c0 < args.n_cols; c0 += kChunkCols) {
+      const std::uint32_t n = std::min(kChunkCols, args.n_cols - c0);
+      ctx.mram_read(args.w_off + (r * args.n_cols + c0) * 4,
+                    row_buf.first(n * 4));
+      auto row = as<std::int32_t>(row_buf);
+      for (std::uint32_t c = 0; c < n; ++c) {
+        acc += static_cast<std::int64_t>(row[c]) * x[c0 + c];
+      }
+    }
+    ctx.exec(args.n_cols);
+    auto v = static_cast<std::int32_t>(acc);
+    if (args.relu && v < 0) v = 0;
+    y[r - row_begin] = v;
+  }
+  ctx.mram_write(y_buf.first((row_end - row_begin) * 4),
+                 args.y_off + row_begin * 4);
+}
+
+// ------------------------------------------------------------------- VA
+
+class VaApp final : public PrimApp {
+ public:
+  std::string_view name() const override { return "VA"; }
+
+  AppResult run(sdk::Platform& p, const AppParams& prm) override {
+    register_dense_kernels();
+    AppResult res;
+    res.app = "VA";
+    const std::uint64_t total =
+        detail::scaled_elems(16'000'000, prm.scale, prm.nr_dpus, 2);
+    std::uint64_t max_per = 0;
+    for (std::uint32_t d = 0; d < prm.nr_dpus; ++d) {
+      auto [b, e] = partition(total, prm.nr_dpus, d);
+      max_per = std::max(max_per, e - b);
+    }
+    const std::uint64_t cap = round_up8(max_per * 4);
+
+    Rng rng(prm.seed);
+    auto a = as<std::int32_t>(p.alloc(total * 4));
+    auto b = as<std::int32_t>(p.alloc(total * 4));
+    auto c = as<std::int32_t>(p.alloc(total * 4));
+    for (std::uint64_t i = 0; i < total; ++i) {
+      a[i] = static_cast<std::int32_t>(rng.uniform(-1000000, 1000000));
+      b[i] = static_cast<std::int32_t>(rng.uniform(-1000000, 1000000));
+    }
+
+    auto set = DpuSet::allocate(p, prm.nr_dpus);
+    set.load("prim_va");
+
+    std::vector<VaArgs> args(prm.nr_dpus);
+    std::vector<std::uint64_t> sizes(prm.nr_dpus);
+    {
+      SegmentScope s(p.clock(), res.breakdown, Segment::kCpuDpu);
+      for (std::uint32_t d = 0; d < prm.nr_dpus; ++d) {
+        auto [begin, end] = partition(total, prm.nr_dpus, d);
+        args[d] = {end - begin, 0, cap, 2 * cap};
+        sizes[d] = (end - begin) * 4;
+      }
+      for (std::uint32_t d = 0; d < prm.nr_dpus; ++d) {
+        auto [begin, end] = partition(total, prm.nr_dpus, d);
+        set.prepare_xfer(d, reinterpret_cast<std::uint8_t*>(&a[begin]));
+      }
+      set.push_xfer(XferDirection::kToRank, Target::mram(0), sizes);
+      for (std::uint32_t d = 0; d < prm.nr_dpus; ++d) {
+        auto [begin, end] = partition(total, prm.nr_dpus, d);
+        set.prepare_xfer(d, reinterpret_cast<std::uint8_t*>(&b[begin]));
+      }
+      set.push_xfer(XferDirection::kToRank, Target::mram(cap), sizes);
+      push_symbol(set, "va_args", args);
+    }
+    {
+      SegmentScope s(p.clock(), res.breakdown, Segment::kDpu);
+      set.launch(prm.nr_tasklets);
+    }
+    {
+      SegmentScope s(p.clock(), res.breakdown, Segment::kDpuCpu);
+      for (std::uint32_t d = 0; d < prm.nr_dpus; ++d) {
+        auto [begin, end] = partition(total, prm.nr_dpus, d);
+        set.prepare_xfer(d, reinterpret_cast<std::uint8_t*>(&c[begin]));
+      }
+      set.push_xfer(XferDirection::kFromRank, Target::mram(2 * cap), sizes);
+    }
+    set.free();
+
+    res.correct = true;
+    for (std::uint64_t i = 0; i < total; ++i) {
+      if (c[i] != a[i] + b[i]) {
+        res.correct = false;
+        break;
+      }
+    }
+    return res;
+  }
+};
+
+// ----------------------------------------------------------------- GEMV
+
+// Shared by GEMV and MLP: runs y = W.x on `set`, rows split across DPUs.
+// W is pre-positioned in MRAM; x is broadcast each call. Returns y.
+void gemv_round(DpuSet& set, std::uint32_t rows, std::uint32_t cols,
+                std::uint64_t w_off, std::uint64_t x_off,
+                std::uint64_t y_off, bool relu,
+                std::span<const std::int32_t> x, std::span<std::int32_t> y,
+                std::uint32_t nr_tasklets, TimeBreakdown& bd,
+                SimClock& clock, Segment in_seg, Segment out_seg) {
+  const std::uint32_t nr_dpus = set.nr_dpus();
+  std::vector<GemvArgs> args(nr_dpus);
+  {
+    SegmentScope s(clock, bd, in_seg);
+    set.broadcast(Target::mram(x_off),
+                  {reinterpret_cast<const std::uint8_t*>(x.data()),
+                   x.size() * 4});
+    for (std::uint32_t d = 0; d < nr_dpus; ++d) {
+      auto [rb, re] = partition(rows, nr_dpus, d);
+      args[d] = {static_cast<std::uint32_t>(re - rb), cols, w_off, x_off,
+                 y_off, relu ? 1u : 0u};
+    }
+    push_symbol(set, "gemv_args", args);
+  }
+  {
+    SegmentScope s(clock, bd, Segment::kDpu);
+    set.launch(nr_tasklets);
+  }
+  {
+    SegmentScope s(clock, bd, out_seg);
+    std::vector<std::uint64_t> sizes(nr_dpus);
+    for (std::uint32_t d = 0; d < nr_dpus; ++d) {
+      auto [rb, re] = partition(rows, nr_dpus, d);
+      sizes[d] = (re - rb) * 4;
+      set.prepare_xfer(d, reinterpret_cast<std::uint8_t*>(&y[rb]));
+    }
+    set.push_xfer(XferDirection::kFromRank, Target::mram(y_off), sizes);
+  }
+}
+
+// Distributes W's row partitions to the DPUs (CPU-DPU segment).
+void place_weights(DpuSet& set, std::span<const std::int32_t> w,
+                   std::uint32_t rows, std::uint32_t cols,
+                   std::uint64_t w_off, TimeBreakdown& bd, SimClock& clock) {
+  SegmentScope s(clock, bd, Segment::kCpuDpu);
+  const std::uint32_t nr_dpus = set.nr_dpus();
+  std::vector<std::uint64_t> sizes(nr_dpus);
+  for (std::uint32_t d = 0; d < nr_dpus; ++d) {
+    auto [rb, re] = partition(rows, nr_dpus, d);
+    sizes[d] = (re - rb) * cols * 4;
+    set.prepare_xfer(
+        d, const_cast<std::uint8_t*>(
+               reinterpret_cast<const std::uint8_t*>(&w[rb * cols])));
+  }
+  set.push_xfer(XferDirection::kToRank, Target::mram(w_off), sizes);
+}
+
+void cpu_gemv(std::span<const std::int32_t> w,
+              std::span<const std::int32_t> x, std::span<std::int32_t> y,
+              std::uint32_t rows, std::uint32_t cols, bool relu) {
+  for (std::uint32_t r = 0; r < rows; ++r) {
+    std::int64_t acc = 0;
+    for (std::uint32_t c = 0; c < cols; ++c) {
+      acc += static_cast<std::int64_t>(w[r * cols + c]) * x[c];
+    }
+    auto v = static_cast<std::int32_t>(acc);
+    y[r] = (relu && v < 0) ? 0 : v;
+  }
+}
+
+class GemvApp final : public PrimApp {
+ public:
+  std::string_view name() const override { return "GEMV"; }
+
+  AppResult run(sdk::Platform& p, const AppParams& prm) override {
+    register_dense_kernels();
+    AppResult res;
+    res.app = "GEMV";
+    const std::uint32_t cols = kGemvMaxCols;
+    const auto rows = static_cast<std::uint32_t>(
+        detail::scaled_elems(16384, prm.scale, prm.nr_dpus, 1));
+
+    Rng rng(prm.seed);
+    auto w = as<std::int32_t>(
+        p.alloc(std::uint64_t{rows} * cols * 4));
+    auto x = as<std::int32_t>(p.alloc(cols * 4));
+    auto y = as<std::int32_t>(p.alloc(rows * 4));
+    for (auto& v : w) v = static_cast<std::int32_t>(rng.uniform(-100, 100));
+    for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform(-100, 100));
+
+    auto set = DpuSet::allocate(p, prm.nr_dpus);
+    set.load("prim_gemv");
+
+    // MRAM layout: [W partition][x][y partition].
+    std::uint64_t max_rows = 0;
+    for (std::uint32_t d = 0; d < prm.nr_dpus; ++d) {
+      auto [rb, re] = partition(rows, prm.nr_dpus, d);
+      max_rows = std::max<std::uint64_t>(max_rows, re - rb);
+    }
+    const std::uint64_t w_cap = round_up8(max_rows * cols * 4);
+    const std::uint64_t x_off = w_cap;
+    const std::uint64_t y_off = x_off + round_up8(cols * 4);
+
+    place_weights(set, w, rows, cols, 0, res.breakdown, p.clock());
+    gemv_round(set, rows, cols, 0, x_off, y_off, false, x, y,
+               prm.nr_tasklets, res.breakdown, p.clock(),
+               Segment::kCpuDpu, Segment::kDpuCpu);
+    set.free();
+
+    std::vector<std::int32_t> ref(rows);
+    cpu_gemv(w, x, ref, rows, cols, false);
+    res.correct = std::equal(ref.begin(), ref.end(), y.begin());
+    return res;
+  }
+};
+
+// ------------------------------------------------------------------ MLP
+
+class MlpApp final : public PrimApp {
+ public:
+  std::string_view name() const override { return "MLP"; }
+
+  AppResult run(sdk::Platform& p, const AppParams& prm) override {
+    register_dense_kernels();
+    AppResult res;
+    res.app = "MLP";
+    constexpr std::uint32_t kLayers = 3;
+    const std::uint32_t dim = kGemvMaxCols;  // square layers
+    const auto rows = static_cast<std::uint32_t>(
+        detail::scaled_elems(4 * dim, prm.scale, prm.nr_dpus, 1));
+
+    Rng rng(prm.seed);
+    std::vector<std::span<std::int32_t>> weights;
+    for (std::uint32_t l = 0; l < kLayers; ++l) {
+      auto w = as<std::int32_t>(p.alloc(std::uint64_t{rows} * dim * 4));
+      for (auto& v : w) v = static_cast<std::int32_t>(rng.uniform(-8, 8));
+      weights.push_back(w);
+    }
+    auto x = as<std::int32_t>(p.alloc(dim * 4));
+    for (auto& v : x) v = static_cast<std::int32_t>(rng.uniform(-8, 8));
+    auto act = as<std::int32_t>(p.alloc(dim * 4));  // activations buffer
+    auto y = as<std::int32_t>(p.alloc(rows * 4));
+
+    auto set = DpuSet::allocate(p, prm.nr_dpus);
+    set.load("prim_gemv");
+
+    std::uint64_t max_rows = 0;
+    for (std::uint32_t d = 0; d < prm.nr_dpus; ++d) {
+      auto [rb, re] = partition(rows, prm.nr_dpus, d);
+      max_rows = std::max<std::uint64_t>(max_rows, re - rb);
+    }
+    const std::uint64_t w_cap = round_up8(max_rows * dim * 4);
+    const std::uint64_t x_off = kLayers * w_cap;
+    const std::uint64_t y_off = x_off + round_up8(dim * 4);
+
+    // All layer weights go down once (CPU-DPU).
+    for (std::uint32_t l = 0; l < kLayers; ++l) {
+      place_weights(set, weights[l], rows, dim, l * w_cap, res.breakdown,
+                    p.clock());
+    }
+
+    // Layer 0 consumes the input (CPU-DPU / DPU-CPU); later layers are
+    // host-mediated redistribution, which PrIM accounts as Inter-DPU.
+    std::copy(x.begin(), x.end(), act.begin());
+    for (std::uint32_t l = 0; l < kLayers; ++l) {
+      const bool relu = l + 1 < kLayers;
+      const Segment in = l == 0 ? Segment::kCpuDpu : Segment::kInterDpu;
+      const Segment out =
+          l + 1 == kLayers ? Segment::kDpuCpu : Segment::kInterDpu;
+      gemv_round(set, rows, dim, l * w_cap, x_off, y_off, relu,
+                 act.first(dim), y, prm.nr_tasklets, res.breakdown,
+                 p.clock(), in, out);
+      if (l + 1 < kLayers) {
+        // Next layer's input = this layer's output (truncate/extend to
+        // `dim`, matching the square-layer setup).
+        for (std::uint32_t i = 0; i < dim; ++i) {
+          act[i] = i < rows ? y[i] : 0;
+        }
+      }
+    }
+    set.free();
+
+    // CPU reference.
+    std::vector<std::int32_t> ref_in(x.begin(), x.end());
+    std::vector<std::int32_t> ref_out(rows);
+    for (std::uint32_t l = 0; l < kLayers; ++l) {
+      cpu_gemv(weights[l], ref_in, ref_out, rows, dim, l + 1 < kLayers);
+      if (l + 1 < kLayers) {
+        ref_in.assign(dim, 0);
+        for (std::uint32_t i = 0; i < dim && i < rows; ++i) {
+          ref_in[i] = ref_out[i];
+        }
+      }
+    }
+    res.correct = std::equal(ref_out.begin(), ref_out.end(), y.begin());
+    return res;
+  }
+};
+
+}  // namespace
+
+void register_dense_kernels() {
+  auto& registry = KernelRegistry::instance();
+  if (registry.contains("prim_va")) return;
+  DpuKernel va;
+  va.name = "prim_va";
+  va.symbols = {{"va_args", sizeof(VaArgs)}};
+  va.stages = {va_stage};
+  registry.add(std::move(va));
+
+  DpuKernel gemv;
+  gemv.name = "prim_gemv";
+  gemv.symbols = {{"gemv_args", sizeof(GemvArgs)},
+                  {"x_cache", kGemvMaxCols * 4}};
+  gemv.stages = {gemv_load_x, gemv_rows};
+  registry.add(std::move(gemv));
+}
+
+std::unique_ptr<PrimApp> make_va() { return std::make_unique<VaApp>(); }
+std::unique_ptr<PrimApp> make_gemv() { return std::make_unique<GemvApp>(); }
+std::unique_ptr<PrimApp> make_mlp() { return std::make_unique<MlpApp>(); }
+
+}  // namespace vpim::prim

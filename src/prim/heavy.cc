@@ -1,0 +1,419 @@
+// The paper's pathological small-transfer workloads.
+//
+// NW (Needleman-Wunsch): wavefront-blocked dynamic programming where every
+// block exchanges ~520-byte boundaries with the host — the workload with
+// the paper's headline 53x unoptimized overhead (Fig 14).
+//
+// TRNS (matrix transposition): tile-by-tile transposition driven by a
+// large number of ~1 KiB writes and reads (§5.2 fifth observation).
+#include <cstring>
+
+#include "common/rng.h"
+#include "prim/apps.h"
+#include "prim/util.h"
+#include "upmem/kernel.h"
+
+namespace vpim::prim {
+namespace {
+
+using driver::XferDirection;
+using sdk::DpuSet;
+using sdk::Target;
+using upmem::DpuCtx;
+using upmem::DpuKernel;
+using upmem::KernelRegistry;
+
+// ------------------------------------------------------------------- NW
+
+constexpr std::uint32_t kNwBlock = 128;  // DP block edge (cells)
+
+struct NwArgs {
+  std::uint64_t a_off = 0;
+  std::uint64_t b_off = 0;
+  std::uint64_t in_off = 0;
+  std::uint64_t out_off = 0;
+  // The per-wavefront slot count is NOT a WRAM symbol: the host writes it
+  // into MRAM alongside the boundary data so it rides the batched small
+  // writes instead of costing a CI round trip per DPU per wavefront.
+  std::uint64_t nblocks_off = 0;
+};
+
+// ~524-byte input boundary per block; ~516-byte output.
+struct NwSlotIn {
+  std::uint32_t a_base = 0;  // row block origin in A
+  std::uint32_t b_base = 0;  // col block origin in B
+  std::int32_t top[kNwBlock + 1];  // H[row0][col0 .. col0+B]
+  std::int32_t left[kNwBlock];     // H[row0+1 .. row0+B][col0]
+};
+struct NwSlotOut {
+  std::int32_t bottom[kNwBlock + 1];  // H[row0+B][col0 .. col0+B]
+  std::int32_t right[kNwBlock];       // H[row0+1 .. row0+B][col0+B]
+};
+
+constexpr std::int32_t kMatch = 1, kMismatch = -1, kGap = -1;
+
+void nw_load_nblocks(DpuCtx& ctx) {
+  if (ctx.me() != 0) return;
+  const auto args = ctx.var<NwArgs>("nw_args");
+  std::uint32_t n = 0;
+  ctx.mram_read(args.nblocks_off, bytes_of(n));
+  ctx.var<std::uint32_t>("nw_nblocks") = n;
+}
+
+void nw_stage(DpuCtx& ctx) {
+  const auto args = ctx.var<NwArgs>("nw_args");
+  const std::uint32_t nblocks = ctx.var<std::uint32_t>("nw_nblocks");
+  const auto [sb, se] = partition(nblocks, ctx.nr_tasklets(), ctx.me());
+  if (sb >= se) return;
+  auto in_buf = ctx.mem_alloc(sizeof(NwSlotIn));
+  auto out_buf = ctx.mem_alloc(sizeof(NwSlotOut));
+  auto a_buf = ctx.mem_alloc(kNwBlock);
+  auto b_buf = ctx.mem_alloc(kNwBlock);
+  auto h_prev = as<std::int32_t>(ctx.mem_alloc((kNwBlock + 1) * 4));
+  auto h_cur = as<std::int32_t>(ctx.mem_alloc((kNwBlock + 1) * 4));
+
+  for (std::uint64_t s = sb; s < se; ++s) {
+    ctx.mram_read(args.in_off + s * sizeof(NwSlotIn), in_buf);
+    NwSlotIn in;
+    std::memcpy(&in, in_buf.data(), sizeof(in));
+    ctx.mram_read(args.a_off + in.a_base, a_buf.first(kNwBlock));
+    ctx.mram_read(args.b_off + in.b_base, b_buf.first(kNwBlock));
+
+    NwSlotOut out;
+    for (std::uint32_t j = 0; j <= kNwBlock; ++j) h_prev[j] = in.top[j];
+    for (std::uint32_t i = 0; i < kNwBlock; ++i) {
+      h_cur[0] = in.left[i];
+      for (std::uint32_t j = 1; j <= kNwBlock; ++j) {
+        const std::int32_t sub =
+            h_prev[j - 1] +
+            (a_buf[i] == b_buf[j - 1] ? kMatch : kMismatch);
+        const std::int32_t del = h_prev[j] + kGap;
+        const std::int32_t ins = h_cur[j - 1] + kGap;
+        h_cur[j] = std::max(sub, std::max(del, ins));
+      }
+      out.right[i] = h_cur[kNwBlock];
+      std::swap_ranges(h_prev.begin(), h_prev.end(), h_cur.begin());
+    }
+    ctx.exec(std::uint64_t{kNwBlock} * kNwBlock);
+    for (std::uint32_t j = 0; j <= kNwBlock; ++j) out.bottom[j] = h_prev[j];
+    std::memcpy(out_buf.data(), &out, sizeof(out));
+    ctx.mram_write(out_buf, args.out_off + s * sizeof(NwSlotOut));
+  }
+}
+
+class NwApp final : public PrimApp {
+ public:
+  std::string_view name() const override { return "NW"; }
+
+  AppResult run(sdk::Platform& p, const AppParams& prm) override {
+    register_heavy_kernels();
+    AppResult res;
+    res.app = "NW";
+    const std::uint32_t nb = std::max<std::uint32_t>(
+        2, static_cast<std::uint32_t>(
+               detail::scaled_elems(16, prm.scale, 1, 1)));
+    const std::uint32_t n = nb * kNwBlock;  // sequence length
+
+    Rng rng(prm.seed);
+    auto a = p.alloc(n);
+    auto b = p.alloc(n);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      a[i] = static_cast<std::uint8_t>(rng.uniform('A', 'D'));
+      b[i] = static_cast<std::uint8_t>(rng.uniform('A', 'D'));
+    }
+
+    auto set = DpuSet::allocate(p, prm.nr_dpus);
+    set.load("prim_nw");
+    const std::uint64_t a_off = 0;
+    const std::uint64_t b_off = round_up8(n);
+    const std::uint64_t in_off = b_off + round_up8(n);
+    const std::uint32_t max_slots =
+        (nb + prm.nr_dpus - 1) / prm.nr_dpus;
+    const std::uint64_t out_off =
+        in_off + round_up8(std::uint64_t{max_slots} * sizeof(NwSlotIn));
+    const std::uint64_t nblocks_off =
+        out_off + round_up8(std::uint64_t{max_slots} * sizeof(NwSlotOut));
+
+    {
+      SegmentScope s(p.clock(), res.breakdown, Segment::kCpuDpu);
+      set.broadcast(Target::mram(a_off), a);
+      set.broadcast(Target::mram(b_off), b);
+      std::vector<NwArgs> args(
+          prm.nr_dpus, {a_off, b_off, in_off, out_off, nblocks_off});
+      push_symbol(set, "nw_args", args);
+    }
+
+    // Host-side boundary store.
+    std::vector<std::vector<std::int32_t>> bottom(
+        std::uint64_t{nb} * nb), right(std::uint64_t{nb} * nb);
+    auto idx = [&](std::uint32_t bi, std::uint32_t bj) {
+      return std::uint64_t{bi} * nb + bj;
+    };
+
+    auto in_stage = p.alloc(sizeof(NwSlotIn));
+    auto out_stage = p.alloc(sizeof(NwSlotOut));
+    std::int32_t final_score = 0;
+
+    // PrIM's NW moves boundaries element-wise: >650k operations of ~160
+    // bytes at full scale. We transfer each slot in 160-byte chunks to
+    // reproduce that op-size distribution.
+    const std::uint64_t kChunk = std::max<std::uint64_t>(
+        8, static_cast<std::uint64_t>(104 * prm.xfer_grain) / 8 * 8);
+    auto chunked_write = [&](std::uint32_t dpu, std::uint64_t off,
+                             std::span<const std::uint8_t> data) {
+      for (std::uint64_t o = 0; o < data.size(); o += kChunk) {
+        const std::uint64_t n = std::min(kChunk, data.size() - o);
+        std::memcpy(in_stage.data(), data.data() + o, n);
+        set.copy_to(dpu, Target::mram(off + o), in_stage.first(n));
+      }
+    };
+    auto chunked_read = [&](std::uint32_t dpu, std::uint64_t off,
+                            std::span<std::uint8_t> out) {
+      for (std::uint64_t o = 0; o < out.size(); o += kChunk) {
+        const std::uint64_t n = std::min(kChunk, out.size() - o);
+        set.copy_from(dpu, Target::mram(off + o), out_stage.first(n));
+        std::memcpy(out.data() + o, out_stage.data(), n);
+      }
+    };
+
+    for (std::uint32_t d = 0; d <= 2 * (nb - 1); ++d) {
+      // Blocks on this anti-diagonal, assigned round-robin to DPUs.
+      std::vector<std::pair<std::uint32_t, std::uint32_t>> blocks;
+      for (std::uint32_t bi = 0; bi < nb; ++bi) {
+        if (d < bi || d - bi >= nb) continue;
+        blocks.emplace_back(bi, d - bi);
+      }
+      std::vector<std::uint32_t> slots(prm.nr_dpus, 0);
+      std::vector<std::vector<std::pair<std::uint32_t, std::uint32_t>>>
+          assigned(prm.nr_dpus);
+      {
+        SegmentScope s(p.clock(), res.breakdown, Segment::kInterDpu);
+        for (std::size_t k = 0; k < blocks.size(); ++k) {
+          const auto [bi, bj] = blocks[k];
+          const auto dpu =
+              static_cast<std::uint32_t>(k % prm.nr_dpus);
+          const std::uint32_t slot = slots[dpu]++;
+          assigned[dpu].push_back(blocks[k]);
+
+          NwSlotIn in;
+          in.a_base = bi * kNwBlock;
+          in.b_base = bj * kNwBlock;
+          for (std::uint32_t j = 0; j <= kNwBlock; ++j) {
+            in.top[j] = bi == 0 ? -static_cast<std::int32_t>(
+                                      in.b_base + j) * 1
+                                : bottom[idx(bi - 1, bj)][j];
+          }
+          for (std::uint32_t i = 0; i < kNwBlock; ++i) {
+            in.left[i] = bj == 0 ? -static_cast<std::int32_t>(
+                                       in.a_base + i + 1) * 1
+                                 : right[idx(bi, bj - 1)][i];
+          }
+          // Several small write-to-rank operations per block (~160 B
+          // each), like the element-wise PrIM implementation.
+          chunked_write(dpu, in_off + slot * sizeof(NwSlotIn),
+                        {reinterpret_cast<const std::uint8_t*>(&in),
+                         sizeof(in)});
+        }
+        // Per-DPU slot counts travel as small MRAM writes (batched).
+        for (std::uint32_t dpu = 0; dpu < prm.nr_dpus; ++dpu) {
+          std::memcpy(in_stage.data(), &slots[dpu], 4);
+          set.copy_to(dpu, Target::mram(nblocks_off), in_stage.first(4));
+        }
+      }
+      {
+        SegmentScope s(p.clock(), res.breakdown, Segment::kDpu);
+        set.launch(prm.nr_tasklets);
+      }
+      {
+        SegmentScope s(p.clock(), res.breakdown, Segment::kDpuCpu);
+        for (std::uint32_t dpu = 0; dpu < prm.nr_dpus; ++dpu) {
+          for (std::uint32_t slot = 0; slot < slots[dpu]; ++slot) {
+            // Several small read-from-rank operations per block.
+            NwSlotOut out;
+            chunked_read(dpu, out_off + slot * sizeof(NwSlotOut),
+                         {reinterpret_cast<std::uint8_t*>(&out),
+                          sizeof(out)});
+            const auto [bi, bj] = assigned[dpu][slot];
+            bottom[idx(bi, bj)].assign(out.bottom,
+                                       out.bottom + kNwBlock + 1);
+            right[idx(bi, bj)].assign(out.right, out.right + kNwBlock);
+            if (bi == nb - 1 && bj == nb - 1) {
+              final_score = out.bottom[kNwBlock];
+            }
+          }
+        }
+      }
+    }
+    set.free();
+
+    // CPU reference: full DP over the (n+1)^2 matrix, two rolling rows.
+    std::vector<std::int32_t> prev(n + 1), cur(n + 1);
+    for (std::uint32_t j = 0; j <= n; ++j) {
+      prev[j] = -static_cast<std::int32_t>(j);
+    }
+    for (std::uint32_t i = 1; i <= n; ++i) {
+      cur[0] = -static_cast<std::int32_t>(i);
+      for (std::uint32_t j = 1; j <= n; ++j) {
+        const std::int32_t sub =
+            prev[j - 1] + (a[i - 1] == b[j - 1] ? kMatch : kMismatch);
+        cur[j] = std::max(sub, std::max(prev[j] + kGap, cur[j - 1] + kGap));
+      }
+      std::swap(prev, cur);
+    }
+    res.correct = (final_score == prev[n]);
+    return res;
+  }
+};
+
+// ------------------------------------------------------------------ TRNS
+
+constexpr std::uint32_t kTile = 16;  // 16x16 i32 tiles (1 KiB)
+
+struct TrnsArgs {
+  std::uint32_t ntiles = 0;
+  std::uint64_t tiles_off = 0;
+};
+
+void trns_stage(DpuCtx& ctx) {
+  const auto args = ctx.var<TrnsArgs>("trns_args");
+  const auto [tb, te] = partition(args.ntiles, ctx.nr_tasklets(), ctx.me());
+  if (tb >= te) return;
+  constexpr std::uint32_t kTileBytes = kTile * kTile * 4;
+  auto in_buf = ctx.mem_alloc(kTileBytes);
+  auto out_buf = ctx.mem_alloc(kTileBytes);
+  for (std::uint64_t t = tb; t < te; ++t) {
+    ctx.mram_read(args.tiles_off + t * kTileBytes, in_buf);
+    auto in = as<std::int32_t>(in_buf);
+    auto out = as<std::int32_t>(out_buf);
+    for (std::uint32_t r = 0; r < kTile; ++r) {
+      for (std::uint32_t c = 0; c < kTile; ++c) {
+        out[c * kTile + r] = in[r * kTile + c];
+      }
+    }
+    ctx.exec(kTile * kTile);
+    ctx.mram_write(out_buf, args.tiles_off + t * kTileBytes);
+  }
+}
+
+class TrnsApp final : public PrimApp {
+ public:
+  std::string_view name() const override { return "TRNS"; }
+
+  AppResult run(sdk::Platform& p, const AppParams& prm) override {
+    register_heavy_kernels();
+    AppResult res;
+    res.app = "TRNS";
+    const auto dim = static_cast<std::uint32_t>(detail::scaled_elems(
+        2048, std::sqrt(prm.scale), 1, kTile));
+    const std::uint32_t tiles_per_side = dim / kTile;
+    const std::uint64_t ntiles =
+        std::uint64_t{tiles_per_side} * tiles_per_side;
+    constexpr std::uint32_t kTileBytes = kTile * kTile * 4;
+
+    Rng rng(prm.seed);
+    auto in = as<std::int32_t>(
+        p.alloc(std::uint64_t{dim} * dim * 4));
+    auto out = as<std::int32_t>(
+        p.alloc(std::uint64_t{dim} * dim * 4));
+    for (auto& v : in) {
+      v = static_cast<std::int32_t>(rng.uniform(-100000, 100000));
+    }
+
+    auto set = DpuSet::allocate(p, prm.nr_dpus);
+    set.load("prim_trns");
+
+    auto stage = p.alloc(kTileBytes);
+    std::vector<std::uint32_t> slots(prm.nr_dpus, 0);
+    {
+      // One ~1 KiB write-to-rank per tile (the paper's 980k x 512 B
+      // pattern at full scale).
+      SegmentScope s(p.clock(), res.breakdown, Segment::kCpuDpu);
+      for (std::uint64_t t = 0; t < ntiles; ++t) {
+        const std::uint32_t ti =
+            static_cast<std::uint32_t>(t / tiles_per_side);
+        const std::uint32_t tj =
+            static_cast<std::uint32_t>(t % tiles_per_side);
+        auto tile = as<std::int32_t>(stage);
+        for (std::uint32_t r = 0; r < kTile; ++r) {
+          std::memcpy(&tile[r * kTile],
+                      &in[(std::uint64_t{ti} * kTile + r) * dim +
+                          std::uint64_t{tj} * kTile],
+                      kTile * 4);
+        }
+        const auto dpu = static_cast<std::uint32_t>(t % prm.nr_dpus);
+        set.copy_to(dpu,
+                    Target::mram(std::uint64_t{slots[dpu]} * kTileBytes),
+                    stage);
+        slots[dpu]++;
+      }
+      std::vector<TrnsArgs> args(prm.nr_dpus);
+      for (std::uint32_t dpu = 0; dpu < prm.nr_dpus; ++dpu) {
+        args[dpu] = {slots[dpu], 0};
+      }
+      push_symbol(set, "trns_args", args);
+    }
+    {
+      SegmentScope s(p.clock(), res.breakdown, Segment::kDpu);
+      set.launch(prm.nr_tasklets);
+    }
+    {
+      // One ~1 KiB read-from-rank per tile.
+      SegmentScope s(p.clock(), res.breakdown, Segment::kDpuCpu);
+      std::fill(slots.begin(), slots.end(), 0);
+      for (std::uint64_t t = 0; t < ntiles; ++t) {
+        const std::uint32_t ti =
+            static_cast<std::uint32_t>(t / tiles_per_side);
+        const std::uint32_t tj =
+            static_cast<std::uint32_t>(t % tiles_per_side);
+        const auto dpu = static_cast<std::uint32_t>(t % prm.nr_dpus);
+        set.copy_from(
+            dpu, Target::mram(std::uint64_t{slots[dpu]} * kTileBytes),
+            stage);
+        slots[dpu]++;
+        auto tile = as<std::int32_t>(stage);
+        for (std::uint32_t r = 0; r < kTile; ++r) {
+          std::memcpy(&out[(std::uint64_t{tj} * kTile + r) * dim +
+                           std::uint64_t{ti} * kTile],
+                      &tile[r * kTile], kTile * 4);
+        }
+      }
+    }
+    set.free();
+
+    res.correct = true;
+    for (std::uint32_t r = 0; r < dim && res.correct; ++r) {
+      for (std::uint32_t c = 0; c < dim; ++c) {
+        if (out[std::uint64_t{c} * dim + r] !=
+            in[std::uint64_t{r} * dim + c]) {
+          res.correct = false;
+          break;
+        }
+      }
+    }
+    return res;
+  }
+};
+
+}  // namespace
+
+void register_heavy_kernels() {
+  auto& registry = KernelRegistry::instance();
+  if (registry.contains("prim_nw")) return;
+
+  DpuKernel nw;
+  nw.name = "prim_nw";
+  nw.symbols = {{"nw_args", sizeof(NwArgs)}, {"nw_nblocks", 4}};
+  nw.stages = {nw_load_nblocks, nw_stage};
+  registry.add(std::move(nw));
+
+  DpuKernel trns;
+  trns.name = "prim_trns";
+  trns.symbols = {{"trns_args", sizeof(TrnsArgs)}};
+  trns.stages = {trns_stage};
+  registry.add(std::move(trns));
+}
+
+std::unique_ptr<PrimApp> make_nw() { return std::make_unique<NwApp>(); }
+std::unique_ptr<PrimApp> make_trns() { return std::make_unique<TrnsApp>(); }
+
+}  // namespace vpim::prim

@@ -1,0 +1,58 @@
+// UPMEM-provided microbenchmarks (§5.3): the checksum demo and the
+// Wikipedia Index Search use case.
+#pragma once
+
+#include <cstdint>
+
+#include "common/breakdown.h"
+#include "sdk/platform.h"
+
+namespace vpim::prim {
+
+struct ChecksumParams {
+  std::uint32_t nr_dpus = 60;
+  std::uint32_t nr_tasklets = 16;
+  std::uint64_t file_bytes = 60 * kMiB;  // input file size (per DPU)
+  std::uint64_t seed = 42;
+};
+
+struct ChecksumResult {
+  SimNs total = 0;
+  bool correct = false;
+  std::uint64_t write_ops = 0;  // host-visible op counts, for the paper's
+  std::uint64_t read_ops = 0;   // "1 write + 60 reads + 8k-28k CI" claim
+  std::uint64_t ci_ops = 0;
+};
+
+// The checksum demo: generates a random file, broadcasts it to every DPU
+// (all DPUs checksum the *same* data), launches, and reads each DPU's
+// result back (one small MRAM read per DPU).
+ChecksumResult run_checksum(sdk::Platform& platform,
+                            const ChecksumParams& params);
+
+struct IndexSearchParams {
+  std::uint32_t nr_dpus = 60;
+  std::uint32_t nr_tasklets = 16;
+  std::uint32_t nr_documents = 4305;   // Wikipedia subset size
+  std::uint32_t nr_queries = 445;      // benchmark configuration
+  std::uint32_t batch_size = 128;      // requests per batch (4 batches)
+  std::uint32_t avg_doc_words = 1900;  // sized so the index is ~63 MB
+  std::uint64_t seed = 42;
+};
+
+struct IndexSearchResult {
+  SimNs total = 0;
+  bool correct = false;
+  std::uint64_t index_bytes = 0;
+  std::uint64_t matches = 0;
+};
+
+// The Index Search use case: builds an inverted index over a synthetic
+// Zipfian document corpus, distributes index partitions across DPUs,
+// then streams query batches (445 queries in batches of 128).
+IndexSearchResult run_index_search(sdk::Platform& platform,
+                                   const IndexSearchParams& params);
+
+void register_micro_kernels();
+
+}  // namespace vpim::prim

@@ -1,0 +1,341 @@
+// Parallel primitives: RED (reduction), SCAN-SSA (scan-scan-add), and
+// SCAN-RSS (reduce-scan-scan). Their Inter-DPU steps are tiny MRAM reads/
+// writes of per-DPU partials — exactly the pattern that trips the prefetch
+// cache in the paper (§5.2, third observation).
+#include <cstring>
+#include <numeric>
+
+#include "common/rng.h"
+#include "prim/apps.h"
+#include "prim/util.h"
+#include "upmem/kernel.h"
+
+namespace vpim::prim {
+namespace {
+
+using driver::XferDirection;
+using sdk::DpuSet;
+using sdk::Target;
+using upmem::DpuCtx;
+using upmem::DpuKernel;
+using upmem::KernelRegistry;
+
+struct ScanArgs {
+  std::uint64_t n = 0;
+  std::uint64_t in_off = 0;
+  std::uint64_t out_off = 0;
+  std::uint64_t result_off = 0;  // per-DPU total (8 bytes in MRAM)
+  std::int64_t base = 0;         // added to every output (RSS second pass)
+  std::uint32_t scan = 0;        // 0 = reduce only, 1 = scan
+};
+
+constexpr std::uint32_t kBlockElems = 256;  // 2 KiB of i64 per WRAM block
+
+void reduce_stage1(DpuCtx& ctx) {
+  const auto args = ctx.var<ScanArgs>("scan_args");
+  const auto [begin, end] = partition(args.n, ctx.nr_tasklets(), ctx.me());
+  std::int64_t local = 0;
+  if (begin < end) {
+    auto buf = ctx.mem_alloc(kBlockElems * 8);
+    for (std::uint64_t e = begin; e < end; e += kBlockElems) {
+      const auto n = static_cast<std::uint32_t>(
+          std::min<std::uint64_t>(kBlockElems, end - e));
+      ctx.mram_read(args.in_off + e * 8, buf.first(n * 8));
+      auto vals = as<std::int64_t>(buf);
+      for (std::uint32_t i = 0; i < n; ++i) local += vals[i];
+      ctx.exec(n);
+    }
+  }
+  ctx.var<std::int64_t>("t_sums", ctx.me()) = local;
+}
+
+void reduce_stage2(DpuCtx& ctx) {
+  if (ctx.me() != 0) return;
+  const auto args = ctx.var<ScanArgs>("scan_args");
+  // Exclusive prefix over tasklet sums -> per-tasklet bases + DPU total.
+  std::int64_t running = 0;
+  for (std::uint32_t t = 0; t < ctx.nr_tasklets(); ++t) {
+    const std::int64_t s = ctx.var<std::int64_t>("t_sums", t);
+    ctx.var<std::int64_t>("t_bases", t) = running;
+    running += s;
+  }
+  ctx.exec(ctx.nr_tasklets());
+  std::int64_t total = running;
+  ctx.mram_write(bytes_of(total), args.result_off);
+}
+
+void scan_stage3(DpuCtx& ctx) {
+  const auto args = ctx.var<ScanArgs>("scan_args");
+  if (!args.scan) return;
+  const auto [begin, end] = partition(args.n, ctx.nr_tasklets(), ctx.me());
+  if (begin >= end) return;
+  auto buf = ctx.mem_alloc(kBlockElems * 8);
+  std::int64_t running = args.base + ctx.var<std::int64_t>("t_bases",
+                                                           ctx.me());
+  for (std::uint64_t e = begin; e < end; e += kBlockElems) {
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kBlockElems, end - e));
+    ctx.mram_read(args.in_off + e * 8, buf.first(n * 8));
+    auto vals = as<std::int64_t>(buf);
+    for (std::uint32_t i = 0; i < n; ++i) {
+      running += vals[i];
+      vals[i] = running;  // inclusive scan
+    }
+    ctx.exec(2 * n);
+    ctx.mram_write(buf.first(n * 8), args.out_off + e * 8);
+  }
+}
+
+// SSA second kernel: add a per-DPU base to every output element.
+void scan_add_stage(DpuCtx& ctx) {
+  const auto args = ctx.var<ScanArgs>("scan_args");
+  const auto [begin, end] = partition(args.n, ctx.nr_tasklets(), ctx.me());
+  if (begin >= end || args.base == 0) return;
+  auto buf = ctx.mem_alloc(kBlockElems * 8);
+  for (std::uint64_t e = begin; e < end; e += kBlockElems) {
+    const auto n = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(kBlockElems, end - e));
+    ctx.mram_read(args.out_off + e * 8, buf.first(n * 8));
+    auto vals = as<std::int64_t>(buf);
+    for (std::uint32_t i = 0; i < n; ++i) vals[i] += args.base;
+    ctx.exec(n);
+    ctx.mram_write(buf.first(n * 8), args.out_off + e * 8);
+  }
+}
+
+// Shared host-side scaffolding for the three apps.
+struct ScanRig {
+  std::uint64_t total = 0;
+  std::uint64_t cap = 0;         // per-DPU input capacity (bytes)
+  std::uint64_t result_off = 0;  // per-DPU total slot
+  std::span<std::int64_t> in;
+  std::span<std::int64_t> out;
+  std::span<std::int64_t> totals;    // per-DPU partials (guest-visible)
+  std::vector<std::uint64_t> sizes;  // per-DPU input bytes
+
+  ScanRig(sdk::Platform& p, const AppParams& prm, std::uint64_t base_elems,
+          bool with_out) {
+    total = detail::scaled_elems(base_elems, prm.scale, prm.nr_dpus, 2);
+    std::uint64_t max_per = 0;
+    sizes.resize(prm.nr_dpus);
+    for (std::uint32_t d = 0; d < prm.nr_dpus; ++d) {
+      auto [b, e] = partition(total, prm.nr_dpus, d);
+      sizes[d] = (e - b) * 8;
+      max_per = std::max(max_per, e - b);
+    }
+    cap = round_up8(max_per * 8);
+    result_off = with_out ? 2 * cap : cap;
+    in = as<std::int64_t>(p.alloc(total * 8));
+    if (with_out) out = as<std::int64_t>(p.alloc(total * 8));
+    totals = as<std::int64_t>(p.alloc(std::uint64_t{prm.nr_dpus} * 8));
+    Rng rng(prm.seed);
+    for (auto& v : in) v = rng.uniform(-1000, 1000);
+  }
+
+  void push_input(DpuSet& set, std::uint32_t nr_dpus) {
+    for (std::uint32_t d = 0; d < nr_dpus; ++d) {
+      auto [b, e] = partition(total, nr_dpus, d);
+      set.prepare_xfer(d, reinterpret_cast<std::uint8_t*>(&in[b]));
+    }
+    set.push_xfer(XferDirection::kToRank, Target::mram(0), sizes);
+  }
+
+  // The paper's RED Inter-DPU step: one small read-from-rank collecting
+  // the per-DPU partials.
+  std::span<const std::int64_t> read_totals(DpuSet& set,
+                                            std::uint32_t nr_dpus) {
+    for (std::uint32_t d = 0; d < nr_dpus; ++d) {
+      set.prepare_xfer(d, reinterpret_cast<std::uint8_t*>(&totals[d]));
+    }
+    set.push_xfer(XferDirection::kFromRank, Target::mram(result_off), 8);
+    return totals.first(nr_dpus);
+  }
+
+  void read_output(DpuSet& set, std::uint32_t nr_dpus) {
+    for (std::uint32_t d = 0; d < nr_dpus; ++d) {
+      auto [b, e] = partition(total, nr_dpus, d);
+      set.prepare_xfer(d, reinterpret_cast<std::uint8_t*>(&out[b]));
+    }
+    set.push_xfer(XferDirection::kFromRank, Target::mram(cap), sizes);
+  }
+
+  std::vector<ScanArgs> make_args(std::uint32_t nr_dpus, bool scan,
+                                  std::span<const std::int64_t> bases) {
+    std::vector<ScanArgs> args(nr_dpus);
+    for (std::uint32_t d = 0; d < nr_dpus; ++d) {
+      auto [b, e] = partition(total, nr_dpus, d);
+      args[d] = {e - b, 0,   cap, result_off,
+                 bases.empty() ? 0 : bases[d], scan ? 1u : 0u};
+    }
+    return args;
+  }
+};
+
+class RedApp final : public PrimApp {
+ public:
+  std::string_view name() const override { return "RED"; }
+
+  AppResult run(sdk::Platform& p, const AppParams& prm) override {
+    register_reduce_scan_kernels();
+    AppResult res;
+    res.app = "RED";
+    ScanRig rig(p, prm, 16'000'000, /*with_out=*/false);
+
+    auto set = DpuSet::allocate(p, prm.nr_dpus);
+    set.load("prim_scan");
+    {
+      SegmentScope s(p.clock(), res.breakdown, Segment::kCpuDpu);
+      rig.push_input(set, prm.nr_dpus);
+      auto args = rig.make_args(prm.nr_dpus, false, {});
+      push_symbol(set, "scan_args", args);
+    }
+    {
+      SegmentScope s(p.clock(), res.breakdown, Segment::kDpu);
+      set.launch(prm.nr_tasklets);
+    }
+    std::int64_t sum = 0;
+    {
+      SegmentScope s(p.clock(), res.breakdown, Segment::kInterDpu);
+      auto totals = rig.read_totals(set, prm.nr_dpus);
+      sum = std::accumulate(totals.begin(), totals.end(),
+                            std::int64_t{0});
+    }
+    set.free();
+
+    const std::int64_t ref =
+        std::accumulate(rig.in.begin(), rig.in.end(), std::int64_t{0});
+    res.correct = (sum == ref);
+    return res;
+  }
+};
+
+class ScanApp final : public PrimApp {
+ public:
+  explicit ScanApp(bool rss) : rss_(rss) {}
+  std::string_view name() const override {
+    return rss_ ? "SCAN-RSS" : "SCAN-SSA";
+  }
+
+  AppResult run(sdk::Platform& p, const AppParams& prm) override {
+    register_reduce_scan_kernels();
+    AppResult res;
+    res.app = name();
+    ScanRig rig(p, prm, 8'000'000, /*with_out=*/true);
+
+    auto set = DpuSet::allocate(p, prm.nr_dpus);
+    set.load("prim_scan");
+    {
+      SegmentScope s(p.clock(), res.breakdown, Segment::kCpuDpu);
+      rig.push_input(set, prm.nr_dpus);
+    }
+
+    std::vector<std::int64_t> bases(prm.nr_dpus, 0);
+    if (rss_) {
+      // Reduce-Scan-Scan: pass 1 reduces, host scans the totals, pass 2
+      // does the local scan with the base folded in.
+      {
+        SegmentScope s(p.clock(), res.breakdown, Segment::kCpuDpu);
+        auto args = rig.make_args(prm.nr_dpus, false, {});
+        push_symbol(set, "scan_args", args);
+      }
+      {
+        SegmentScope s(p.clock(), res.breakdown, Segment::kDpu);
+        set.launch(prm.nr_tasklets);
+      }
+      {
+        SegmentScope s(p.clock(), res.breakdown, Segment::kInterDpu);
+        auto totals = rig.read_totals(set, prm.nr_dpus);
+        std::int64_t running = 0;
+        for (std::uint32_t d = 0; d < prm.nr_dpus; ++d) {
+          bases[d] = running;
+          running += totals[d];
+        }
+        auto args = rig.make_args(prm.nr_dpus, true, bases);
+        push_symbol(set, "scan_args", args);
+      }
+      {
+        SegmentScope s(p.clock(), res.breakdown, Segment::kDpu);
+        set.launch(prm.nr_tasklets);
+      }
+    } else {
+      // Scan-Scan-Add: pass 1 scans locally, host scans the totals,
+      // pass 2 adds each DPU's base to its outputs.
+      {
+        SegmentScope s(p.clock(), res.breakdown, Segment::kCpuDpu);
+        auto args = rig.make_args(prm.nr_dpus, true, {});
+        push_symbol(set, "scan_args", args);
+      }
+      {
+        SegmentScope s(p.clock(), res.breakdown, Segment::kDpu);
+        set.launch(prm.nr_tasklets);
+      }
+      {
+        SegmentScope s(p.clock(), res.breakdown, Segment::kInterDpu);
+        auto totals = rig.read_totals(set, prm.nr_dpus);
+        std::int64_t running = 0;
+        for (std::uint32_t d = 0; d < prm.nr_dpus; ++d) {
+          bases[d] = running;
+          running += totals[d];
+        }
+        // Load the add kernel *before* pushing its arguments: loading a
+        // binary lays out fresh symbol storage.
+        set.load("prim_scan_add");
+        auto args = rig.make_args(prm.nr_dpus, true, bases);
+        push_symbol(set, "scan_args", args);
+      }
+      {
+        SegmentScope s(p.clock(), res.breakdown, Segment::kDpu);
+        set.launch(prm.nr_tasklets);
+      }
+    }
+    {
+      SegmentScope s(p.clock(), res.breakdown, Segment::kDpuCpu);
+      rig.read_output(set, prm.nr_dpus);
+    }
+    set.free();
+
+    // CPU reference: inclusive prefix sum.
+    std::vector<std::int64_t> ref(rig.in.size());
+    std::int64_t running = 0;
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      running += rig.in[i];
+      ref[i] = running;
+    }
+    res.correct = std::equal(ref.begin(), ref.end(), rig.out.begin());
+    return res;
+  }
+
+ private:
+  bool rss_;
+};
+
+}  // namespace
+
+void register_reduce_scan_kernels() {
+  auto& registry = KernelRegistry::instance();
+  if (registry.contains("prim_scan")) return;
+
+  DpuKernel scan;
+  scan.name = "prim_scan";
+  scan.symbols = {{"scan_args", sizeof(ScanArgs)},
+                  {"t_sums", 24 * 8},
+                  {"t_bases", 24 * 8}};
+  scan.stages = {reduce_stage1, reduce_stage2, scan_stage3};
+  registry.add(std::move(scan));
+
+  DpuKernel add;
+  add.name = "prim_scan_add";
+  add.symbols = {{"scan_args", sizeof(ScanArgs)}};
+  add.stages = {scan_add_stage};
+  registry.add(std::move(add));
+}
+
+std::unique_ptr<PrimApp> make_red() { return std::make_unique<RedApp>(); }
+std::unique_ptr<PrimApp> make_scan_ssa() {
+  return std::make_unique<ScanApp>(false);
+}
+std::unique_ptr<PrimApp> make_scan_rss() {
+  return std::make_unique<ScanApp>(true);
+}
+
+}  // namespace vpim::prim

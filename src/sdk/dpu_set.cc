@@ -1,0 +1,280 @@
+#include "sdk/dpu_set.h"
+
+#include <algorithm>
+#include <cstring>
+#include <functional>
+
+#include "common/error.h"
+#include "upmem/layout.h"
+
+namespace vpim::sdk {
+
+DpuSet DpuSet::allocate(Platform& platform, std::uint32_t nr_dpus) {
+  VPIM_CHECK(nr_dpus >= 1, "dpu_alloc of zero DPUs");
+  std::vector<std::unique_ptr<RankDevice>> ranks;
+  std::uint32_t capacity = 0;
+  while (capacity < nr_dpus) {
+    auto batch = platform.alloc_ranks(1);
+    VPIM_CHECK(batch.size() == 1, "platform returned no rank");
+    capacity += batch[0]->nr_dpus();
+    ranks.push_back(std::move(batch[0]));
+  }
+  return DpuSet(platform, nr_dpus, std::move(ranks));
+}
+
+DpuSet::DpuSet(Platform& platform, std::uint32_t nr_dpus,
+               std::vector<std::unique_ptr<RankDevice>> ranks)
+    : platform_(&platform),
+      nr_dpus_(nr_dpus),
+      ranks_(std::move(ranks)),
+      prepared_(nr_dpus, nullptr) {}
+
+DpuSet::DpuRef DpuSet::ref(std::uint32_t dpu) const {
+  VPIM_CHECK(dpu < nr_dpus_, "DPU index outside the set");
+  std::uint32_t r = 0;
+  std::uint32_t base = 0;
+  while (true) {
+    const std::uint32_t n = ranks_[r]->nr_dpus();
+    if (dpu < base + n) return {r, dpu - base};
+    base += n;
+    ++r;
+  }
+}
+
+std::uint32_t DpuSet::dpus_on_rank(std::uint32_t r) const {
+  std::uint32_t base = 0;
+  for (std::uint32_t i = 0; i < r; ++i) base += ranks_[i]->nr_dpus();
+  if (base >= nr_dpus_) return 0;
+  return std::min(ranks_[r]->nr_dpus(), nr_dpus_ - base);
+}
+
+void DpuSet::run_per_rank(
+    const std::function<void(std::uint32_t)>& body) {
+  if (ranks_.size() == 1) {
+    body(0);
+    return;
+  }
+  std::vector<std::function<void()>> branches;
+  branches.reserve(ranks_.size());
+  for (std::uint32_t r = 0; r < ranks_.size(); ++r) {
+    if (dpus_on_rank(r) == 0) continue;
+    branches.push_back([&body, r] { body(r); });
+  }
+  platform_->clock().run_parallel(branches);
+}
+
+void DpuSet::load(std::string_view kernel_name) {
+  run_per_rank([&](std::uint32_t r) {
+    ranks_[r]->load(kernel_name);
+    ++counters_.ci_ops;
+  });
+}
+
+void DpuSet::prepare_xfer(std::uint32_t dpu, std::uint8_t* buffer) {
+  VPIM_CHECK(dpu < nr_dpus_, "prepare_xfer outside the set");
+  prepared_[dpu] = buffer;
+}
+
+void DpuSet::push_xfer(driver::XferDirection dir, const Target& target,
+                       std::uint64_t bytes_per_dpu) {
+  std::vector<std::uint64_t> sizes(nr_dpus_, bytes_per_dpu);
+  push_xfer(dir, target, sizes);
+}
+
+void DpuSet::push_xfer(driver::XferDirection dir, const Target& target,
+                       std::span<const std::uint64_t> bytes_per_dpu) {
+  VPIM_CHECK(bytes_per_dpu.size() == nr_dpus_,
+             "push_xfer size list must cover the whole set");
+  if (target.is_mram) {
+    run_per_rank([&](std::uint32_t r) {
+      driver::TransferMatrix matrix;
+      matrix.direction = dir;
+      std::uint32_t base = 0;
+      for (std::uint32_t i = 0; i < r; ++i) base += ranks_[i]->nr_dpus();
+      const std::uint32_t n = dpus_on_rank(r);
+      for (std::uint32_t local = 0; local < n; ++local) {
+        const std::uint32_t dpu = base + local;
+        if (bytes_per_dpu[dpu] == 0) continue;
+        VPIM_CHECK(prepared_[dpu] != nullptr,
+                   "push_xfer without prepare_xfer");
+        matrix.entries.push_back({local, target.offset, prepared_[dpu],
+                                  bytes_per_dpu[dpu]});
+      }
+      if (!matrix.entries.empty()) {
+        ranks_[r]->transfer(matrix);
+        if (dir == driver::XferDirection::kToRank) {
+          ++counters_.rank_writes;
+        } else {
+          ++counters_.rank_reads;
+        }
+      }
+    });
+  } else {
+    // WRAM variable: one parallel per-rank transfer when every DPU moves
+    // the same amount (the common dpu_push_xfer-on-a-variable case),
+    // otherwise one control-interface copy per DPU.
+    const std::uint64_t uniform = bytes_per_dpu[0];
+    const bool all_uniform =
+        uniform > 0 &&
+        std::all_of(bytes_per_dpu.begin(), bytes_per_dpu.end(),
+                    [&](std::uint64_t b) { return b == uniform; });
+    if (all_uniform) {
+      auto packed = symbol_scratch(std::uint64_t{nr_dpus_} * uniform);
+      if (dir == driver::XferDirection::kToRank) {
+        for (std::uint32_t dpu = 0; dpu < nr_dpus_; ++dpu) {
+          VPIM_CHECK(prepared_[dpu] != nullptr,
+                     "push_xfer without prepare_xfer");
+          std::memcpy(packed.data() + std::uint64_t{dpu} * uniform,
+                      prepared_[dpu], uniform);
+        }
+      }
+      run_per_rank([&](std::uint32_t r) {
+        std::uint32_t base = 0;
+        for (std::uint32_t i = 0; i < r; ++i) base += ranks_[i]->nr_dpus();
+        const std::uint32_t n = dpus_on_rank(r);
+        ranks_[r]->push_symbols(
+            dir, target.name, static_cast<std::uint32_t>(target.offset),
+            packed.subspan(std::uint64_t{base} * uniform,
+                           std::uint64_t{n} * uniform),
+            static_cast<std::uint32_t>(uniform));
+        ++counters_.ci_ops;
+      });
+      if (dir == driver::XferDirection::kFromRank) {
+        for (std::uint32_t dpu = 0; dpu < nr_dpus_; ++dpu) {
+          VPIM_CHECK(prepared_[dpu] != nullptr,
+                     "push_xfer without prepare_xfer");
+          std::memcpy(prepared_[dpu],
+                      packed.data() + std::uint64_t{dpu} * uniform,
+                      uniform);
+        }
+      }
+      return;
+    }
+    run_per_rank([&](std::uint32_t r) {
+      std::uint32_t base = 0;
+      for (std::uint32_t i = 0; i < r; ++i) base += ranks_[i]->nr_dpus();
+      const std::uint32_t n = dpus_on_rank(r);
+      for (std::uint32_t local = 0; local < n; ++local) {
+        const std::uint32_t dpu = base + local;
+        if (bytes_per_dpu[dpu] == 0) continue;
+        VPIM_CHECK(prepared_[dpu] != nullptr,
+                   "push_xfer without prepare_xfer");
+        const auto offset = static_cast<std::uint32_t>(target.offset);
+        if (dir == driver::XferDirection::kToRank) {
+          ranks_[r]->copy_to_symbol(
+              local, target.name, offset,
+              {prepared_[dpu], bytes_per_dpu[dpu]});
+        } else {
+          ranks_[r]->copy_from_symbol(
+              local, target.name, offset,
+              {prepared_[dpu], bytes_per_dpu[dpu]});
+        }
+        ++counters_.ci_ops;
+      }
+    });
+  }
+}
+
+std::span<std::uint8_t> DpuSet::symbol_scratch(std::uint64_t bytes) {
+  if (scratch_.size() < bytes) scratch_ = platform_->alloc(bytes);
+  return scratch_.first(bytes);
+}
+
+void DpuSet::broadcast(const Target& target,
+                       std::span<const std::uint8_t> data) {
+  if (target.is_mram) {
+    run_per_rank([&](std::uint32_t r) {
+      const std::uint32_t n = dpus_on_rank(r);
+      if (n == ranks_[r]->nr_dpus()) {
+        ranks_[r]->broadcast(target.offset, data);
+      } else {
+        // Partial rank: address only the set's DPUs.
+        driver::TransferMatrix matrix;
+        matrix.direction = driver::XferDirection::kToRank;
+        auto* host = const_cast<std::uint8_t*>(data.data());
+        for (std::uint32_t local = 0; local < n; ++local) {
+          matrix.entries.push_back(
+              {local, target.offset, host, data.size()});
+        }
+        ranks_[r]->transfer(matrix);
+      }
+      ++counters_.rank_writes;
+    });
+  } else {
+    // Same value to every DPU: pack once, one message per rank.
+    auto packed = symbol_scratch(std::uint64_t{nr_dpus_} * data.size());
+    for (std::uint32_t dpu = 0; dpu < nr_dpus_; ++dpu) {
+      std::memcpy(packed.data() + std::uint64_t{dpu} * data.size(),
+                  data.data(), data.size());
+    }
+    run_per_rank([&](std::uint32_t r) {
+      std::uint32_t base = 0;
+      for (std::uint32_t i = 0; i < r; ++i) base += ranks_[i]->nr_dpus();
+      const std::uint32_t n = dpus_on_rank(r);
+      ranks_[r]->push_symbols(
+          driver::XferDirection::kToRank, target.name,
+          static_cast<std::uint32_t>(target.offset),
+          packed.subspan(std::uint64_t{base} * data.size(),
+                         std::uint64_t{n} * data.size()),
+          static_cast<std::uint32_t>(data.size()));
+      ++counters_.ci_ops;
+    });
+  }
+}
+
+void DpuSet::copy_to(std::uint32_t dpu, const Target& target,
+                     std::span<const std::uint8_t> data) {
+  const DpuRef d = ref(dpu);
+  if (target.is_mram) {
+    driver::TransferMatrix matrix;
+    matrix.direction = driver::XferDirection::kToRank;
+    matrix.entries.push_back({d.local, target.offset,
+                              const_cast<std::uint8_t*>(data.data()),
+                              data.size()});
+    ranks_[d.rank]->transfer(matrix);
+    ++counters_.rank_writes;
+  } else {
+    ranks_[d.rank]->copy_to_symbol(
+        d.local, target.name, static_cast<std::uint32_t>(target.offset),
+        data);
+    ++counters_.ci_ops;
+  }
+}
+
+void DpuSet::copy_from(std::uint32_t dpu, const Target& target,
+                       std::span<std::uint8_t> out) {
+  const DpuRef d = ref(dpu);
+  if (target.is_mram) {
+    driver::TransferMatrix matrix;
+    matrix.direction = driver::XferDirection::kFromRank;
+    matrix.entries.push_back(
+        {d.local, target.offset, out.data(), out.size()});
+    ranks_[d.rank]->transfer(matrix);
+    ++counters_.rank_reads;
+  } else {
+    ranks_[d.rank]->copy_from_symbol(
+        d.local, target.name, static_cast<std::uint32_t>(target.offset),
+        out);
+    ++counters_.ci_ops;
+  }
+}
+
+void DpuSet::launch(std::optional<std::uint32_t> nr_tasklets) {
+  run_per_rank([&](std::uint32_t r) {
+    const std::uint32_t n = dpus_on_rank(r);
+    const std::uint64_t mask =
+        n == 64 ? ~0ULL : ((1ULL << n) - 1);
+    ranks_[r]->launch(mask, nr_tasklets);
+    ++counters_.ci_ops;
+    // dpu_sync: poll run status until the launch drains.
+    while (true) {
+      ++counters_.ci_ops;
+      if (ranks_[r]->running_mask() == 0) break;
+      platform_->clock().advance(platform_->poll_period_ns);
+    }
+  });
+}
+
+void DpuSet::free() { ranks_.clear(); }
+
+}  // namespace vpim::sdk

@@ -1,0 +1,121 @@
+// UPMEM SDK host API equivalent (paper §2, Fig 2a).
+//
+// Mirrors the dpu_alloc / dpu_load / dpu_prepare_xfer / dpu_push_xfer /
+// dpu_launch / dpu_copy_from workflow. Allocation is at rank granularity
+// (§3.3): asking for N DPUs books ceil(N / dpus_per_rank) ranks and uses
+// the first N DPUs.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/breakdown.h"
+#include "sdk/platform.h"
+
+namespace vpim::sdk {
+
+// Transfer target: the bulk MRAM heap (rank operations) or a named WRAM
+// variable (control-interface operations), as in the real SDK.
+struct Target {
+  // MRAM heap at `offset` — equivalent to DPU_MRAM_HEAP_POINTER_NAME.
+  static Target mram(std::uint64_t offset) { return {true, {}, offset}; }
+  // WRAM symbol `name` at `offset` within the symbol.
+  static Target symbol(std::string name, std::uint32_t offset = 0) {
+    return {false, std::move(name), offset};
+  }
+
+  bool is_mram = true;
+  std::string name;
+  std::uint64_t offset = 0;
+};
+
+// SDK-level operation counters (one count per device call; multi-rank
+// calls count once per rank touched).
+struct OpCounters {
+  std::uint64_t ci_ops = 0;       // loads, launches, status polls, symbols
+  std::uint64_t rank_writes = 0;  // write-to-rank operations
+  std::uint64_t rank_reads = 0;   // read-from-rank operations
+};
+
+class DpuSet {
+ public:
+  // dpu_alloc(): books enough ranks for `nr_dpus` and distributes the set
+  // across them. Throws if the environment cannot provide the ranks.
+  static DpuSet allocate(Platform& platform, std::uint32_t nr_dpus);
+
+  std::uint32_t nr_dpus() const { return nr_dpus_; }
+  std::uint32_t nr_ranks() const {
+    return static_cast<std::uint32_t>(ranks_.size());
+  }
+  Platform& platform() { return *platform_; }
+
+  // dpu_load(): loads a registered kernel on every rank of the set.
+  void load(std::string_view kernel_name);
+
+  // dpu_prepare_xfer(): stages `buffer` for DPU `dpu`.
+  void prepare_xfer(std::uint32_t dpu, std::uint8_t* buffer);
+
+  // dpu_push_xfer(): moves `bytes_per_dpu` bytes between each prepared
+  // buffer and `target` on the corresponding DPU, as one parallel
+  // operation per rank (ranks proceed concurrently).
+  void push_xfer(driver::XferDirection dir, const Target& target,
+                 std::uint64_t bytes_per_dpu);
+  // Variant with a per-DPU size (sparse workloads).
+  void push_xfer(driver::XferDirection dir, const Target& target,
+                 std::span<const std::uint64_t> bytes_per_dpu);
+
+  // dpu_broadcast_to(): same buffer to every DPU of the set.
+  void broadcast(const Target& target, std::span<const std::uint8_t> data);
+
+  // dpu_copy_to / dpu_copy_from: serial single-DPU transfer.
+  void copy_to(std::uint32_t dpu, const Target& target,
+               std::span<const std::uint8_t> data);
+  void copy_from(std::uint32_t dpu, const Target& target,
+                 std::span<std::uint8_t> out);
+
+  // dpu_launch(DPU_SYNCHRONOUS): starts the loaded kernel on every DPU of
+  // the set and polls run status until completion.
+  void launch(std::optional<std::uint32_t> nr_tasklets = std::nullopt);
+
+  // Releases the ranks (dpu_free); also run by the destructor.
+  void free();
+
+  const OpCounters& counters() const { return counters_; }
+
+  DpuSet(DpuSet&&) = default;
+  DpuSet& operator=(DpuSet&&) = default;
+
+ private:
+  DpuSet(Platform& platform, std::uint32_t nr_dpus,
+         std::vector<std::unique_ptr<RankDevice>> ranks);
+
+  struct DpuRef {
+    std::uint32_t rank;   // index into ranks_
+    std::uint32_t local;  // DPU index within the rank
+  };
+  DpuRef ref(std::uint32_t dpu) const;
+  // DPUs of the set living on rank `r`.
+  std::uint32_t dpus_on_rank(std::uint32_t r) const;
+
+  void run_per_rank(
+      const std::function<void(std::uint32_t rank_index)>& body);
+
+  // Packing scratch for parallel symbol pushes (platform memory, so the
+  // virtualized path can reference it zero-copy).
+  std::span<std::uint8_t> symbol_scratch(std::uint64_t bytes);
+
+  Platform* platform_;
+  std::uint32_t nr_dpus_;
+  std::vector<std::unique_ptr<RankDevice>> ranks_;
+  std::vector<std::uint8_t*> prepared_;
+  std::span<std::uint8_t> scratch_;
+  OpCounters counters_;
+};
+
+}  // namespace vpim::sdk

@@ -1,0 +1,34 @@
+// Native (non-virtualized) execution environment: the SDK binds rank
+// devices straight to performance-mode mappings, exactly how the paper runs
+// its "native" baseline (§5.1, "the native is run in performance mode").
+#pragma once
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "driver/driver.h"
+#include "sdk/platform.h"
+
+namespace vpim::sdk {
+
+class NativePlatform : public Platform {
+ public:
+  NativePlatform(driver::UpmemDriver& drv, std::string app_name);
+
+  std::vector<std::unique_ptr<RankDevice>> alloc_ranks(
+      std::uint32_t nr_ranks) override;
+  std::span<std::uint8_t> alloc(std::size_t bytes) override;
+  SimClock& clock() override { return drv_.machine().clock(); }
+  const CostModel& cost() const override { return drv_.machine().cost(); }
+
+  driver::UpmemDriver& drv() { return drv_; }
+
+ private:
+  driver::UpmemDriver& drv_;
+  std::string app_name_;
+  std::deque<std::vector<std::uint8_t>> arena_;
+};
+
+}  // namespace vpim::sdk

@@ -1,0 +1,39 @@
+// Execution environment an application runs in: the bare host (native
+// UPMEM) or a guest VM (vUPMEM). Provides rank allocation, application
+// buffer memory (so the virtualized path can resolve buffers to guest
+// physical pages), and the virtual clock.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/sim_clock.h"
+#include "sdk/rank_device.h"
+
+namespace vpim::sdk {
+
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  // Allocates `nr_ranks` rank devices. Throws VpimError if the environment
+  // cannot satisfy the request (e.g. manager timeout after retries).
+  virtual std::vector<std::unique_ptr<RankDevice>> alloc_ranks(
+      std::uint32_t nr_ranks) = 0;
+
+  // Application data buffer (host heap natively; guest RAM inside a VM).
+  virtual std::span<std::uint8_t> alloc(std::size_t bytes) = 0;
+
+  virtual SimClock& clock() = 0;
+  virtual const CostModel& cost() const = 0;
+
+  // How often the SDK polls DPU run status while waiting for a launch.
+  // Together with the per-poll CI cost this produces the paper's 8k-28k
+  // CI operations per checksum run (§5.3.1).
+  SimNs poll_period_ns = 100 * kUs;
+};
+
+}  // namespace vpim::sdk

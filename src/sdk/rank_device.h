@@ -1,0 +1,54 @@
+// Device boundary the SDK drives.
+//
+// The SDK sees one RankDevice per allocated rank. Native execution binds it
+// to a performance-mode RankMapping; inside a VM it binds to a vUPMEM
+// frontend device file (safe mode). PrIM applications are written against
+// the SDK only, so they run unmodified in both environments — the paper's
+// transparency requirement R3.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string_view>
+
+#include "common/units.h"
+#include "driver/xfer.h"
+
+namespace vpim::sdk {
+
+class RankDevice {
+ public:
+  virtual ~RankDevice() = default;
+
+  virtual std::uint32_t nr_dpus() = 0;
+
+  // Program management + launch (control-interface class operations).
+  virtual void load(std::string_view kernel_name) = 0;
+  virtual void launch(std::uint64_t dpu_mask,
+                      std::optional<std::uint32_t> nr_tasklets) = 0;
+  virtual std::uint64_t running_mask() = 0;
+
+  // Bulk MRAM transfers (rank-operation class).
+  virtual void transfer(const driver::TransferMatrix& matrix) = 0;
+  virtual void broadcast(std::uint64_t mram_offset,
+                         std::span<const std::uint8_t> data) = 0;
+
+  // Small per-DPU WRAM variable access (control-interface class).
+  virtual void copy_to_symbol(std::uint32_t dpu, std::string_view symbol,
+                              std::uint32_t offset,
+                              std::span<const std::uint8_t> data) = 0;
+  virtual void copy_from_symbol(std::uint32_t dpu, std::string_view symbol,
+                                std::uint32_t offset,
+                                std::span<std::uint8_t> out) = 0;
+  // Parallel per-DPU WRAM variable transfer: `packed` holds nr_dpus
+  // consecutive values of `bytes_per_dpu` each. One SDK call — and one
+  // vPIM message — covers the whole rank, like dpu_push_xfer on a host
+  // variable.
+  virtual void push_symbols(driver::XferDirection dir,
+                            std::string_view symbol, std::uint32_t offset,
+                            std::span<std::uint8_t> packed,
+                            std::uint32_t bytes_per_dpu) = 0;
+};
+
+}  // namespace vpim::sdk

@@ -1,0 +1,64 @@
+// One DRAM Processing Unit: 64 MiB MRAM bank, 64 KiB WRAM, 24 KiB IRAM,
+// up to 24 tasklets (§2, Fig 1).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/units.h"
+#include "upmem/kernel.h"
+#include "upmem/layout.h"
+#include "upmem/mram.h"
+
+namespace vpim::upmem {
+
+class Dpu {
+ public:
+  MramBank& mram() { return mram_; }
+  const MramBank& mram() const { return mram_; }
+
+  // Loads a registered kernel ("binary") into IRAM and lays out its
+  // host-visible WRAM symbols.
+  void load(const DpuKernel& kernel);
+  bool loaded() const { return kernel_ != nullptr; }
+  std::string_view loaded_kernel_name() const;
+
+  // Runs the loaded kernel with `nr_tasklets` tasklets and returns the
+  // modeled execution duration. The computation happens eagerly; callers
+  // model asynchrony by deferring visibility until the finish time.
+  SimNs run(std::uint32_t nr_tasklets, const CostModel& cost);
+
+  // Host access to a WRAM symbol (control-interface path).
+  std::span<std::uint8_t> symbol_bytes(std::string_view name);
+
+  // WRAM left for the tasklet heap after symbol storage.
+  std::uint32_t wram_heap_size() const { return wram_heap_size_; }
+
+  // Adopts another DPU's full state: MRAM content (copy-on-write), the
+  // loaded binary, and WRAM symbol values. Used by rank migration.
+  void clone_from(const Dpu& other);
+
+  // Snapshot plumbing (Rank::save_snapshot / load_snapshot).
+  const std::map<std::string, std::vector<std::uint8_t>, std::less<>>&
+  symbols() const {
+    return symbols_;
+  }
+  void restore_symbols(
+      std::map<std::string, std::vector<std::uint8_t>> symbols);
+
+  // Fully clears DPU state (rank reset).
+  void reset();
+
+ private:
+  MramBank mram_;
+  const DpuKernel* kernel_ = nullptr;
+  std::map<std::string, std::vector<std::uint8_t>, std::less<>> symbols_;
+  std::uint32_t wram_heap_size_ = kWramSize;
+};
+
+}  // namespace vpim::upmem

@@ -1,0 +1,34 @@
+// Byte-interleave kernels for the rank DDR data path.
+//
+// On real UPMEM hardware each 8-byte word of DPU-linear data is striped one
+// byte per chip across the 8 chips of a rank, so host-side transfers must
+// (de)interleave every buffer. The paper found the implementation of this
+// transform to be performance-critical and rewrote it from Rust/AVX2 to
+// C/AVX512 (§4.2, up to 343% faster). We keep both shapes:
+//
+//   - *_naive: byte-at-a-time loop (the slow-path stand-in);
+//   - *_wide : 8x8 byte matrix transpose on 64-bit words (the fast path).
+//
+// Both are bit-exact inverses of each other and are property-tested against
+// each other; the cost model charges their calibrated bandwidths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+namespace vpim::upmem {
+
+// dst[chip * (n/8) + word] = src[word * 8 + chip]; n must be a multiple of
+// 64 for the wide kernel's main loop, arbitrary sizes fall back to the tail
+// loop. dst and src must not alias and must both hold n bytes.
+void interleave_naive(std::span<const std::uint8_t> src,
+                      std::span<std::uint8_t> dst);
+void deinterleave_naive(std::span<const std::uint8_t> src,
+                        std::span<std::uint8_t> dst);
+
+void interleave_wide(std::span<const std::uint8_t> src,
+                     std::span<std::uint8_t> dst);
+void deinterleave_wide(std::span<const std::uint8_t> src,
+                       std::span<std::uint8_t> dst);
+
+}  // namespace vpim::upmem

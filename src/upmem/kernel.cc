@@ -1,0 +1,102 @@
+#include "upmem/kernel.h"
+
+#include <algorithm>
+
+#include "upmem/dpu.h"
+
+namespace vpim::upmem {
+
+namespace {
+// Fixed setup cost of one MRAM DMA transfer, in DPU cycles. Real hardware
+// pays a roughly constant engine-programming cost per transfer on top of
+// the streaming time.
+constexpr std::uint64_t kDmaFixedCycles = 64;
+}  // namespace
+
+DpuCtx::DpuCtx(Dpu& dpu, std::uint32_t nr_tasklets, const CostModel& cost)
+    : dpu_(dpu), nr_tasklets_(nr_tasklets), cost_(cost), instr_(nr_tasklets) {
+  VPIM_CHECK(nr_tasklets >= 1 && nr_tasklets <= kMaxTasklets,
+             "tasklet count out of range");
+}
+
+std::span<std::uint8_t> DpuCtx::mem_alloc(std::uint32_t bytes) {
+  VPIM_CHECK(heap_used_ + bytes <= dpu_.wram_heap_size(),
+             "WRAM heap exhausted");
+  heap_used_ += bytes;
+  allocations_.emplace_back(bytes, 0);
+  return {allocations_.back().data(), allocations_.back().size()};
+}
+
+void DpuCtx::mram_read(std::uint64_t mram_addr,
+                       std::span<std::uint8_t> wram_buf) {
+  VPIM_CHECK(wram_buf.size() <= kWramSize, "DMA larger than WRAM");
+  dpu_.mram().read(mram_addr, wram_buf);
+  const double cycles_per_byte = cost_.dpu_hz / (cost_.mram_dma_gbps * 1e9);
+  instr_[tasklet_] +=
+      kDmaFixedCycles +
+      static_cast<std::uint64_t>(cycles_per_byte *
+                                 static_cast<double>(wram_buf.size()));
+}
+
+void DpuCtx::mram_write(std::span<const std::uint8_t> wram_buf,
+                        std::uint64_t mram_addr) {
+  VPIM_CHECK(wram_buf.size() <= kWramSize, "DMA larger than WRAM");
+  dpu_.mram().write(mram_addr, wram_buf);
+  const double cycles_per_byte = cost_.dpu_hz / (cost_.mram_dma_gbps * 1e9);
+  instr_[tasklet_] +=
+      kDmaFixedCycles +
+      static_cast<std::uint64_t>(cycles_per_byte *
+                                 static_cast<double>(wram_buf.size()));
+}
+
+std::span<std::uint8_t> DpuCtx::symbol_bytes(std::string_view name) {
+  return dpu_.symbol_bytes(name);
+}
+
+void DpuCtx::begin_stage() {
+  std::fill(instr_.begin(), instr_.end(), 0);
+  // Stage-local WRAM buffers are released at the barrier: kernels declare
+  // them as per-stage statics on real hardware. Cross-stage communication
+  // goes through symbols or MRAM.
+  heap_used_ = 0;
+  allocations_.clear();
+}
+
+std::uint64_t DpuCtx::stage_cycles() const {
+  std::uint64_t sum = 0;
+  std::uint64_t mx = 0;
+  for (std::uint64_t c : instr_) {
+    sum += c;
+    mx = std::max(mx, c);
+  }
+  // One instruction retires per cycle when the pipeline is full; with fewer
+  // than kPipelineDepth busy tasklets, each tasklet's instructions are
+  // spaced kPipelineDepth cycles apart and the slowest tasklet bounds the
+  // stage (§2 hardware constraint).
+  return std::max(sum, kPipelineDepth * mx);
+}
+
+KernelRegistry& KernelRegistry::instance() {
+  static KernelRegistry registry;
+  return registry;
+}
+
+void KernelRegistry::add(DpuKernel kernel) {
+  VPIM_CHECK(!kernel.name.empty(), "kernel needs a name");
+  VPIM_CHECK(kernel.iram_bytes <= kIramSize, "kernel does not fit in IRAM");
+  VPIM_CHECK(!kernel.stages.empty(), "kernel needs at least one stage");
+  kernels_.insert_or_assign(kernel.name, std::move(kernel));
+}
+
+const DpuKernel& KernelRegistry::get(std::string_view name) const {
+  auto it = kernels_.find(name);
+  VPIM_CHECK(it != kernels_.end(),
+             "unknown DPU binary: " + std::string(name));
+  return it->second;
+}
+
+bool KernelRegistry::contains(std::string_view name) const {
+  return kernels_.contains(name);
+}
+
+}  // namespace vpim::upmem

@@ -1,0 +1,119 @@
+// DPU-side programming model.
+//
+// Real UPMEM DPU programs are separate binaries compiled for the DPU ISA and
+// loaded into IRAM. In this simulator a "binary" is a named DpuKernel: a
+// sequence of *stages*, each executed by every tasklet (SPMD). A stage
+// boundary is an implicit barrier, which is how UPMEM kernels use
+// barrier_wait in practice (init stage / compute stage / reduce stage).
+//
+// Kernels do real computation against real MRAM/WRAM contents and charge
+// DPU cycles through DpuCtx, so both results and DPU-segment timing are
+// meaningful. The cycle model follows the §2 pipeline constraint: one
+// instruction issued per cycle overall, and consecutive instructions of one
+// tasklet at least kPipelineDepth cycles apart.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/error.h"
+#include "upmem/layout.h"
+
+namespace vpim::upmem {
+
+class Dpu;
+
+// Where a host-visible symbol lives. WRAM symbols are small variables
+// accessed through the control interface; the MRAM heap is the bulk data
+// region targeted by rank read/write operations.
+enum class SymbolLocation : std::uint8_t { kWram, kMram };
+
+struct SymbolDecl {
+  std::string name;
+  std::uint32_t size = 0;  // bytes (WRAM symbols only)
+};
+
+// Name of the implicit MRAM heap symbol, mirroring the SDK's
+// DPU_MRAM_HEAP_POINTER_NAME.
+inline constexpr std::string_view kMramHeapSymbol = "__sys_used_mram_end";
+
+// Execution context handed to each tasklet.
+class DpuCtx {
+ public:
+  DpuCtx(Dpu& dpu, std::uint32_t nr_tasklets, const CostModel& cost);
+
+  std::uint32_t me() const { return tasklet_; }
+  std::uint32_t nr_tasklets() const { return nr_tasklets_; }
+
+  // Bump allocation from the shared 64 KiB WRAM heap (mem_alloc in the
+  // SDK). Reset between launches. Throws if WRAM is exhausted.
+  std::span<std::uint8_t> mem_alloc(std::uint32_t bytes);
+
+  // MRAM <-> WRAM DMA; charges DMA cycles to the calling tasklet.
+  void mram_read(std::uint64_t mram_addr, std::span<std::uint8_t> wram_buf);
+  void mram_write(std::span<const std::uint8_t> wram_buf,
+                  std::uint64_t mram_addr);
+
+  // Typed access to a host-visible WRAM symbol. Tasklets of one DPU share
+  // symbol storage, like UPMEM __host variables.
+  template <typename T>
+  T& var(std::string_view name, std::uint32_t index = 0) {
+    auto bytes = symbol_bytes(name);
+    VPIM_CHECK((index + 1) * sizeof(T) <= bytes.size(),
+               "symbol access out of bounds");
+    return *reinterpret_cast<T*>(bytes.data() + index * sizeof(T));
+  }
+
+  std::span<std::uint8_t> symbol_bytes(std::string_view name);
+
+  // Charges `instructions` pipeline instructions to the calling tasklet.
+  // Kernels call this alongside their real C++ computation so the DPU
+  // segment time scales with the work done.
+  void exec(std::uint64_t instructions) { instr_[tasklet_] += instructions; }
+
+  // --- used by Dpu::run ----------------------------------------------
+  void begin_stage();
+  void set_tasklet(std::uint32_t t) { tasklet_ = t; }
+  // Stage duration in cycles under the pipeline model.
+  std::uint64_t stage_cycles() const;
+
+ private:
+  Dpu& dpu_;
+  std::uint32_t nr_tasklets_;
+  const CostModel& cost_;
+  std::uint32_t tasklet_ = 0;
+  std::uint32_t heap_used_ = 0;
+  std::vector<std::uint64_t> instr_;  // per-tasklet issued instructions
+  std::vector<std::vector<std::uint8_t>> allocations_;
+};
+
+using StageFn = std::function<void(DpuCtx&)>;
+
+struct DpuKernel {
+  std::string name;
+  std::vector<SymbolDecl> symbols;   // WRAM symbols
+  std::vector<StageFn> stages;       // implicit barrier between stages
+  std::uint32_t iram_bytes = 4096;   // modeled binary size (must fit IRAM)
+};
+
+// Global registry standing in for on-disk DPU binaries: dpu_load() resolves
+// the binary path to a registered kernel by name.
+class KernelRegistry {
+ public:
+  static KernelRegistry& instance();
+
+  void add(DpuKernel kernel);
+  const DpuKernel& get(std::string_view name) const;
+  bool contains(std::string_view name) const;
+
+ private:
+  std::map<std::string, DpuKernel, std::less<>> kernels_;
+};
+
+}  // namespace vpim::upmem

@@ -1,0 +1,30 @@
+// Fixed UPMEM hardware geometry (paper §2, Fig 1).
+#pragma once
+
+#include <cstdint>
+
+#include "common/units.h"
+
+namespace vpim::upmem {
+
+inline constexpr std::uint64_t kMramSize = 64 * kMiB;  // per-DPU MRAM bank
+inline constexpr std::uint64_t kWramSize = 64 * kKiB;  // per-DPU working RAM
+inline constexpr std::uint64_t kIramSize = 24 * kKiB;  // per-DPU instr. RAM
+
+inline constexpr std::uint32_t kDpusPerChip = 8;
+inline constexpr std::uint32_t kChipsPerRank = 8;
+inline constexpr std::uint32_t kDpuSlotsPerRank = kDpusPerChip * kChipsPerRank;
+
+inline constexpr std::uint32_t kMaxTasklets = 24;
+// Hardware pipeline constraint: two consecutive instructions of one thread
+// must be >= 11 cycles apart, so >= 11 tasklets are needed to keep the
+// pipeline fully utilized (§2).
+inline constexpr std::uint32_t kPipelineDepth = 11;
+
+// Rank operations move at most 4 GiB per operation (§3.1).
+inline constexpr std::uint64_t kMaxXferBytes = 4 * kGiB;
+
+inline constexpr std::uint64_t kMramPageSize = 4 * kKiB;
+inline constexpr std::uint64_t kMramPages = kMramSize / kMramPageSize;
+
+}  // namespace vpim::upmem

@@ -1,0 +1,29 @@
+#include "upmem/machine.h"
+
+#include "common/error.h"
+
+namespace vpim::upmem {
+
+PimMachine::PimMachine(const MachineConfig& config, SimClock& clock,
+                       const CostModel& cost)
+    : clock_(clock), cost_(cost) {
+  VPIM_CHECK(config.nr_ranks >= 1, "machine needs at least one rank");
+  ranks_.reserve(config.nr_ranks);
+  for (std::uint32_t i = 0; i < config.nr_ranks; ++i) {
+    ranks_.push_back(std::make_unique<Rank>(
+        i, config.functional_dpus_per_rank, clock, cost));
+  }
+}
+
+Rank& PimMachine::rank(std::uint32_t i) {
+  VPIM_CHECK(i < ranks_.size(), "rank index out of range");
+  return *ranks_[i];
+}
+
+std::uint32_t PimMachine::total_dpus() const {
+  std::uint32_t total = 0;
+  for (const auto& rank : ranks_) total += rank->nr_dpus();
+  return total;
+}
+
+}  // namespace vpim::upmem

@@ -1,0 +1,41 @@
+// A host machine with UPMEM DIMMs. The default configuration mirrors the
+// paper's testbed (§5.1): 8 ranks, 60 functional DPUs each = 480 DPUs at
+// 350 MHz.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/sim_clock.h"
+#include "upmem/rank.h"
+
+namespace vpim::upmem {
+
+struct MachineConfig {
+  std::uint32_t nr_ranks = 8;
+  std::uint32_t functional_dpus_per_rank = 60;
+};
+
+class PimMachine {
+ public:
+  PimMachine(const MachineConfig& config, SimClock& clock,
+             const CostModel& cost);
+
+  std::uint32_t nr_ranks() const {
+    return static_cast<std::uint32_t>(ranks_.size());
+  }
+  Rank& rank(std::uint32_t i);
+  std::uint32_t total_dpus() const;
+
+  SimClock& clock() { return clock_; }
+  const CostModel& cost() const { return cost_; }
+
+ private:
+  SimClock& clock_;
+  const CostModel& cost_;
+  std::vector<std::unique_ptr<Rank>> ranks_;
+};
+
+}  // namespace vpim::upmem

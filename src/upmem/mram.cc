@@ -1,0 +1,123 @@
+#include "upmem/mram.h"
+
+#include <cstring>
+
+#include "common/error.h"
+
+namespace vpim::upmem {
+
+namespace {
+void check_range(std::uint64_t offset, std::uint64_t size) {
+  VPIM_CHECK(offset <= kMramSize && size <= kMramSize - offset,
+             "MRAM access out of bounds");
+}
+}  // namespace
+
+void MramBank::read(std::uint64_t offset, std::span<std::uint8_t> out) const {
+  check_range(offset, out.size());
+  std::uint64_t remaining = out.size();
+  std::uint64_t src = offset;
+  std::uint8_t* dst = out.data();
+  while (remaining > 0) {
+    const std::uint64_t page = src / kMramPageSize;
+    const std::uint64_t in_page = src % kMramPageSize;
+    const std::uint64_t n = std::min(remaining, kMramPageSize - in_page);
+    if (pages_[page]) {
+      std::memcpy(dst, pages_[page]->bytes.data() + in_page, n);
+    } else {
+      std::memset(dst, 0, n);
+    }
+    src += n;
+    dst += n;
+    remaining -= n;
+  }
+}
+
+void MramBank::write(std::uint64_t offset, std::span<const std::uint8_t> in) {
+  check_range(offset, in.size());
+  std::uint64_t remaining = in.size();
+  std::uint64_t dst = offset;
+  const std::uint8_t* src = in.data();
+  while (remaining > 0) {
+    const std::uint64_t page = dst / kMramPageSize;
+    const std::uint64_t in_page = dst % kMramPageSize;
+    const std::uint64_t n = std::min(remaining, kMramPageSize - in_page);
+    std::memcpy(page_for_write(page).bytes.data() + in_page, src, n);
+    dst += n;
+    src += n;
+    remaining -= n;
+  }
+}
+
+void MramBank::adopt_pages(std::uint64_t offset,
+                           std::span<const MramPageRef> pages) {
+  VPIM_CHECK(offset % kMramPageSize == 0,
+             "shared-page adoption requires page alignment");
+  const std::uint64_t first = offset / kMramPageSize;
+  VPIM_CHECK(first + pages.size() <= kMramPages,
+             "shared-page adoption out of bounds");
+  for (std::size_t i = 0; i < pages.size(); ++i) {
+    pages_[first + i] = pages[i];
+  }
+}
+
+std::vector<MramPageRef> MramBank::build_pages(
+    std::span<const std::uint8_t> data) {
+  std::vector<MramPageRef> pages;
+  pages.reserve((data.size() + kMramPageSize - 1) / kMramPageSize);
+  for (std::size_t off = 0; off < data.size(); off += kMramPageSize) {
+    auto page = std::make_shared<MramPage>();
+    const std::size_t n = std::min<std::size_t>(kMramPageSize,
+                                                data.size() - off);
+    std::memcpy(page->bytes.data(), data.data() + off, n);
+    if (n < kMramPageSize) {
+      std::memset(page->bytes.data() + n, 0, kMramPageSize - n);
+    }
+    pages.push_back(std::move(page));
+  }
+  return pages;
+}
+
+void MramBank::clear() {
+  for (auto& page : pages_) page.reset();
+}
+
+std::vector<std::pair<std::uint32_t, MramPageRef>> MramBank::export_pages()
+    const {
+  std::vector<std::pair<std::uint32_t, MramPageRef>> out;
+  for (std::uint32_t i = 0; i < pages_.size(); ++i) {
+    if (pages_[i]) out.emplace_back(i, pages_[i]);
+  }
+  return out;
+}
+
+void MramBank::import_pages(
+    const std::vector<std::pair<std::uint32_t, MramPageRef>>& pages) {
+  clear();
+  for (const auto& [index, page] : pages) {
+    VPIM_CHECK(index < kMramPages, "imported page out of bounds");
+    pages_[index] = page;
+  }
+}
+
+std::size_t MramBank::resident_pages() const {
+  std::size_t n = 0;
+  for (const auto& page : pages_) {
+    if (page) ++n;
+  }
+  return n;
+}
+
+MramPage& MramBank::page_for_write(std::uint64_t page_index) {
+  MramPageRef& ref = pages_[page_index];
+  if (!ref) {
+    ref = std::make_shared<MramPage>();
+    std::memset(ref->bytes.data(), 0, kMramPageSize);
+  } else if (ref.use_count() > 1) {
+    // Copy-on-write: this page is shared with another bank (broadcast).
+    ref = std::make_shared<MramPage>(*ref);
+  }
+  return *ref;
+}
+
+}  // namespace vpim::upmem

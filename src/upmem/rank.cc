@@ -1,0 +1,140 @@
+#include "upmem/rank.h"
+
+#include "common/error.h"
+
+namespace vpim::upmem {
+
+Rank::Rank(std::uint32_t index, std::uint32_t functional_dpus,
+           const SimClock& clock, const CostModel& cost)
+    : index_(index),
+      clock_(clock),
+      cost_(cost),
+      dpus_(functional_dpus),
+      finish_time_(functional_dpus, 0) {
+  VPIM_CHECK(functional_dpus >= 1 && functional_dpus <= kDpuSlotsPerRank,
+             "rank DPU count out of range");
+}
+
+Dpu& Rank::dpu(std::uint32_t i) {
+  VPIM_CHECK(i < dpus_.size(), "DPU index out of range");
+  return dpus_[i];
+}
+
+const Dpu& Rank::dpu(std::uint32_t i) const {
+  VPIM_CHECK(i < dpus_.size(), "DPU index out of range");
+  return dpus_[i];
+}
+
+void Rank::ci_load(std::string_view kernel_name) {
+  VPIM_CHECK(!ci_any_running(), "loading a binary while DPUs are running");
+  const DpuKernel& kernel = KernelRegistry::instance().get(kernel_name);
+  for (Dpu& dpu : dpus_) dpu.load(kernel);
+}
+
+void Rank::ci_launch(std::uint64_t dpu_mask,
+                     std::optional<std::uint32_t> nr_tasklets) {
+  VPIM_CHECK(!ci_any_running(), "launch while DPUs are still running");
+  VPIM_CHECK((dpu_mask & ~all_dpus_mask()) == 0,
+             "launch mask targets defective/absent DPUs");
+  const SimNs start = clock_.now();
+  for (std::uint32_t i = 0; i < dpus_.size(); ++i) {
+    if ((dpu_mask >> i) & 1) {
+      const std::uint32_t tasklets = nr_tasklets.value_or(16);
+      finish_time_[i] = start + dpus_[i].run(tasklets, cost_);
+      busy_until_ = std::max(busy_until_, finish_time_[i]);
+    }
+  }
+}
+
+std::uint64_t Rank::ci_running_mask() const {
+  std::uint64_t mask = 0;
+  const SimNs now = clock_.now();
+  for (std::uint32_t i = 0; i < dpus_.size(); ++i) {
+    if (finish_time_[i] > now) mask |= (1ULL << i);
+  }
+  return mask;
+}
+
+void Rank::ci_copy_to_symbol(std::uint32_t dpu, std::string_view symbol,
+                             std::uint32_t offset,
+                             std::span<const std::uint8_t> data) {
+  check_not_running(dpu);
+  auto bytes = this->dpu(dpu).symbol_bytes(symbol);
+  VPIM_CHECK(offset + data.size() <= bytes.size(),
+             "symbol write out of bounds");
+  std::copy(data.begin(), data.end(), bytes.begin() + offset);
+}
+
+void Rank::ci_copy_from_symbol(std::uint32_t dpu, std::string_view symbol,
+                               std::uint32_t offset,
+                               std::span<std::uint8_t> out) {
+  check_not_running(dpu);
+  auto bytes = this->dpu(dpu).symbol_bytes(symbol);
+  VPIM_CHECK(offset + out.size() <= bytes.size(),
+             "symbol read out of bounds");
+  std::copy(bytes.begin() + offset, bytes.begin() + offset + out.size(),
+            out.begin());
+}
+
+MramBank& Rank::mram(std::uint32_t dpu) {
+  check_not_running(dpu);
+  return this->dpu(dpu).mram();
+}
+
+void Rank::clone_state_from(const Rank& other) {
+  VPIM_CHECK(!ci_any_running(), "migration target is running");
+  VPIM_CHECK(other.ci_running_mask() == 0, "migration source is running");
+  VPIM_CHECK(other.nr_dpus() <= nr_dpus(),
+             "migration target has fewer DPUs than the source");
+  for (std::uint32_t i = 0; i < other.nr_dpus(); ++i) {
+    dpus_[i].clone_from(other.dpus_[i]);
+  }
+}
+
+Rank::Snapshot Rank::save_snapshot() const {
+  VPIM_CHECK(!ci_any_running(), "snapshot of a running rank");
+  Snapshot snap;
+  snap.dpus.reserve(dpus_.size());
+  for (const Dpu& dpu : dpus_) {
+    Snapshot::DpuImage image;
+    image.kernel = std::string(dpu.loaded_kernel_name());
+    for (const auto& [name, bytes] : dpu.symbols()) {
+      image.symbols.emplace(name, bytes);
+    }
+    image.pages = dpu.mram().export_pages();
+    snap.dpus.push_back(std::move(image));
+  }
+  return snap;
+}
+
+void Rank::load_snapshot(const Snapshot& snapshot) {
+  VPIM_CHECK(!ci_any_running(), "restore into a running rank");
+  VPIM_CHECK(snapshot.dpus.size() <= dpus_.size(),
+             "snapshot has more DPUs than the target rank");
+  for (std::uint32_t i = 0; i < snapshot.dpus.size(); ++i) {
+    const Snapshot::DpuImage& image = snapshot.dpus[i];
+    Dpu& dpu = dpus_[i];
+    dpu.reset();
+    if (!image.kernel.empty()) {
+      dpu.load(KernelRegistry::instance().get(image.kernel));
+      // Restore the symbol *values* over the freshly laid-out storage.
+      std::map<std::string, std::vector<std::uint8_t>> symbols(
+          image.symbols.begin(), image.symbols.end());
+      dpu.restore_symbols(std::move(symbols));
+    }
+    dpu.mram().import_pages(image.pages);
+  }
+}
+
+void Rank::reset_memory() {
+  VPIM_CHECK(!ci_any_running(), "reset while DPUs are running");
+  for (Dpu& dpu : dpus_) dpu.reset();
+}
+
+void Rank::check_not_running(std::uint32_t dpu) const {
+  VPIM_CHECK(dpu < dpus_.size(), "DPU index out of range");
+  VPIM_CHECK(finish_time_[dpu] <= clock_.now(),
+             "host access to a running DPU");
+}
+
+}  // namespace vpim::upmem

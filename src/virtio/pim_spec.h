@@ -1,0 +1,46 @@
+// Constants of the paper's virtio PIM device specification (Appendix A.1).
+#pragma once
+
+#include <cstdint>
+
+namespace vpim::virtio {
+
+// "The virtio PIM device is assigned ... the virtio device ID 42."
+inline constexpr std::uint32_t kVirtioPimDeviceId = 42;
+
+// Two queues: transferq carries data and commands, controlq handles
+// manager synchronization.
+inline constexpr std::uint16_t kTransferQueue = 0;
+inline constexpr std::uint16_t kControlQueue = 1;
+
+// "This queue has 512 slots."
+inline constexpr std::uint16_t kTransferQueueSize = 512;
+inline constexpr std::uint16_t kControlQueueSize = 64;
+
+// Serialized transfer matrix: request info + matrix metadata + 64 x
+// (per-DPU metadata buffer + per-DPU page buffer) = at most 130 buffers
+// (Fig 7).
+inline constexpr std::size_t kMaxMatrixBuffers = 130;
+
+// "The virtio PIM device supports five operations" (Appendix A.1).
+enum class PimRequestType : std::uint32_t {
+  kConfig = 0,        // requesting configuration
+  kCiWrite = 1,       // sending commands
+  kCiRead = 2,        // reading commands / status
+  kWriteToRank = 3,   // writing to the PIM device
+  kReadFromRank = 4,  // reading from the PIM device
+};
+
+// Device configuration layout the driver reads at initialization
+// (Appendix A.1: clock division, memory region size, number of control
+// interfaces, processing unit frequency, power management).
+struct PimConfigSpace {
+  std::uint32_t nr_dpus = 0;
+  std::uint32_t dpu_freq_mhz = 0;
+  std::uint32_t clock_division = 0;
+  std::uint32_t nr_control_interfaces = 0;
+  std::uint64_t mram_bytes_per_dpu = 0;
+  std::uint32_t power_state = 0;
+};
+
+}  // namespace vpim::virtio

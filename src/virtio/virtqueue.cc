@@ -1,0 +1,95 @@
+#include "virtio/virtqueue.h"
+
+namespace vpim::virtio {
+
+Virtqueue::Virtqueue(std::uint16_t size)
+    : size_(size),
+      desc_(size),
+      avail_ring_(size),
+      used_ring_(size),
+      num_free_(size) {
+  VPIM_CHECK(size > 0 && (size & (size - 1)) == 0,
+             "virtqueue size must be a power of two");
+  // Free list threaded through `next`.
+  for (std::uint16_t i = 0; i < size; ++i) {
+    desc_[i].next = static_cast<std::uint16_t>(i + 1);
+  }
+  free_head_ = 0;
+}
+
+std::uint16_t Virtqueue::alloc_desc() {
+  VPIM_CHECK(num_free_ > 0, "virtqueue descriptor table full");
+  const std::uint16_t i = free_head_;
+  free_head_ = desc_[i].next;
+  --num_free_;
+  return i;
+}
+
+void Virtqueue::free_chain(std::uint16_t head) {
+  std::uint16_t i = head;
+  while (true) {
+    const bool has_next = (desc_[i].flags & kDescFlagNext) != 0;
+    const std::uint16_t next = desc_[i].next;
+    desc_[i] = VirtqDesc{};
+    desc_[i].next = free_head_;
+    free_head_ = i;
+    ++num_free_;
+    if (!has_next) break;
+    i = next;
+  }
+}
+
+std::uint16_t Virtqueue::submit(std::span<const DescBuffer> buffers) {
+  VPIM_CHECK(!buffers.empty(), "empty descriptor chain");
+  VPIM_CHECK(buffers.size() <= num_free_,
+             "virtqueue cannot hold the chain");
+  std::uint16_t head = 0;
+  std::uint16_t prev = 0;
+  for (std::size_t k = 0; k < buffers.size(); ++k) {
+    const std::uint16_t i = alloc_desc();
+    desc_[i].addr = buffers[k].gpa;
+    desc_[i].len = buffers[k].len;
+    desc_[i].flags = buffers[k].device_writable ? kDescFlagWrite : 0;
+    if (k == 0) {
+      head = i;
+    } else {
+      desc_[prev].flags |= kDescFlagNext;
+      desc_[prev].next = i;
+    }
+    prev = i;
+  }
+  avail_ring_[avail_idx_ % size_] = head;
+  ++avail_idx_;
+  return head;
+}
+
+std::optional<DescChain> Virtqueue::pop_avail() {
+  if (avail_seen_ == avail_idx_) return std::nullopt;
+  const std::uint16_t head = avail_ring_[avail_seen_ % size_];
+  ++avail_seen_;
+  DescChain chain;
+  chain.head = head;
+  std::uint16_t i = head;
+  while (true) {
+    chain.descs.push_back(desc_[i]);
+    if ((desc_[i].flags & kDescFlagNext) == 0) break;
+    i = desc_[i].next;
+    VPIM_CHECK(chain.descs.size() <= size_, "descriptor chain loop");
+  }
+  return chain;
+}
+
+void Virtqueue::push_used(std::uint16_t head, std::uint32_t written) {
+  used_ring_[used_idx_ % size_] = {head, written};
+  ++used_idx_;
+}
+
+std::optional<UsedElem> Virtqueue::poll_used() {
+  if (used_seen_ == used_idx_) return std::nullopt;
+  const UsedElem elem = used_ring_[used_seen_ % size_];
+  ++used_seen_;
+  free_chain(static_cast<std::uint16_t>(elem.id));
+  return elem;
+}
+
+}  // namespace vpim::virtio

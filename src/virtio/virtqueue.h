@@ -1,0 +1,84 @@
+// Split virtqueue (descriptor table + available ring + used ring),
+// following the virtio 1.x layout the paper's specification builds on
+// (Appendix A.1). The vUPMEM transferq has 512 slots so the serialized
+// transfer matrix (<= 130 buffers, Fig 7) always fits.
+//
+// Buffer addresses are guest physical addresses; the device side resolves
+// them through GuestMemory, never copying payload data through the ring —
+// that is the zero-copy property the backend relies on.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "common/error.h"
+
+namespace vpim::virtio {
+
+inline constexpr std::uint16_t kDescFlagNext = 1;
+inline constexpr std::uint16_t kDescFlagWrite = 2;  // device-writable
+
+struct VirtqDesc {
+  std::uint64_t addr = 0;  // GPA
+  std::uint32_t len = 0;
+  std::uint16_t flags = 0;
+  std::uint16_t next = 0;
+};
+
+// One buffer the driver wants to expose to the device.
+struct DescBuffer {
+  std::uint64_t gpa = 0;
+  std::uint32_t len = 0;
+  bool device_writable = false;
+};
+
+// A chain the device popped from the available ring.
+struct DescChain {
+  std::uint16_t head = 0;
+  std::vector<VirtqDesc> descs;
+};
+
+struct UsedElem {
+  std::uint32_t id = 0;   // chain head
+  std::uint32_t len = 0;  // bytes the device wrote
+};
+
+class Virtqueue {
+ public:
+  explicit Virtqueue(std::uint16_t size);
+
+  std::uint16_t size() const { return size_; }
+  std::uint16_t free_descriptors() const { return num_free_; }
+
+  // --- driver side -------------------------------------------------------
+  // Writes a chain into the descriptor table and publishes it on the
+  // available ring. Throws if the table cannot hold the chain.
+  std::uint16_t submit(std::span<const DescBuffer> buffers);
+  // Consumes the next used element, recycling its descriptors.
+  std::optional<UsedElem> poll_used();
+
+  // --- device side -------------------------------------------------------
+  // Pops the next available chain (walking next pointers).
+  std::optional<DescChain> pop_avail();
+  // Marks a chain as consumed.
+  void push_used(std::uint16_t head, std::uint32_t written);
+
+ private:
+  std::uint16_t alloc_desc();
+  void free_chain(std::uint16_t head);
+
+  std::uint16_t size_;
+  std::vector<VirtqDesc> desc_;
+  std::vector<std::uint16_t> avail_ring_;
+  std::uint16_t avail_idx_ = 0;   // driver publish cursor
+  std::uint16_t avail_seen_ = 0;  // device consume cursor
+  std::vector<UsedElem> used_ring_;
+  std::uint16_t used_idx_ = 0;   // device publish cursor
+  std::uint16_t used_seen_ = 0;  // driver consume cursor
+  std::uint16_t free_head_ = 0;
+  std::uint16_t num_free_ = 0;
+};
+
+}  // namespace vpim::virtio

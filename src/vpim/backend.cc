@@ -1,0 +1,501 @@
+#include "vpim/backend.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "upmem/layout.h"
+
+namespace vpim::core {
+
+namespace {
+template <typename T>
+T read_pod(const std::uint8_t* src) {
+  T value;
+  std::memcpy(&value, src, sizeof(T));
+  return value;
+}
+
+// Merges adjacent HVA segments so bulk copies stream contiguously.
+std::vector<std::pair<std::uint8_t*, std::uint64_t>> coalesce(
+    const std::vector<std::pair<std::uint8_t*, std::uint64_t>>& segments) {
+  std::vector<std::pair<std::uint8_t*, std::uint64_t>> out;
+  for (const auto& [ptr, len] : segments) {
+    if (!out.empty() && out.back().first + out.back().second == ptr) {
+      out.back().second += len;
+    } else {
+      out.emplace_back(ptr, len);
+    }
+  }
+  return out;
+}
+}  // namespace
+
+Backend::Backend(vmm::Vmm& vmm, driver::UpmemDriver& drv, Manager& manager,
+                 const VpimConfig& config, virtio::Virtqueue& transferq,
+                 virtio::Virtqueue& controlq, virtio::DeviceState& state,
+                 DeviceStats& stats, std::string device_tag)
+    : vmm_(vmm),
+      drv_(drv),
+      manager_(manager),
+      config_(config),
+      transferq_(transferq),
+      controlq_(controlq),
+      state_(state),
+      stats_(stats),
+      tag_(std::move(device_tag)) {}
+
+std::uint32_t Backend::rank_index() const {
+  VPIM_CHECK(mapping_.has_value(),
+             "device is not linked to a physical rank");
+  return mapping_->rank_index();
+}
+
+upmem::Rank& Backend::bound_rank() {
+  if (mapping_.has_value()) {
+    return drv_.machine().rank(mapping_->rank_index());
+  }
+  VPIM_CHECK(emulated_ != nullptr, "device is not linked to a rank");
+  return emulated_->rank;
+}
+
+virtio::PimConfigSpace Backend::config_space() const {
+  VPIM_CHECK(bound(), "device is not linked to a rank");
+  virtio::PimConfigSpace cfg;
+  if (mapping_.has_value()) {
+    cfg.nr_dpus = drv_.machine().rank(mapping_->rank_index()).nr_dpus();
+    cfg.dpu_freq_mhz =
+        static_cast<std::uint32_t>(drv_.machine().cost().dpu_hz / 1e6);
+  } else {
+    cfg.nr_dpus = emulated_->rank.nr_dpus();
+    cfg.dpu_freq_mhz =
+        static_cast<std::uint32_t>(emulated_->cost.dpu_hz / 1e6);
+  }
+  cfg.clock_division = 2;
+  cfg.nr_control_interfaces = upmem::kChipsPerRank;
+  cfg.mram_bytes_per_dpu = upmem::kMramSize;
+  cfg.power_state = 0;
+  return cfg;
+}
+
+driver::DataPath Backend::data_path() const {
+  driver::DataPath path;
+  path.naive = !config_.c_enhancement;
+  if (config_.c_enhancement) {
+    // Wide kernels, but gathering from scattered guest pages.
+    path.gbps_override = drv_.machine().cost().scattered_copy_gbps;
+  }
+  return path;
+}
+
+bool Backend::try_bind() {
+  if (bound()) return true;
+  const auto rank = manager_.request_rank(tag_);
+  if (rank.has_value()) {
+    mapping_ = drv_.map_rank(*rank, tag_);
+    mapping_->set_data_path(data_path());
+    return true;
+  }
+  if (!config_.oversubscribe) return false;
+  // Oversubscription (§7): fall back to a host-emulated rank running at
+  // reduced performance. Mirrors the geometry of a physical rank.
+  emulated_ = std::make_unique<EmulatedRank>(
+      vmm_.cost(), vmm_.clock(),
+      drv_.machine().rank(0).nr_dpus());
+  ++stats_.emulated_binds;
+  return true;
+}
+
+double Backend::batch_gbps() const {
+  if (emulated_ != nullptr) return vmm_.cost().emulated_copy_gbps;
+  return config_.c_enhancement ? vmm_.cost().scattered_copy_gbps
+                               : vmm_.cost().interleave_naive_gbps;
+}
+
+void Backend::data_transfer(const driver::TransferMatrix& matrix) {
+  if (mapping_.has_value()) {
+    mapping_->transfer(matrix);
+    return;
+  }
+  // Emulated rank: plain host-memory copies, no interleave transform.
+  const CostModel& cost = vmm_.cost();
+  const std::uint64_t bytes = matrix.total_bytes();
+  VPIM_CHECK(bytes <= upmem::kMaxXferBytes,
+             "rank operations move at most 4 GiB");
+  vmm_.clock().advance(cost.native_xfer_fixed_ns +
+                       CostModel::bytes_time(bytes,
+                                             cost.emulated_copy_gbps));
+  upmem::Rank& rank = emulated_->rank;
+  for (const driver::XferEntry& e : matrix.entries) {
+    if (e.size == 0) continue;
+    if (matrix.direction == driver::XferDirection::kToRank) {
+      rank.mram(e.dpu).write(e.mram_offset, {e.host, e.size});
+    } else {
+      rank.mram(e.dpu).read(e.mram_offset, {e.host, e.size});
+    }
+  }
+}
+
+void Backend::data_broadcast(std::uint64_t mram_offset,
+                             std::span<const std::uint8_t> data) {
+  if (mapping_.has_value()) {
+    mapping_->broadcast(mram_offset, data);
+    return;
+  }
+  const CostModel& cost = vmm_.cost();
+  upmem::Rank& rank = emulated_->rank;
+  vmm_.clock().advance(
+      cost.native_xfer_fixed_ns +
+      CostModel::bytes_time(data.size() * rank.nr_dpus(),
+                            cost.emulated_copy_gbps));
+  // Same copy-on-write page sharing as the physical broadcast path.
+  const bool aligned = (mram_offset % upmem::kMramPageSize) == 0;
+  const std::size_t full_pages = data.size() / upmem::kMramPageSize;
+  if (aligned && full_pages > 0) {
+    const std::size_t shared = full_pages * upmem::kMramPageSize;
+    auto pages = upmem::MramBank::build_pages(data.first(shared));
+    for (std::uint32_t d = 0; d < rank.nr_dpus(); ++d) {
+      rank.mram(d).adopt_pages(mram_offset, pages);
+      if (shared < data.size()) {
+        rank.mram(d).write(mram_offset + shared, data.subspan(shared));
+      }
+    }
+  } else {
+    for (std::uint32_t d = 0; d < rank.nr_dpus(); ++d) {
+      rank.mram(d).write(mram_offset, data);
+    }
+  }
+}
+
+void Backend::handle_transferq() {
+  VPIM_CHECK(state_.driver_ok(),
+             "queue notification before DRIVER_OK (virtio 1.x 3.1)");
+  while (auto chain = transferq_.pop_avail()) {
+    handle_one(*chain);
+  }
+}
+
+void Backend::handle_controlq() {
+  VPIM_CHECK(state_.driver_ok(),
+             "queue notification before DRIVER_OK (virtio 1.x 3.1)");
+  while (auto chain = controlq_.pop_avail()) {
+    const auto req =
+        read_pod<WireRequest>(vmm_.memory().hva_of(chain->descs[0].addr));
+    handle_control(*chain, req);
+  }
+}
+
+void Backend::handle_one(const virtio::DescChain& chain) {
+  const auto req =
+      read_pod<WireRequest>(vmm_.memory().hva_of(chain.descs[0].addr));
+  switch (static_cast<virtio::PimRequestType>(req.type)) {
+    case virtio::PimRequestType::kWriteToRank:
+    case virtio::PimRequestType::kReadFromRank:
+      handle_rank_op(chain, req);
+      break;
+    case virtio::PimRequestType::kCiWrite:
+    case virtio::PimRequestType::kCiRead:
+      handle_ci(chain, req);
+      break;
+    case virtio::PimRequestType::kConfig:
+      handle_config(chain);
+      break;
+  }
+}
+
+void Backend::handle_rank_op(const virtio::DescChain& chain,
+                             const WireRequest& req) {
+  VPIM_CHECK(bound(), "rank operation on a device not linked to a rank");
+  SimClock& clock = vmm_.clock();
+  const CostModel& cost = vmm_.cost();
+  const bool is_write =
+      req.type == static_cast<std::uint32_t>(
+                      virtio::PimRequestType::kWriteToRank);
+
+  // -- Deserialization + GPA->HVA translation (Fig 13 "Deser") ----------
+  const SimNs deser_start = clock.now();
+  DeserializeResult matrix = deserialize_matrix(chain, vmm_.memory());
+  clock.advance(cost.deserialize_ns_per_page * matrix.nr_pages +
+                cost.per_dpu_metadata_ns * matrix.entries.size());
+  clock.advance(cost.gpa_translate_ns_per_page * matrix.nr_pages /
+                std::max<std::uint32_t>(1, cost.translate_threads));
+  if (is_write) {
+    stats_.wsteps.add(WrankStep::kDeserialize, clock.now() - deser_start);
+  }
+
+  // -- Data movement (Fig 13 "T-data") -----------------------------------
+  const SimNs data_start = clock.now();
+  // Per-chip operation workers walk the matrix 8 DPUs at a time.
+  const auto entry_batches =
+      (matrix.entries.size() + cost.backend_op_threads - 1) /
+      std::max<std::uint32_t>(1, cost.backend_op_threads);
+  clock.advance(entry_batches * cost.backend_per_entry_ns);
+
+  if ((req.flags & kWireFlagBatched) != 0) {
+    apply_batched_writes(matrix);
+  } else {
+    // Detect broadcast: every entry targets the same offset/size through
+    // the same (coalesced) guest segment.
+    bool broadcast = matrix.direction == driver::XferDirection::kToRank &&
+                     matrix.entries.size() == bound_rank().nr_dpus() &&
+                     matrix.entries.size() > 1;
+    std::vector<std::pair<std::uint8_t*, std::uint64_t>> first;
+    if (broadcast) {
+      first = coalesce(matrix.entries[0].segments);
+      for (const auto& e : matrix.entries) {
+        if (e.mram_offset != matrix.entries[0].mram_offset ||
+            e.size != matrix.entries[0].size ||
+            coalesce(e.segments) != first) {
+          broadcast = false;
+          break;
+        }
+      }
+      broadcast = broadcast && first.size() == 1;
+    }
+    if (broadcast) {
+      data_broadcast(matrix.entries[0].mram_offset,
+                     {first[0].first, first[0].second});
+    } else {
+      driver::TransferMatrix xfer;
+      xfer.direction = matrix.direction;
+      for (const auto& e : matrix.entries) {
+        std::uint64_t mram = e.mram_offset;
+        for (const auto& [ptr, len] : coalesce(e.segments)) {
+          xfer.entries.push_back({e.dpu, mram, ptr, len});
+          mram += len;
+        }
+      }
+      data_transfer(xfer);
+    }
+  }
+  if (is_write) {
+    stats_.wsteps.add(WrankStep::kTransferData, clock.now() - data_start);
+  }
+
+  transferq_.push_used(chain.head,
+                       is_write ? 0
+                                : static_cast<std::uint32_t>(std::min<
+                                      std::uint64_t>(matrix.total_bytes,
+                                                     0xFFFFFFFFu)));
+}
+
+void Backend::apply_batched_writes(const DeserializeResult& matrix) {
+  VPIM_CHECK(matrix.direction == driver::XferDirection::kToRank,
+             "batched flush must be a write");
+  const CostModel& cost = vmm_.cost();
+  // Stream cost for the whole batch payload.
+  vmm_.clock().advance(
+      cost.native_xfer_fixed_ns +
+      CostModel::bytes_time(matrix.total_bytes, batch_gbps()));
+
+  upmem::Rank& rank = bound_rank();
+  std::vector<std::uint8_t> scratch;
+  for (const auto& e : matrix.entries) {
+    // Reassemble this DPU's batch region, then replay its records.
+    scratch.clear();
+    scratch.reserve(e.size);
+    for (const auto& [ptr, len] : e.segments) {
+      scratch.insert(scratch.end(), ptr, ptr + len);
+    }
+    std::uint64_t off = 0;
+    while (off < scratch.size()) {
+      VPIM_CHECK(off + sizeof(BatchRecordHeader) <= scratch.size(),
+                 "truncated batch record header");
+      const auto hdr = read_pod<BatchRecordHeader>(scratch.data() + off);
+      off += sizeof(BatchRecordHeader);
+      VPIM_CHECK(off + hdr.size <= scratch.size(),
+                 "truncated batch record payload");
+      rank.mram(e.dpu).write(hdr.mram_offset,
+                             {scratch.data() + off, hdr.size});
+      off += hdr.size;
+    }
+  }
+}
+
+void Backend::handle_ci(const virtio::DescChain& chain,
+                        const WireRequest& req) {
+  VPIM_CHECK(bound(), "CI operation on a device not linked to a rank");
+  SimClock& clock = vmm_.clock();
+  const CostModel& cost = vmm_.cost();
+  clock.advance(cost.ci_op_backend_ns);
+  // Physical control interfaces are reached through the perf-mode mmap;
+  // the emulated rank is plain memory.
+  clock.advance(cost.ci_op_native_ns);
+
+  upmem::Rank& rank = bound_rank();
+  WireResponse resp;
+  resp.rank_index =
+      mapping_.has_value() ? mapping_->rank_index() : 0xFFFFFFFFu;
+  const std::string name(req.name,
+                         strnlen(req.name, sizeof(req.name)));
+  switch (static_cast<CiOp>(req.ci_op)) {
+    case CiOp::kLoad:
+      rank.ci_load(name);
+      break;
+    case CiOp::kLaunch: {
+      std::optional<std::uint32_t> tasklets;
+      if (req.arg1 > 0) tasklets = static_cast<std::uint32_t>(req.arg1 - 1);
+      rank.ci_launch(req.arg0, tasklets);
+      break;
+    }
+    case CiOp::kReadStatus:
+      resp.value = rank.ci_running_mask();
+      break;
+    case CiOp::kCopyToSymbol: {
+      VPIM_CHECK(chain.descs.size() >= 3, "symbol write without payload");
+      const virtio::VirtqDesc& payload = chain.descs[1];
+      rank.ci_copy_to_symbol(
+          req.dpu, name, req.symbol_offset,
+          {vmm_.memory().hva_of(payload.addr), payload.len});
+      break;
+    }
+    case CiOp::kCopyFromSymbol: {
+      VPIM_CHECK(chain.descs.size() >= 3, "symbol read without buffer");
+      const virtio::VirtqDesc& payload = chain.descs[1];
+      rank.ci_copy_from_symbol(
+          req.dpu, name, req.symbol_offset,
+          {vmm_.memory().hva_of(payload.addr), payload.len});
+      break;
+    }
+    case CiOp::kCopyToSymbolAll:
+    case CiOp::kCopyFromSymbolAll: {
+      VPIM_CHECK(chain.descs.size() >= 3, "symbol transfer without payload");
+      const virtio::VirtqDesc& payload = chain.descs[1];
+      const auto bytes_per_dpu = static_cast<std::uint32_t>(req.arg0);
+      VPIM_CHECK(payload.len == req.nr_entries * bytes_per_dpu,
+                 "packed symbol payload length mismatch");
+      std::uint8_t* base = vmm_.memory().hva_of(payload.addr);
+      // Perf mode touches each DPU's CI slot.
+      clock.advance(std::uint64_t{req.nr_entries} * cost.ci_op_native_ns);
+      for (std::uint32_t d = 0; d < req.nr_entries; ++d) {
+        std::span<std::uint8_t> value(base + std::uint64_t{d} *
+                                                 bytes_per_dpu,
+                                      bytes_per_dpu);
+        if (static_cast<CiOp>(req.ci_op) == CiOp::kCopyToSymbolAll) {
+          rank.ci_copy_to_symbol(d, name, req.symbol_offset, value);
+        } else {
+          rank.ci_copy_from_symbol(d, name, req.symbol_offset, value);
+        }
+      }
+      break;
+    }
+    case CiOp::kBindRank:
+    case CiOp::kReleaseRank:
+    case CiOp::kMigrateRank:
+    case CiOp::kSuspendRank:
+    case CiOp::kResumeRank:
+      fail("control operations belong on the control queue");
+  }
+  write_response(chain, resp);
+  transferq_.push_used(chain.head, sizeof(WireResponse));
+}
+
+void Backend::handle_config(const virtio::DescChain& chain) {
+  WireResponse resp;
+  if (bound()) {
+    resp.rank_index =
+        mapping_.has_value() ? mapping_->rank_index() : 0xFFFFFFFFu;
+    resp.config = config_space();
+  } else {
+    resp.status = -1;
+  }
+  write_response(chain, resp);
+  transferq_.push_used(chain.head, sizeof(WireResponse));
+}
+
+void Backend::handle_control(const virtio::DescChain& chain,
+                             const WireRequest& req) {
+  WireResponse resp;
+  switch (static_cast<CiOp>(req.ci_op)) {
+    case CiOp::kBindRank: {
+      if (!try_bind()) {
+        resp.status = -1;
+        break;
+      }
+      resp.rank_index =
+          mapping_.has_value() ? mapping_->rank_index() : 0xFFFFFFFFu;
+      resp.value = emulated() ? 1 : 0;
+      resp.config = config_space();
+      break;
+    }
+    case CiOp::kReleaseRank:
+      // Dropping the mapping frees the rank in sysfs; the manager's
+      // observer notices the release (§3.5) — no explicit notification.
+      unbind();
+      break;
+    case CiOp::kMigrateRank: {
+      // Dynamic rank reallocation (§3.3): move this device's state to a
+      // freshly allocated physical rank, then drop the old binding. Also
+      // upgrades an emulated (oversubscribed) device to real hardware
+      // once capacity frees up.
+      VPIM_CHECK(bound(), "migration without a bound rank");
+      const auto new_rank = manager_.request_rank(tag_);
+      if (!new_rank.has_value()) {
+        resp.status = -1;
+        break;
+      }
+      upmem::Rank& src = bound_rank();
+      auto new_mapping = drv_.map_rank(*new_rank, tag_);
+      new_mapping.set_data_path(data_path());
+      // Host streams every bank out of the old rank and into the new one.
+      const std::uint64_t bytes =
+          2ULL * src.nr_dpus() * upmem::kMramSize;
+      vmm_.clock().advance(CostModel::bytes_time(
+          bytes, vmm_.cost().interleave_wide_gbps));
+      drv_.machine().rank(*new_rank).clone_state_from(src);
+      unbind();
+      mapping_ = std::move(new_mapping);
+      resp.rank_index = *new_rank;
+      resp.config = config_space();
+      break;
+    }
+    case CiOp::kSuspendRank: {
+      // §7 pause/resume: park the device's state host-side and release
+      // the rank so another tenant can use it.
+      VPIM_CHECK(bound(), "suspend without a bound rank");
+      VPIM_CHECK(!suspended_.has_value(), "device already suspended");
+      suspended_ = bound_rank().save_snapshot();
+      vmm_.clock().advance(CostModel::bytes_time(
+          suspended_->resident_bytes(),
+          vmm_.cost().interleave_wide_gbps));
+      unbind();
+      resp.value = suspended_->resident_bytes();
+      break;
+    }
+    case CiOp::kResumeRank: {
+      VPIM_CHECK(suspended_.has_value(), "resume without a suspension");
+      if (!try_bind()) {
+        resp.status = -1;
+        break;
+      }
+      bound_rank().load_snapshot(*suspended_);
+      vmm_.clock().advance(CostModel::bytes_time(
+          suspended_->resident_bytes(),
+          vmm_.cost().interleave_wide_gbps));
+      suspended_.reset();
+      resp.rank_index =
+          mapping_.has_value() ? mapping_->rank_index() : 0xFFFFFFFFu;
+      resp.value = emulated() ? 1 : 0;
+      resp.config = config_space();
+      break;
+    }
+    default:
+      fail("unexpected operation on the control queue");
+  }
+  write_response(chain, resp);
+  controlq_.push_used(chain.head, sizeof(WireResponse));
+}
+
+void Backend::write_response(const virtio::DescChain& chain,
+                             const WireResponse& resp) {
+  // Response buffer = last device-writable descriptor of the chain.
+  for (auto it = chain.descs.rbegin(); it != chain.descs.rend(); ++it) {
+    if ((it->flags & virtio::kDescFlagWrite) != 0) {
+      VPIM_CHECK(it->len >= sizeof(WireResponse), "response buffer too small");
+      std::memcpy(vmm_.memory().hva_of(it->addr), &resp, sizeof(resp));
+      return;
+    }
+  }
+  fail("request chain has no response buffer");
+}
+
+}  // namespace vpim::core

@@ -1,0 +1,105 @@
+// vUPMEM backend: the device model inside Firecracker (§4.2).
+//
+// Decodes requests popped from the virtqueues, performs them on the
+// physical rank through a performance-mode mapping, and completes them via
+// the used ring. Implements the paper's backend optimizations:
+//   - zero-copy request handling: payload pages are reached through
+//     GPA->HVA translation (spread across translation worker threads),
+//     never copied through the ring;
+//   - segment coalescing + broadcast detection so bulk copies stream at
+//     full bandwidth (and broadcast storage stays copy-on-write);
+//   - the wide-word ("C/AVX512") or naive ("Rust") data path per the
+//     active VpimConfig;
+//   - per-chip operation workers (8 DPUs at a time).
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "driver/driver.h"
+#include "virtio/device_state.h"
+#include "virtio/pim_spec.h"
+#include "virtio/virtqueue.h"
+#include "vmm/vmm.h"
+#include "vpim/config.h"
+#include "vpim/device_stats.h"
+#include "vpim/manager.h"
+#include "vpim/wire.h"
+
+namespace vpim::core {
+
+class Backend {
+ public:
+  Backend(vmm::Vmm& vmm, driver::UpmemDriver& drv, Manager& manager,
+          const VpimConfig& config, virtio::Virtqueue& transferq,
+          virtio::Virtqueue& controlq, virtio::DeviceState& state,
+          DeviceStats& stats, std::string device_tag);
+
+  // Event-loop entry points: drain all pending requests on the queue.
+  void handle_transferq();
+  void handle_controlq();
+
+  bool bound() const { return mapping_.has_value() || emulated_ != nullptr; }
+  // Oversubscription (§7): true when this device runs on a host-emulated
+  // rank rather than physical UPMEM.
+  bool emulated() const { return emulated_ != nullptr; }
+  std::uint32_t rank_index() const;  // physical bindings only
+  virtio::PimConfigSpace config_space() const;
+  const std::string& tag() const { return tag_; }
+
+ private:
+  void handle_one(const virtio::DescChain& chain);
+  void handle_rank_op(const virtio::DescChain& chain,
+                      const WireRequest& req);
+  void apply_batched_writes(const DeserializeResult& matrix);
+  void handle_ci(const virtio::DescChain& chain, const WireRequest& req);
+  void handle_config(const virtio::DescChain& chain);
+  void handle_control(const virtio::DescChain& chain,
+                      const WireRequest& req);
+  void write_response(const virtio::DescChain& chain,
+                      const WireResponse& resp);
+  driver::DataPath data_path() const;
+
+  // --- rank binding (physical mapping or emulated rank) ----------------
+  struct EmulatedRank {
+    EmulatedRank(const CostModel& base, const SimClock& clock,
+                 std::uint32_t nr_dpus)
+        : cost(slowed(base)), rank(0xEE, nr_dpus, clock, cost) {}
+    static CostModel slowed(CostModel c) {
+      c.dpu_hz /= c.emulation_slowdown;
+      return c;
+    }
+    CostModel cost;  // must outlive `rank`
+    upmem::Rank rank;
+  };
+  upmem::Rank& bound_rank();
+  // Binds via the manager; falls back to emulation when allowed. Returns
+  // false if neither succeeded.
+  bool try_bind();
+  void unbind() {
+    mapping_.reset();
+    emulated_.reset();
+  }
+  // Data movement over the active binding (cost + storage).
+  void data_transfer(const driver::TransferMatrix& matrix);
+  void data_broadcast(std::uint64_t mram_offset,
+                      std::span<const std::uint8_t> data);
+  double batch_gbps() const;
+
+  vmm::Vmm& vmm_;
+  driver::UpmemDriver& drv_;
+  Manager& manager_;
+  VpimConfig config_;
+  virtio::Virtqueue& transferq_;
+  virtio::Virtqueue& controlq_;
+  virtio::DeviceState& state_;
+  DeviceStats& stats_;
+  std::string tag_;
+  std::optional<driver::RankMapping> mapping_;
+  std::unique_ptr<EmulatedRank> emulated_;
+  // Parked state between kSuspendRank and kResumeRank (§7 pause/resume).
+  std::optional<upmem::Rank::Snapshot> suspended_;
+};
+
+}  // namespace vpim::core

@@ -1,0 +1,67 @@
+// vPIM optimization switches, matching Table 2 of the paper. Each named
+// preset is one row; benches use them to isolate the effect of every
+// optimization (§5.4).
+#pragma once
+
+#include <string>
+
+namespace vpim::core {
+
+struct VpimConfig {
+  // §4.2 "AVX512 and C enhancements": wide-word interleave/matrix code
+  // instead of the naive per-byte path.
+  bool c_enhancement = true;
+  // §4.1 prefetch cache: 16 pages per DPU serving small reads.
+  bool prefetch_cache = true;
+  // §4.1 request batching: 64 pages per DPU accumulating small writes.
+  bool request_batching = true;
+  // §4.2 parallel operation handling across ranks.
+  bool parallel_handling = true;
+  // §7 future work: vhost-style transitions. Requests are handled by a
+  // per-device kernel worker thread instead of trapping out to the
+  // userspace VMM, cutting the guest->host transition cost and taking the
+  // shared event loop out of the picture entirely.
+  bool vhost_transitions = false;
+  // §7 future work: when the manager cannot provide a physical rank, bind
+  // the device to a host-emulated rank at reduced performance instead of
+  // failing the allocation.
+  bool oversubscribe = false;
+
+  std::string label = "vPIM";
+
+  // Sizing of the §4.1 frontend buffers (defaults from the prototype).
+  std::uint32_t prefetch_cache_pages = 16;  // per DPU
+  std::uint32_t batch_buffer_pages = 64;    // per DPU
+  // Only writes up to this size are absorbed by the batch buffer; larger
+  // transfers go straight to the backend (batching bulk data would just
+  // add a copy).
+  std::uint32_t batch_entry_max_pages = 16;  // 64 KiB
+
+  static VpimConfig rust() {
+    return {false, false, false, false, false, false, "vPIM-rust"};
+  }
+  static VpimConfig c_only() {
+    return {true, false, false, false, false, false, "vPIM-C"};
+  }
+  static VpimConfig with_prefetch() {
+    return {true, true, false, false, false, false, "vPIM+P"};
+  }
+  static VpimConfig with_batching() {
+    return {true, false, true, false, false, false, "vPIM+B"};
+  }
+  static VpimConfig with_prefetch_batching() {
+    return {true, true, true, false, false, false, "vPIM+PB"};
+  }
+  static VpimConfig sequential() {
+    return {true, true, true, false, false, false, "vPIM-Seq"};
+  }
+  static VpimConfig full() {
+    return {true, true, true, true, false, false, "vPIM"};
+  }
+  // §7 future work prototype: full() plus vhost-style transitions.
+  static VpimConfig vhost() {
+    return {true, true, true, true, true, false, "vPIM+vhost"};
+  }
+};
+
+}  // namespace vpim::core

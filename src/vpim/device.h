@@ -1,0 +1,36 @@
+// One vUPMEM device: the virtqueue pair shared by the guest driver
+// (frontend) and the Firecracker device model (backend), plus shared
+// instrumentation.
+#pragma once
+
+#include <string>
+
+#include "virtio/device_state.h"
+#include "virtio/pim_spec.h"
+#include "virtio/virtqueue.h"
+#include "vpim/backend.h"
+#include "vpim/frontend.h"
+
+namespace vpim::core {
+
+struct VupmemDevice {
+  VupmemDevice(vmm::Vmm& vmm, driver::UpmemDriver& drv, Manager& manager,
+               const VpimConfig& config, std::string tag)
+      : transferq(virtio::kTransferQueueSize),
+        controlq(virtio::kControlQueueSize),
+        backend(vmm, drv, manager, config, transferq, controlq, state,
+                stats, tag),
+        frontend(vmm, backend, transferq, controlq, state, config, stats,
+                 tag) {}
+
+  virtio::Virtqueue transferq;
+  virtio::Virtqueue controlq;
+  // Status register + feature negotiation; the PIM device offers no
+  // feature bits (Appendix A.1).
+  virtio::DeviceState state{0};
+  DeviceStats stats;
+  Backend backend;
+  Frontend frontend;
+};
+
+}  // namespace vpim::core

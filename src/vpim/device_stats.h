@@ -1,0 +1,28 @@
+// Per-vUPMEM-device instrumentation shared by the frontend and backend.
+// Feeds the paper's driver-centric breakdowns (Fig 12/13) and the message-
+// count claims in §5.4.2.
+#pragma once
+
+#include <cstdint>
+
+#include "common/breakdown.h"
+
+namespace vpim::core {
+
+struct DeviceStats {
+  OpBreakdown ops;       // CI / read-from-rank / write-to-rank time+count
+  StepBreakdown wsteps;  // write-to-rank step breakdown (Fig 13)
+
+  std::uint64_t notifies = 0;       // guest->VMM transitions (VMEXITs)
+  std::uint64_t irqs = 0;           // VMM->guest completions
+  std::uint64_t cache_hits = 0;     // prefetch cache
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_fills = 0;    // backend fill messages
+  std::uint64_t batched_writes = 0; // writes absorbed by the batch buffer
+  std::uint64_t batch_flushes = 0;  // flush messages sent
+  std::uint64_t emulated_binds = 0; // oversubscribed (emulated) bindings
+
+  void reset() { *this = DeviceStats{}; }
+};
+
+}  // namespace vpim::core

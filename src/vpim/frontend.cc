@@ -1,0 +1,587 @@
+#include "vpim/frontend.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+#include "upmem/layout.h"
+
+namespace vpim::core {
+
+namespace {
+constexpr std::uint64_t kBatchRecordOverhead = sizeof(BatchRecordHeader);
+
+void copy_name(char (&dst)[64], std::string_view name) {
+  VPIM_CHECK(name.size() < sizeof(dst), "name too long for the wire format");
+  std::memset(dst, 0, sizeof(dst));
+  std::memcpy(dst, name.data(), name.size());
+}
+}  // namespace
+
+Frontend::Frontend(vmm::Vmm& vmm, Backend& backend,
+                   virtio::Virtqueue& transferq, virtio::Virtqueue& controlq,
+                   virtio::DeviceState& state, const VpimConfig& config,
+                   DeviceStats& stats, std::string tag)
+    : vmm_(vmm),
+      backend_(backend),
+      transferq_(transferq),
+      controlq_(controlq),
+      state_(state),
+      config_(config),
+      stats_(stats),
+      tag_(std::move(tag)) {
+  if (config_.vhost_transitions) {
+    // A dedicated kernel worker handles this device's queues; requests
+    // from different devices never share a serializing loop.
+    vhost_worker_.emplace(vmm_.clock(), vmm_.cost(),
+                          /*parallel_handling=*/true);
+  }
+}
+
+void Frontend::ensure_arenas() {
+  if (arenas_ready_) return;
+  guest::GuestMemory& mem = vmm_.memory();
+  constexpr std::uint32_t kDpus = upmem::kDpuSlotsPerRank;
+
+  arena_.request = mem.alloc(sizeof(WireRequest));
+  arena_.matrix_meta = mem.alloc(sizeof(WireMatrixMeta));
+  arena_.entry_meta = mem.alloc(kDpus * sizeof(WireEntryMeta));
+  arena_.page_lists = mem.alloc(static_cast<std::uint64_t>(kDpus) *
+                                upmem::kMramPages * 8);
+  arena_.payload = mem.alloc(8 * kKiB);
+  arena_.response = mem.alloc(sizeof(WireResponse));
+
+  caches_.resize(kDpus);
+  batches_.resize(kDpus);
+  for (std::uint32_t d = 0; d < kDpus; ++d) {
+    if (config_.prefetch_cache) caches_[d].buf = mem.alloc(cache_bytes());
+    if (config_.request_batching) batches_[d].buf = mem.alloc(batch_bytes());
+  }
+  arenas_ready_ = true;
+}
+
+bool Frontend::open() {
+  if (open_) return true;
+  vmm_.clock().advance(vmm_.cost().ioctl_ns);
+  // Virtio initialization dance (Appendix A.1 / virtio 1.x 3.1): status
+  // walk and feature negotiation (the PIM device offers no features).
+  if (!state_.driver_ok()) {
+    state_.write_status(virtio::kStatusAcknowledge);
+    state_.write_status(virtio::kStatusAcknowledge |
+                        virtio::kStatusDriver);
+    state_.write_driver_features(0);
+    state_.write_status(virtio::kStatusAcknowledge | virtio::kStatusDriver |
+                        virtio::kStatusFeaturesOk);
+    state_.write_status(virtio::kStatusAcknowledge | virtio::kStatusDriver |
+                        virtio::kStatusFeaturesOk |
+                        virtio::kStatusDriverOk);
+  }
+  ensure_arenas();
+
+  WireRequest req;
+  req.ci_op = static_cast<std::uint32_t>(CiOp::kBindRank);
+  std::memcpy(arena_.request.data(), &req, sizeof(req));
+  const virtio::DescBuffer chain[] = {
+      {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
+       false},
+      {vmm_.memory().gpa_of(arena_.response.data()), sizeof(WireResponse),
+       true},
+  };
+  roundtrip(controlq_, chain, /*record_wsteps=*/false);
+
+  WireResponse resp;
+  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+  if (resp.status != 0) return false;
+  config_space_ = resp.config;
+  open_ = true;
+  return true;
+}
+
+void Frontend::close() {
+  if (!open_) return;
+  vmm_.clock().advance(vmm_.cost().ioctl_ns);
+  flush_batch();
+  invalidate_cache();
+
+  WireRequest req;
+  req.ci_op = static_cast<std::uint32_t>(CiOp::kReleaseRank);
+  std::memcpy(arena_.request.data(), &req, sizeof(req));
+  const virtio::DescBuffer chain[] = {
+      {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
+       false},
+      {vmm_.memory().gpa_of(arena_.response.data()), sizeof(WireResponse),
+       true},
+  };
+  roundtrip(controlq_, chain, /*record_wsteps=*/false);
+  open_ = false;
+}
+
+bool Frontend::migrate() {
+  VPIM_CHECK(open_, "migration on an unlinked device");
+  vmm_.clock().advance(vmm_.cost().ioctl_ns);
+  flush_batch();
+  invalidate_cache();  // cached segments refer to the old rank
+
+  WireRequest req;
+  req.ci_op = static_cast<std::uint32_t>(CiOp::kMigrateRank);
+  std::memcpy(arena_.request.data(), &req, sizeof(req));
+  const virtio::DescBuffer chain[] = {
+      {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
+       false},
+      {vmm_.memory().gpa_of(arena_.response.data()), sizeof(WireResponse),
+       true},
+  };
+  roundtrip(controlq_, chain, /*record_wsteps=*/false);
+
+  WireResponse resp;
+  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+  if (resp.status != 0) return false;
+  config_space_ = resp.config;
+  return true;
+}
+
+void Frontend::suspend() {
+  VPIM_CHECK(open_, "suspend on an unlinked device");
+  vmm_.clock().advance(vmm_.cost().ioctl_ns);
+  flush_batch();
+  invalidate_cache();
+  WireRequest req;
+  req.ci_op = static_cast<std::uint32_t>(CiOp::kSuspendRank);
+  std::memcpy(arena_.request.data(), &req, sizeof(req));
+  const virtio::DescBuffer chain[] = {
+      {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
+       false},
+      {vmm_.memory().gpa_of(arena_.response.data()), sizeof(WireResponse),
+       true},
+  };
+  roundtrip(controlq_, chain, /*record_wsteps=*/false);
+  open_ = false;
+}
+
+bool Frontend::resume() {
+  VPIM_CHECK(!open_, "resume on a device that is already linked");
+  vmm_.clock().advance(vmm_.cost().ioctl_ns);
+  WireRequest req;
+  req.ci_op = static_cast<std::uint32_t>(CiOp::kResumeRank);
+  std::memcpy(arena_.request.data(), &req, sizeof(req));
+  const virtio::DescBuffer chain[] = {
+      {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
+       false},
+      {vmm_.memory().gpa_of(arena_.response.data()), sizeof(WireResponse),
+       true},
+  };
+  roundtrip(controlq_, chain, /*record_wsteps=*/false);
+  WireResponse resp;
+  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+  if (resp.status != 0) return false;
+  config_space_ = resp.config;
+  open_ = true;
+  return true;
+}
+
+std::uint32_t Frontend::nr_dpus() const {
+  VPIM_CHECK(open_, "device not linked to a rank");
+  return config_space_.nr_dpus;
+}
+
+virtio::PimConfigSpace Frontend::config_space() const {
+  VPIM_CHECK(open_, "device not linked to a rank");
+  return config_space_;
+}
+
+// ------------------------------------------------------------- rank ops
+
+void Frontend::write_to_rank(const driver::TransferMatrix& matrix) {
+  VPIM_CHECK(open_, "write-to-rank on an unlinked device");
+  VPIM_CHECK(matrix.direction == driver::XferDirection::kToRank,
+             "write_to_rank called with a read matrix");
+  SimClock& clock = vmm_.clock();
+  const SimNs t0 = clock.now();
+  clock.advance(vmm_.cost().ioctl_ns);
+  // Any write makes cached MRAM contents stale.
+  invalidate_cache();
+  if (config_.request_batching && try_batch(matrix)) {
+    stats_.ops.add(RankOp::kWriteToRank, clock.now() - t0);
+    trace("write.batched", t0, matrix.total_bytes(),
+          static_cast<std::uint32_t>(matrix.entries.size()));
+    return;
+  }
+  flush_batch();
+  send_rank_op(matrix, /*is_write=*/true, /*flags=*/0);
+  stats_.ops.add(RankOp::kWriteToRank, clock.now() - t0);
+  trace("write", t0, matrix.total_bytes(),
+        static_cast<std::uint32_t>(matrix.entries.size()));
+}
+
+void Frontend::read_from_rank(const driver::TransferMatrix& matrix) {
+  VPIM_CHECK(open_, "read-from-rank on an unlinked device");
+  VPIM_CHECK(matrix.direction == driver::XferDirection::kFromRank,
+             "read_from_rank called with a write matrix");
+  SimClock& clock = vmm_.clock();
+  const CostModel& cost = vmm_.cost();
+  const SimNs t0 = clock.now();
+  clock.advance(cost.ioctl_ns);
+  flush_batch();  // non-write request; also required for coherence
+
+  const bool cacheable =
+      config_.prefetch_cache &&
+      std::all_of(matrix.entries.begin(), matrix.entries.end(),
+                  [&](const driver::XferEntry& e) {
+                    return e.size <= cache_bytes();
+                  });
+  if (!cacheable) {
+    send_rank_op(matrix, /*is_write=*/false, /*flags=*/0);
+    stats_.ops.add(RankOp::kReadFromRank, clock.now() - t0);
+    trace("read", t0, matrix.total_bytes(),
+          static_cast<std::uint32_t>(matrix.entries.size()));
+    return;
+  }
+
+  // Classify each entry against its DPU's cache segment.
+  auto in_cache = [&](const driver::XferEntry& e) {
+    const DpuCache& c = caches_[e.dpu];
+    return c.valid && e.mram_offset >= c.base &&
+           e.mram_offset + e.size <= c.base + c.len;
+  };
+  driver::TransferMatrix fill;
+  fill.direction = driver::XferDirection::kFromRank;
+  std::vector<bool> filling(caches_.size(), false);
+  for (const driver::XferEntry& e : matrix.entries) {
+    if (in_cache(e)) {
+      ++stats_.cache_hits;
+      continue;
+    }
+    ++stats_.cache_misses;
+    if (filling[e.dpu]) continue;  // one fill per DPU per request
+    filling[e.dpu] = true;
+    DpuCache& c = caches_[e.dpu];
+    const std::uint64_t len =
+        std::min<std::uint64_t>(cache_bytes(),
+                                upmem::kMramSize - e.mram_offset);
+    fill.entries.push_back({e.dpu, e.mram_offset, c.buf.data(), len});
+  }
+  if (!fill.entries.empty()) {
+    const SimNs fill_start = clock.now();
+    send_rank_op(fill, /*is_write=*/false, /*flags=*/0);
+    trace("read.fill", fill_start, fill.total_bytes(),
+          static_cast<std::uint32_t>(fill.entries.size()));
+    ++stats_.cache_fills;
+    for (const driver::XferEntry& f : fill.entries) {
+      caches_[f.dpu].valid = true;
+      caches_[f.dpu].base = f.mram_offset;
+      caches_[f.dpu].len = f.size;
+    }
+  }
+  // Serve every entry from the cache (fallback: direct read for ranges
+  // that still miss, e.g. two disjoint ranges on one DPU in one call).
+  for (const driver::XferEntry& e : matrix.entries) {
+    if (!in_cache(e)) {
+      driver::TransferMatrix direct;
+      direct.direction = driver::XferDirection::kFromRank;
+      direct.entries.push_back(e);
+      send_rank_op(direct, /*is_write=*/false, /*flags=*/0);
+      continue;
+    }
+    const DpuCache& c = caches_[e.dpu];
+    std::memcpy(e.host, c.buf.data() + (e.mram_offset - c.base), e.size);
+    clock.advance(cost.cache_hit_fixed_ns +
+                  CostModel::bytes_time(e.size, cost.guest_memcpy_gbps));
+  }
+  stats_.ops.add(RankOp::kReadFromRank, clock.now() - t0);
+  trace("read.cached", t0, matrix.total_bytes(),
+        static_cast<std::uint32_t>(matrix.entries.size()));
+}
+
+bool Frontend::try_batch(const driver::TransferMatrix& matrix) {
+  // Batch only small writes that fit their DPU buffer's remaining space.
+  const std::uint64_t small_max =
+      std::uint64_t{config_.batch_entry_max_pages} * guest::kGuestPageSize;
+  for (const driver::XferEntry& e : matrix.entries) {
+    VPIM_CHECK(e.dpu < batches_.size(), "DPU index out of range");
+    const DpuBatch& b = batches_[e.dpu];
+    if (e.size > small_max ||
+        b.cursor + e.size + kBatchRecordOverhead > batch_bytes()) {
+      return false;
+    }
+  }
+  SimClock& clock = vmm_.clock();
+  const CostModel& cost = vmm_.cost();
+  for (const driver::XferEntry& e : matrix.entries) {
+    DpuBatch& b = batches_[e.dpu];
+    BatchRecordHeader hdr{e.mram_offset, e.size};
+    std::memcpy(b.buf.data() + b.cursor, &hdr, sizeof(hdr));
+    std::memcpy(b.buf.data() + b.cursor + sizeof(hdr), e.host, e.size);
+    b.cursor += sizeof(hdr) + e.size;
+    clock.advance(CostModel::bytes_time(e.size, cost.guest_memcpy_gbps) +
+                  cost.cache_hit_fixed_ns);
+    ++stats_.batched_writes;
+    ++batch_pending_;
+  }
+  // Flush proactively once any buffer is nearly full.
+  for (const driver::XferEntry& e : matrix.entries) {
+    if (batches_[e.dpu].cursor + 4 * kKiB > batch_bytes()) {
+      flush_batch();
+      break;
+    }
+  }
+  return true;
+}
+
+void Frontend::flush_batch() {
+  if (batch_pending_ == 0) return;
+  const SimNs flush_start = vmm_.clock().now();
+  driver::TransferMatrix matrix;
+  matrix.direction = driver::XferDirection::kToRank;
+  for (std::uint32_t d = 0; d < batches_.size(); ++d) {
+    if (batches_[d].cursor == 0) continue;
+    matrix.entries.push_back(
+        {d, 0, batches_[d].buf.data(), batches_[d].cursor});
+  }
+  send_rank_op(matrix, /*is_write=*/true, kWireFlagBatched);
+  trace("write.flush", flush_start, matrix.total_bytes(),
+        static_cast<std::uint32_t>(matrix.entries.size()));
+  for (auto& b : batches_) b.cursor = 0;
+  batch_pending_ = 0;
+  ++stats_.batch_flushes;
+}
+
+void Frontend::invalidate_cache() {
+  for (auto& c : caches_) c.valid = false;
+}
+
+void Frontend::send_rank_op(const driver::TransferMatrix& matrix,
+                            bool is_write, std::uint32_t flags) {
+  SimClock& clock = vmm_.clock();
+  const CostModel& cost = vmm_.cost();
+
+  // -- Page management: user pages -> kernel page lists (Fig 13 "Page").
+  const SimNs page_start = clock.now();
+  std::uint64_t pages = 0;
+  for (const driver::XferEntry& e : matrix.entries) {
+    const std::uint64_t first_off =
+        vmm_.memory().gpa_of(e.host) % guest::kGuestPageSize;
+    pages += (first_off + e.size + guest::kGuestPageSize - 1) /
+             guest::kGuestPageSize;
+  }
+  clock.advance(cost.page_mgmt_ns_per_page * pages);
+  if (is_write) {
+    stats_.wsteps.add(WrankStep::kPageMgmt, clock.now() - page_start);
+  }
+
+  // -- Serialization (Fig 13 "Ser").
+  const SimNs ser_start = clock.now();
+  auto serialized = serialize_matrix(
+      matrix, vmm_.memory(), arena_,
+      static_cast<std::uint32_t>(
+          is_write ? virtio::PimRequestType::kWriteToRank
+                   : virtio::PimRequestType::kReadFromRank));
+  // Patch the flags into the serialized request block.
+  if (flags != 0) {
+    WireRequest req;
+    std::memcpy(&req, arena_.request.data(), sizeof(req));
+    req.flags = flags;
+    std::memcpy(arena_.request.data(), &req, sizeof(req));
+  }
+  clock.advance(cost.frontend_request_fixed_ns +
+                cost.serialize_ns_per_page * serialized.nr_pages +
+                cost.per_dpu_metadata_ns * matrix.entries.size());
+  if (is_write) {
+    stats_.wsteps.add(WrankStep::kSerialize, clock.now() - ser_start);
+  }
+
+  roundtrip(transferq_, serialized.chain, is_write);
+}
+
+void Frontend::roundtrip(virtio::Virtqueue& queue,
+                         std::span<const virtio::DescBuffer> chain,
+                         bool record_wsteps) {
+  SimClock& clock = vmm_.clock();
+  const CostModel& cost = vmm_.cost();
+  queue.submit(chain);
+
+  // Guest -> host transition, device handling, completion back into the
+  // guest (Fig 13 "Int" is the transition cost). With vhost transitions
+  // (§7 future work) the kick lands in a per-device kernel worker instead
+  // of trapping out to the userspace VMM.
+  const bool vhost = vhost_worker_.has_value();
+  const SimNs notify_cost =
+      vhost ? cost.vhost_notify_ns : cost.vmexit_notify_ns;
+  const SimNs complete_cost =
+      vhost ? cost.vhost_complete_ns : cost.irq_inject_ns;
+  clock.advance(notify_cost);
+  ++stats_.notifies;
+  const bool is_transferq = &queue == &transferq_;
+  vmm::EventLoop& loop = vhost ? *vhost_worker_ : vmm_.loop();
+  loop.dispatch([&] {
+    if (is_transferq) {
+      backend_.handle_transferq();
+    } else {
+      backend_.handle_controlq();
+    }
+  });
+  clock.advance(complete_cost);
+  ++stats_.irqs;
+  if (record_wsteps) {
+    stats_.wsteps.add(WrankStep::kInterrupt, notify_cost + complete_cost);
+  }
+
+  const auto used = queue.poll_used();
+  VPIM_CHECK(used.has_value(), "device did not complete the request");
+}
+
+// --------------------------------------------------------------- CI ops
+
+WireResponse Frontend::ci_roundtrip(const WireRequest& req,
+                                    std::span<std::uint8_t> payload,
+                                    bool payload_writable) {
+  std::memcpy(arena_.request.data(), &req, sizeof(req));
+  std::vector<virtio::DescBuffer> chain;
+  chain.push_back({vmm_.memory().gpa_of(arena_.request.data()),
+                   sizeof(WireRequest), false});
+  if (!payload.empty()) {
+    chain.push_back({vmm_.memory().gpa_of(payload.data()),
+                     static_cast<std::uint32_t>(payload.size()),
+                     payload_writable});
+  }
+  chain.push_back({vmm_.memory().gpa_of(arena_.response.data()),
+                   sizeof(WireResponse), true});
+  roundtrip(transferq_, chain, /*record_wsteps=*/false);
+
+  WireResponse resp;
+  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+  VPIM_CHECK(resp.status == 0, "device rejected the CI operation");
+  return resp;
+}
+
+void Frontend::ci_load(std::string_view kernel_name) {
+  VPIM_CHECK(open_, "CI operation on an unlinked device");
+  SimClock& clock = vmm_.clock();
+  const SimNs t0 = clock.now();
+  clock.advance(vmm_.cost().ioctl_ns);
+  flush_batch();
+  WireRequest req;
+  req.type = static_cast<std::uint32_t>(virtio::PimRequestType::kCiWrite);
+  req.ci_op = static_cast<std::uint32_t>(CiOp::kLoad);
+  copy_name(req.name, kernel_name);
+  ci_roundtrip(req, {}, false);
+  stats_.ops.add(RankOp::kCi, clock.now() - t0);
+  trace("ci.load", t0);
+}
+
+void Frontend::ci_launch(std::uint64_t dpu_mask,
+                         std::optional<std::uint32_t> nr_tasklets) {
+  VPIM_CHECK(open_, "CI operation on an unlinked device");
+  SimClock& clock = vmm_.clock();
+  const SimNs t0 = clock.now();
+  clock.advance(vmm_.cost().ioctl_ns);
+  flush_batch();
+  invalidate_cache();  // DPU programs may rewrite MRAM
+  WireRequest req;
+  req.type = static_cast<std::uint32_t>(virtio::PimRequestType::kCiWrite);
+  req.ci_op = static_cast<std::uint32_t>(CiOp::kLaunch);
+  req.arg0 = dpu_mask;
+  req.arg1 = nr_tasklets ? *nr_tasklets + 1 : 0;
+  ci_roundtrip(req, {}, false);
+  stats_.ops.add(RankOp::kCi, clock.now() - t0);
+  trace("ci.launch", t0);
+}
+
+std::uint64_t Frontend::ci_running_mask() {
+  VPIM_CHECK(open_, "CI operation on an unlinked device");
+  SimClock& clock = vmm_.clock();
+  const SimNs t0 = clock.now();
+  clock.advance(vmm_.cost().ioctl_ns);
+  flush_batch();
+  WireRequest req;
+  req.type = static_cast<std::uint32_t>(virtio::PimRequestType::kCiRead);
+  req.ci_op = static_cast<std::uint32_t>(CiOp::kReadStatus);
+  const WireResponse resp = ci_roundtrip(req, {}, false);
+  stats_.ops.add(RankOp::kCi, clock.now() - t0);
+  trace("ci.status", t0);
+  return resp.value;
+}
+
+void Frontend::ci_copy_to_symbol(std::uint32_t dpu, std::string_view symbol,
+                                 std::uint32_t offset,
+                                 std::span<const std::uint8_t> data) {
+  VPIM_CHECK(open_, "CI operation on an unlinked device");
+  VPIM_CHECK(data.size() <= arena_.payload.size(),
+             "symbol payload exceeds the staging buffer");
+  SimClock& clock = vmm_.clock();
+  const SimNs t0 = clock.now();
+  clock.advance(vmm_.cost().ioctl_ns);
+  flush_batch();
+  std::memcpy(arena_.payload.data(), data.data(), data.size());
+  WireRequest req;
+  req.type = static_cast<std::uint32_t>(virtio::PimRequestType::kCiWrite);
+  req.ci_op = static_cast<std::uint32_t>(CiOp::kCopyToSymbol);
+  req.dpu = dpu;
+  req.symbol_offset = offset;
+  copy_name(req.name, symbol);
+  ci_roundtrip(req, arena_.payload.first(data.size()), false);
+  stats_.ops.add(RankOp::kCi, clock.now() - t0);
+}
+
+void Frontend::ci_copy_from_symbol(std::uint32_t dpu,
+                                   std::string_view symbol,
+                                   std::uint32_t offset,
+                                   std::span<std::uint8_t> out) {
+  VPIM_CHECK(open_, "CI operation on an unlinked device");
+  VPIM_CHECK(out.size() <= arena_.payload.size(),
+             "symbol payload exceeds the staging buffer");
+  SimClock& clock = vmm_.clock();
+  const SimNs t0 = clock.now();
+  clock.advance(vmm_.cost().ioctl_ns);
+  flush_batch();
+  WireRequest req;
+  req.type = static_cast<std::uint32_t>(virtio::PimRequestType::kCiRead);
+  req.ci_op = static_cast<std::uint32_t>(CiOp::kCopyFromSymbol);
+  req.dpu = dpu;
+  req.symbol_offset = offset;
+  copy_name(req.name, symbol);
+  ci_roundtrip(req, arena_.payload.first(out.size()), true);
+  std::memcpy(out.data(), arena_.payload.data(), out.size());
+  stats_.ops.add(RankOp::kCi, clock.now() - t0);
+}
+
+void Frontend::ci_push_symbols(driver::XferDirection dir,
+                               std::string_view symbol,
+                               std::uint32_t offset,
+                               std::span<std::uint8_t> packed,
+                               std::uint32_t bytes_per_dpu) {
+  VPIM_CHECK(open_, "CI operation on an unlinked device");
+  VPIM_CHECK(bytes_per_dpu > 0 && packed.size() % bytes_per_dpu == 0,
+             "packed symbol buffer must hold whole per-DPU values");
+  SimClock& clock = vmm_.clock();
+  const SimNs t0 = clock.now();
+  clock.advance(vmm_.cost().ioctl_ns);
+  flush_batch();
+  WireRequest req;
+  req.type = static_cast<std::uint32_t>(
+      dir == driver::XferDirection::kToRank
+          ? virtio::PimRequestType::kCiWrite
+          : virtio::PimRequestType::kCiRead);
+  req.ci_op = static_cast<std::uint32_t>(
+      dir == driver::XferDirection::kToRank ? CiOp::kCopyToSymbolAll
+                                            : CiOp::kCopyFromSymbolAll);
+  req.nr_entries =
+      static_cast<std::uint32_t>(packed.size() / bytes_per_dpu);
+  req.symbol_offset = offset;
+  req.arg0 = bytes_per_dpu;
+  copy_name(req.name, symbol);
+  ci_roundtrip(req, packed,
+               dir == driver::XferDirection::kFromRank);
+  stats_.ops.add(RankOp::kCi, clock.now() - t0);
+}
+
+std::uint64_t Frontend::memory_overhead_bytes() const {
+  if (!arenas_ready_) return 0;
+  std::uint64_t total = arena_.request.size() + arena_.matrix_meta.size() +
+                        arena_.entry_meta.size() + arena_.page_lists.size() +
+                        arena_.payload.size() + arena_.response.size();
+  for (const auto& c : caches_) total += c.buf.size();
+  for (const auto& b : batches_) total += b.buf.size();
+  return total;
+}
+
+}  // namespace vpim::core

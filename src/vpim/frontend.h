@@ -1,0 +1,157 @@
+// vUPMEM frontend: the virtio driver in the guest kernel (§4.1).
+//
+// Exposes the safe-mode device file the guest SDK talks to, and implements
+// the two frontend optimizations that dominate vPIM's performance story:
+//
+//  - Prefetch cache: 16 pages per DPU. Small reads are served from the
+//    cache; a miss fetches a cache-sized segment from the backend in one
+//    message. Invalidated by write-to-rank, DPU launches, and rank release.
+//  - Request batching: a 64-page-per-DPU buffer absorbs small writes as
+//    {offset,size,data} records; the batch is flushed as a single message
+//    when a buffer fills or any non-write request arrives.
+//
+// Every public operation charges the guest syscall cost; messages to the
+// backend pay the VMEXIT/IRQ transition costs that the paper identifies as
+// the primary virtualization overhead.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/trace.h"
+#include "driver/xfer.h"
+#include "virtio/device_state.h"
+#include "virtio/pim_spec.h"
+#include "virtio/virtqueue.h"
+#include "vmm/vmm.h"
+#include "vpim/backend.h"
+#include "vpim/config.h"
+#include "vpim/device_stats.h"
+#include "vpim/wire.h"
+
+namespace vpim::core {
+
+class Frontend {
+ public:
+  Frontend(vmm::Vmm& vmm, Backend& backend, virtio::Virtqueue& transferq,
+           virtio::Virtqueue& controlq, virtio::DeviceState& state,
+           const VpimConfig& config, DeviceStats& stats, std::string tag);
+
+  // Links the device to a physical rank through the manager (controlq).
+  // Returns false if the manager abandoned the request.
+  bool open();
+  // Flushes, invalidates, and releases the rank.
+  void close();
+  // Dynamic rank reallocation (§3.3): asks the backend to move the
+  // device's entire state to a freshly allocated rank. Transparent to the
+  // application; returns false if no rank was available.
+  bool migrate();
+  // §7 pause/resume: parks the device's state host-side and releases the
+  // rank (suspend), then later re-binds and restores it (resume). The
+  // application sees identical device contents across the gap.
+  void suspend();
+  bool resume();
+  bool is_open() const { return open_; }
+
+  std::uint32_t nr_dpus() const;
+  virtio::PimConfigSpace config_space() const;
+
+  // ---- safe-mode device-file API (called by the guest SDK) -------------
+  void write_to_rank(const driver::TransferMatrix& matrix);
+  void read_from_rank(const driver::TransferMatrix& matrix);
+  void ci_load(std::string_view kernel_name);
+  void ci_launch(std::uint64_t dpu_mask,
+                 std::optional<std::uint32_t> nr_tasklets);
+  std::uint64_t ci_running_mask();
+  void ci_copy_to_symbol(std::uint32_t dpu, std::string_view symbol,
+                         std::uint32_t offset,
+                         std::span<const std::uint8_t> data);
+  void ci_copy_from_symbol(std::uint32_t dpu, std::string_view symbol,
+                           std::uint32_t offset,
+                           std::span<std::uint8_t> out);
+  // Parallel per-DPU symbol transfer: one message covers the whole rank.
+  // `packed` (nr_dpus x bytes_per_dpu, in guest RAM) is referenced by the
+  // request zero-copy.
+  void ci_push_symbols(driver::XferDirection dir, std::string_view symbol,
+                       std::uint32_t offset, std::span<std::uint8_t> packed,
+                       std::uint32_t bytes_per_dpu);
+
+  // Frontend memory footprint (§4.1 "Memory Overhead").
+  std::uint64_t memory_overhead_bytes() const;
+
+  const DeviceStats& stats() const { return stats_; }
+  const VpimConfig& config() const { return config_; }
+
+  // Attaches an operation tracer (not owned; nullptr detaches). Every
+  // device-file operation records one event; internal messages (batch
+  // flushes, prefetch fills) record their own.
+  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+
+ private:
+  struct DpuCache {
+    bool valid = false;
+    std::uint64_t base = 0;  // MRAM offset of the cached segment
+    std::uint64_t len = 0;
+    std::span<std::uint8_t> buf;
+  };
+  struct DpuBatch {
+    std::uint64_t cursor = 0;  // bytes used
+    std::span<std::uint8_t> buf;
+  };
+
+  void ensure_arenas();
+  void send_rank_op(const driver::TransferMatrix& matrix, bool is_write,
+                    std::uint32_t flags);
+  void roundtrip(virtio::Virtqueue& queue,
+                 std::span<const virtio::DescBuffer> chain,
+                 bool record_wsteps);
+  WireResponse ci_roundtrip(const WireRequest& req,
+                            std::span<std::uint8_t> payload,
+                            bool payload_writable);
+  bool try_batch(const driver::TransferMatrix& matrix);
+  void flush_batch();
+  void invalidate_cache();
+  std::uint64_t cache_bytes() const {
+    return static_cast<std::uint64_t>(config_.prefetch_cache_pages) *
+           guest::kGuestPageSize;
+  }
+  std::uint64_t batch_bytes() const {
+    return static_cast<std::uint64_t>(config_.batch_buffer_pages) *
+           guest::kGuestPageSize;
+  }
+
+  void trace(std::string_view kind, SimNs start, std::uint64_t bytes = 0,
+             std::uint32_t entries = 0) {
+    if (tracer_ != nullptr) {
+      tracer_->record(kind, start, vmm_.clock().now() - start, bytes,
+                      entries);
+    }
+  }
+
+  Tracer* tracer_ = nullptr;
+  vmm::Vmm& vmm_;
+  Backend& backend_;
+  virtio::Virtqueue& transferq_;
+  virtio::Virtqueue& controlq_;
+  virtio::DeviceState& state_;
+  VpimConfig config_;
+  DeviceStats& stats_;
+  std::string tag_;
+
+  // vhost mode: per-device kernel worker standing in for the VMM loop.
+  std::optional<vmm::EventLoop> vhost_worker_;
+
+  bool open_ = false;
+  bool arenas_ready_ = false;
+  virtio::PimConfigSpace config_space_{};
+  WireArena arena_;
+  std::vector<DpuCache> caches_;
+  std::vector<DpuBatch> batches_;
+  std::uint64_t batch_pending_ = 0;  // total records pending
+};
+
+}  // namespace vpim::core

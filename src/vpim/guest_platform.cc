@@ -1,0 +1,84 @@
+#include "vpim/guest_platform.h"
+
+#include "common/error.h"
+
+namespace vpim::core {
+
+namespace {
+
+class VirtRankDevice : public sdk::RankDevice {
+ public:
+  explicit VirtRankDevice(Frontend& frontend) : frontend_(frontend) {}
+  ~VirtRankDevice() override { frontend_.close(); }
+
+  std::uint32_t nr_dpus() override { return frontend_.nr_dpus(); }
+
+  void load(std::string_view kernel_name) override {
+    frontend_.ci_load(kernel_name);
+  }
+  void launch(std::uint64_t dpu_mask,
+              std::optional<std::uint32_t> nr_tasklets) override {
+    frontend_.ci_launch(dpu_mask, nr_tasklets);
+  }
+  std::uint64_t running_mask() override {
+    return frontend_.ci_running_mask();
+  }
+  void transfer(const driver::TransferMatrix& matrix) override {
+    if (matrix.direction == driver::XferDirection::kToRank) {
+      frontend_.write_to_rank(matrix);
+    } else {
+      frontend_.read_from_rank(matrix);
+    }
+  }
+  void broadcast(std::uint64_t mram_offset,
+                 std::span<const std::uint8_t> data) override {
+    // The SDK's broadcast becomes one write matrix whose entries all
+    // reference the same guest pages; the backend detects the pattern.
+    driver::TransferMatrix matrix;
+    matrix.direction = driver::XferDirection::kToRank;
+    auto* host = const_cast<std::uint8_t*>(data.data());
+    for (std::uint32_t d = 0; d < frontend_.nr_dpus(); ++d) {
+      matrix.entries.push_back({d, mram_offset, host, data.size()});
+    }
+    frontend_.write_to_rank(matrix);
+  }
+  void copy_to_symbol(std::uint32_t dpu, std::string_view symbol,
+                      std::uint32_t offset,
+                      std::span<const std::uint8_t> data) override {
+    frontend_.ci_copy_to_symbol(dpu, symbol, offset, data);
+  }
+  void copy_from_symbol(std::uint32_t dpu, std::string_view symbol,
+                        std::uint32_t offset,
+                        std::span<std::uint8_t> out) override {
+    frontend_.ci_copy_from_symbol(dpu, symbol, offset, out);
+  }
+  void push_symbols(driver::XferDirection dir, std::string_view symbol,
+                    std::uint32_t offset, std::span<std::uint8_t> packed,
+                    std::uint32_t bytes_per_dpu) override {
+    frontend_.ci_push_symbols(dir, symbol, offset, packed, bytes_per_dpu);
+  }
+
+ private:
+  Frontend& frontend_;
+};
+
+}  // namespace
+
+std::vector<std::unique_ptr<sdk::RankDevice>> GuestPlatform::alloc_ranks(
+    std::uint32_t nr_ranks) {
+  std::vector<std::unique_ptr<sdk::RankDevice>> out;
+  for (std::uint32_t i = 0; i < vm_.nr_devices() && out.size() < nr_ranks;
+       ++i) {
+    Frontend& frontend = vm_.device(i).frontend;
+    if (frontend.is_open()) continue;  // already handed out
+    VPIM_CHECK(frontend.open(),
+               "manager could not provide a rank for " +
+                   vm_.vmm().name());
+    out.push_back(std::make_unique<VirtRankDevice>(frontend));
+  }
+  VPIM_CHECK(out.size() == nr_ranks,
+             "VM does not have enough unbound vUPMEM devices");
+  return out;
+}
+
+}  // namespace vpim::core

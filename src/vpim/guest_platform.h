@@ -1,0 +1,32 @@
+// SDK platform for code running *inside* a VM. Rank devices bind to vUPMEM
+// frontends (safe mode) and application buffers come from guest RAM, so
+// unmodified SDK applications run virtualized (requirement R3).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "sdk/platform.h"
+#include "vpim/vpim_vm.h"
+
+namespace vpim::core {
+
+class GuestPlatform : public sdk::Platform {
+ public:
+  explicit GuestPlatform(VpimVm& vm) : vm_(vm) {}
+
+  std::vector<std::unique_ptr<sdk::RankDevice>> alloc_ranks(
+      std::uint32_t nr_ranks) override;
+  std::span<std::uint8_t> alloc(std::size_t bytes) override {
+    return vm_.vmm().memory().alloc(bytes);
+  }
+  SimClock& clock() override { return vm_.vmm().clock(); }
+  const CostModel& cost() const override { return vm_.vmm().cost(); }
+
+  VpimVm& vm() { return vm_; }
+
+ private:
+  VpimVm& vm_;
+};
+
+}  // namespace vpim::core

@@ -1,0 +1,30 @@
+// Everything that exists once per physical host: the UPMEM machine, its
+// kernel driver, and the vPIM manager. Benches and examples build one Host
+// and boot VMs against it.
+#pragma once
+
+#include "common/cost_model.h"
+#include "common/sim_clock.h"
+#include "driver/driver.h"
+#include "upmem/machine.h"
+#include "vpim/manager.h"
+
+namespace vpim::core {
+
+struct Host {
+  explicit Host(upmem::MachineConfig machine_config = {},
+                CostModel cost_model = {},
+                ManagerConfig manager_config = {})
+      : cost(cost_model),
+        machine(machine_config, clock, cost),
+        drv(machine),
+        manager(drv, manager_config) {}
+
+  SimClock clock;
+  CostModel cost;
+  upmem::PimMachine machine;
+  driver::UpmemDriver drv;
+  Manager manager;
+};
+
+}  // namespace vpim::core

@@ -1,0 +1,157 @@
+#include "vpim/manager.h"
+
+#include "common/error.h"
+#include "common/log.h"
+#include "upmem/layout.h"
+
+namespace vpim::core {
+
+Manager::Manager(driver::UpmemDriver& drv, ManagerConfig config)
+    : drv_(drv), config_(config), table_(drv.machine().nr_ranks()) {}
+
+std::optional<std::uint32_t> Manager::request_rank(const std::string& owner) {
+  VPIM_CHECK(!owner.empty(), "rank request without an owner tag");
+  if (config_.charge_time) {
+    // UNIX-socket round trip + table bookkeeping: ~36 ms in the paper.
+    drv_.machine().clock().advance(
+        drv_.machine().cost().manager_alloc_rt_ns);
+  }
+  for (std::uint32_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    {
+      std::lock_guard lock(mu_);
+      if (auto rank = try_allocate_locked(owner)) {
+        ++stats_.allocations;
+        return rank;
+      }
+    }
+    // Nothing available: wait for a rank to free up, then retry.
+    if (config_.charge_time) {
+      drv_.machine().clock().advance(config_.retry_wait_ns);
+    }
+    observe(/*do_resets=*/true);
+  }
+  std::lock_guard lock(mu_);
+  ++stats_.failed_requests;
+  VPIM_WARN("manager", "abandoning rank request from %s after %u attempts",
+            owner.c_str(), config_.max_attempts);
+  return std::nullopt;
+}
+
+std::optional<std::uint32_t> Manager::try_allocate_locked(
+    const std::string& owner) {
+  // 1. A NANA rank previously used by this owner can be re-assigned
+  //    without a reset: its residual content belongs to the requester.
+  for (std::uint32_t r = 0; r < table_.size(); ++r) {
+    if (table_[r].state == RankState::kNana &&
+        table_[r].last_owner == owner) {
+      table_[r].state = RankState::kAllo;
+      table_[r].owner = owner;
+      table_[r].activated = false;
+      table_[r].missed = 0;
+      ++stats_.reuse_hits;
+      return r;
+    }
+  }
+  // 2. Round-robin over NAAV ranks.
+  for (std::uint32_t k = 0; k < table_.size(); ++k) {
+    const std::uint32_t r =
+        (rr_cursor_ + k) % static_cast<std::uint32_t>(table_.size());
+    if (table_[r].state == RankState::kNaav && !drv_.is_mapped(r)) {
+      rr_cursor_ = (r + 1) % static_cast<std::uint32_t>(table_.size());
+      table_[r].state = RankState::kAllo;
+      table_[r].owner = owner;
+      table_[r].activated = false;
+      table_[r].missed = 0;
+      return r;
+    }
+  }
+  // 3. Reset-and-take any NANA rank (the requester effectively waits for
+  //    the erase to finish).
+  for (std::uint32_t r = 0; r < table_.size(); ++r) {
+    if (table_[r].state == RankState::kNana) {
+      reset_rank_locked(r);
+      table_[r].state = RankState::kAllo;
+      table_[r].owner = owner;
+      table_[r].activated = false;
+      table_[r].missed = 0;
+      return r;
+    }
+  }
+  return std::nullopt;
+}
+
+void Manager::reset_rank_locked(std::uint32_t rank) {
+  if (config_.charge_time) {
+    drv_.reset_rank(rank);
+  } else {
+    drv_.machine().rank(rank).reset_memory();
+  }
+  table_[rank].last_owner.clear();
+  ++stats_.resets;
+}
+
+void Manager::observe(bool do_resets) {
+  std::lock_guard lock(mu_);
+  for (std::uint32_t r = 0; r < table_.size(); ++r) {
+    Entry& e = table_[r];
+    const bool in_use = drv_.sysfs().read(r).in_use;
+    switch (e.state) {
+      case RankState::kAllo:
+        if (in_use) {
+          e.activated = true;
+          e.missed = 0;
+        } else if (e.activated || ++e.missed >= 2) {
+          // The holder released the rank without telling us (by design,
+          // §3.5): its mapping vanished from sysfs.
+          e.state = RankState::kNana;
+          e.last_owner = e.owner;
+          e.owner.clear();
+          e.activated = false;
+          e.missed = 0;
+          ++stats_.releases_observed;
+        }
+        break;
+      case RankState::kNaav:
+        if (in_use) {
+          // A native host application grabbed the rank directly; track it
+          // so it is not handed to a VM.
+          e.state = RankState::kAllo;
+          e.owner = drv_.sysfs().read(r).owner;
+          e.activated = true;
+        }
+        break;
+      case RankState::kNana:
+        break;
+    }
+  }
+  if (do_resets) {
+    for (std::uint32_t r = 0; r < table_.size(); ++r) {
+      if (table_[r].state == RankState::kNana && !drv_.is_mapped(r)) {
+        reset_rank_locked(r);
+        table_[r].state = RankState::kNaav;
+      }
+    }
+  }
+}
+
+RankState Manager::state(std::uint32_t rank) const {
+  std::lock_guard lock(mu_);
+  VPIM_CHECK(rank < table_.size(), "rank index out of range");
+  return table_[rank].state;
+}
+
+ManagerStats Manager::stats() const {
+  std::lock_guard lock(mu_);
+  return stats_;
+}
+
+void Manager::note_external_use(std::uint32_t rank,
+                                const std::string& owner) {
+  std::lock_guard lock(mu_);
+  VPIM_CHECK(rank < table_.size(), "rank index out of range");
+  table_[rank].state = RankState::kAllo;
+  table_[rank].owner = owner;
+  table_[rank].last_owner = owner;
+}
+
+}  // namespace vpim::core

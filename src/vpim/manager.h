@@ -1,0 +1,104 @@
+// The vPIM manager (§3.5): one per host, arbitrating physical ranks among
+// VMs (and coexisting native applications).
+//
+// Rank life cycle (Fig 5):
+//   NAAV --alloc--> ALLO --release--> NANA --reset--> NAAV
+//                    ^---- realloc (same previous owner, no reset) ----'
+//
+// Releases are *not* announced by VMs: a dedicated observer watches the
+// driver's sysfs rank-status files and reacts, so native host applications
+// and unmodified guests coexist (requirement R3).
+//
+// The Manager core is synchronous and thread-safe; ManagerService (below)
+// adds the paper's 8-thread request pool and observer thread for real
+// concurrent use, while deterministic benches drive the core directly and
+// charge virtual time.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/cost_model.h"
+#include "common/sim_clock.h"
+#include "driver/driver.h"
+
+namespace vpim::core {
+
+enum class RankState : std::uint8_t {
+  kNaav,  // not allocated, available
+  kAllo,  // allocated (to a VM device or a native application)
+  kNana,  // not allocated, not available (awaiting content reset)
+};
+
+struct ManagerConfig {
+  // Thread pool size for asynchronous request processing (§3.5).
+  std::uint32_t threads = 8;
+  // Wait between allocation retries when no rank is available.
+  SimNs retry_wait_ns = 50 * kMs;
+  std::uint32_t max_attempts = 5;
+  // Charge virtual time for socket round trips, waits, and resets.
+  // Disabled by the real-thread ManagerService (virtual clocks are not
+  // meaningful across preemptive threads).
+  bool charge_time = true;
+};
+
+struct ManagerStats {
+  std::uint64_t allocations = 0;
+  std::uint64_t reuse_hits = 0;  // NANA rank re-assigned to previous owner
+  std::uint64_t resets = 0;
+  std::uint64_t failed_requests = 0;
+  std::uint64_t releases_observed = 0;
+};
+
+class Manager {
+ public:
+  Manager(driver::UpmemDriver& drv, ManagerConfig config = {});
+
+  // Handles one allocation request from `owner` (a VM device tag).
+  // Implements the §3.5 policy: previous-owner NANA rank first, then
+  // round-robin over NAAV ranks, then reset-and-take a NANA rank, then
+  // retry with timeout, finally abandon (nullopt).
+  std::optional<std::uint32_t> request_rank(const std::string& owner);
+
+  // Observer pass: detects releases via sysfs (ALLO ranks whose mapping
+  // disappeared -> NANA) and, when `do_resets`, erases NANA ranks
+  // (-> NAAV). The real observer runs this on a polling thread.
+  void observe(bool do_resets = true);
+
+  RankState state(std::uint32_t rank) const;
+  ManagerStats stats() const;
+
+  // Marks a rank the manager should not hand out (e.g. a native app took
+  // it before the manager existed). Normally discovered via observe().
+  void note_external_use(std::uint32_t rank, const std::string& owner);
+
+ private:
+  struct Entry {
+    RankState state = RankState::kNaav;
+    std::string owner;       // current holder (ALLO)
+    std::string last_owner;  // for NANA-affinity reuse
+    // Release detection: `activated` is set once the observer has seen the
+    // holder's mapping in sysfs; a release is then the mapping vanishing.
+    // If the mapping was never witnessed (it appeared and disappeared
+    // between polls), two consecutive unmapped observations count as a
+    // release — without this grace, a rank allocated but not yet mapped
+    // would be reclaimed immediately.
+    bool activated = false;
+    std::uint32_t missed = 0;
+  };
+
+  std::optional<std::uint32_t> try_allocate_locked(const std::string& owner);
+  void reset_rank_locked(std::uint32_t rank);
+
+  driver::UpmemDriver& drv_;
+  ManagerConfig config_;
+  mutable std::mutex mu_;
+  std::vector<Entry> table_;
+  std::uint32_t rr_cursor_ = 0;  // round-robin start position
+  ManagerStats stats_;
+};
+
+}  // namespace vpim::core

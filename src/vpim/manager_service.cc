@@ -1,0 +1,70 @@
+#include "vpim/manager_service.h"
+
+namespace vpim::core {
+
+ManagerService::ManagerService(Manager& manager, std::uint32_t threads,
+                               std::chrono::milliseconds observe_period)
+    : manager_(manager), observe_period_(observe_period) {
+  workers_.reserve(threads);
+  for (std::uint32_t i = 0; i < threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+  observer_ = std::thread([this] { observer_loop(); });
+}
+
+ManagerService::~ManagerService() { stop(); }
+
+void ManagerService::stop() {
+  {
+    std::lock_guard lock(mu_);
+    if (stopping_) return;
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+  observer_.join();
+}
+
+std::future<std::optional<std::uint32_t>> ManagerService::request_rank(
+    std::string owner) {
+  std::packaged_task<std::optional<std::uint32_t>()> task(
+      [this, owner = std::move(owner)] {
+        return manager_.request_rank(owner);
+      });
+  auto fut = task.get_future();
+  {
+    std::lock_guard lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return fut;
+}
+
+void ManagerService::worker_loop() {
+  while (true) {
+    std::packaged_task<std::optional<std::uint32_t>()> task;
+    {
+      std::unique_lock lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ManagerService::observer_loop() {
+  while (true) {
+    {
+      std::unique_lock lock(mu_);
+      if (cv_.wait_for(lock, observe_period_,
+                       [this] { return stopping_; })) {
+        return;
+      }
+    }
+    manager_.observe();
+  }
+}
+
+}  // namespace vpim::core

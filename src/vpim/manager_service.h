@@ -1,0 +1,50 @@
+// Threaded front of the Manager: a UNIX-domain-socket server in the real
+// system, modeled here as a request queue drained by a pool of worker
+// threads (8 in the paper's prototype) plus the observer thread polling
+// sysfs. Used by concurrency tests and the multi-tenant example; virtual
+// time is not charged on these preemptive threads (the Manager core is
+// constructed with charge_time = false).
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <future>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "vpim/manager.h"
+
+namespace vpim::core {
+
+class ManagerService {
+ public:
+  ManagerService(Manager& manager, std::uint32_t threads,
+                 std::chrono::milliseconds observe_period);
+  ~ManagerService();
+
+  ManagerService(const ManagerService&) = delete;
+  ManagerService& operator=(const ManagerService&) = delete;
+
+  // Enqueues an allocation request; resolved by a pool worker (FIFO).
+  std::future<std::optional<std::uint32_t>> request_rank(std::string owner);
+
+  void stop();
+
+ private:
+  void worker_loop();
+  void observer_loop();
+
+  Manager& manager_;
+  std::chrono::milliseconds observe_period_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<std::optional<std::uint32_t>()>> queue_;
+  bool stopping_ = false;
+  std::vector<std::thread> workers_;
+  std::thread observer_;
+};
+
+}  // namespace vpim::core

@@ -1,0 +1,146 @@
+#include "vpim/wire.h"
+
+#include <cstring>
+
+#include "common/error.h"
+#include "upmem/layout.h"
+
+namespace vpim::core {
+
+namespace {
+constexpr std::uint64_t kPage = guest::kGuestPageSize;
+
+template <typename T>
+void write_pod(std::span<std::uint8_t> dst, const T& value,
+               std::uint64_t offset = 0) {
+  VPIM_CHECK(offset + sizeof(T) <= dst.size(), "arena overflow");
+  std::memcpy(dst.data() + offset, &value, sizeof(T));
+}
+
+template <typename T>
+T read_pod(const std::uint8_t* src) {
+  T value;
+  std::memcpy(&value, src, sizeof(T));
+  return value;
+}
+}  // namespace
+
+SerializeResult serialize_matrix(const driver::TransferMatrix& matrix,
+                                 guest::GuestMemory& mem, WireArena& arena,
+                                 std::uint32_t request_type) {
+  VPIM_CHECK(matrix.entries.size() <= upmem::kDpuSlotsPerRank,
+             "matrix has more entries than DPUs in a rank");
+  VPIM_CHECK(matrix.total_bytes() <= upmem::kMaxXferBytes,
+             "rank operations move at most 4 GiB");
+
+  SerializeResult result;
+
+  WireRequest req;
+  req.type = request_type;
+  req.direction = static_cast<std::uint32_t>(matrix.direction);
+  req.nr_entries = static_cast<std::uint32_t>(matrix.entries.size());
+  write_pod(arena.request, req);
+  result.chain.push_back({mem.gpa_of(arena.request.data()),
+                          sizeof(WireRequest), false});
+
+  WireMatrixMeta meta{matrix.entries.size(), matrix.total_bytes()};
+  write_pod(arena.matrix_meta, meta);
+  result.chain.push_back({mem.gpa_of(arena.matrix_meta.data()),
+                          sizeof(WireMatrixMeta), false});
+
+  const bool device_writes =
+      matrix.direction == driver::XferDirection::kFromRank;
+
+  std::uint64_t page_list_cursor = 0;  // bytes into arena.page_lists
+  for (std::size_t k = 0; k < matrix.entries.size(); ++k) {
+    const driver::XferEntry& e = matrix.entries[k];
+    VPIM_CHECK(e.size > 0, "zero-sized matrix entry");
+    VPIM_CHECK(mem.contains(e.host), "transfer buffer outside guest RAM");
+
+    const std::uint64_t gpa = mem.gpa_of(e.host);
+    const std::uint64_t first_off = gpa % kPage;
+    const std::uint64_t nr_pages =
+        (first_off + e.size + kPage - 1) / kPage;
+
+    WireEntryMeta em;
+    em.dpu = e.dpu;
+    em.mram_offset = e.mram_offset;
+    em.size = e.size;
+    em.first_page_offset = first_off;
+    em.nr_pages = nr_pages;
+    const std::uint64_t meta_off = k * sizeof(WireEntryMeta);
+    write_pod(arena.entry_meta, em, meta_off);
+    result.chain.push_back(
+        {mem.gpa_of(arena.entry_meta.data() + meta_off),
+         sizeof(WireEntryMeta), false});
+
+    // Page buffer: one u64 guest-physical page address per covered page.
+    VPIM_CHECK(page_list_cursor + nr_pages * 8 <= arena.page_lists.size(),
+               "page-list arena exhausted");
+    std::uint8_t* list = arena.page_lists.data() + page_list_cursor;
+    for (std::uint64_t p = 0; p < nr_pages; ++p) {
+      const std::uint64_t page_gpa = (gpa - first_off) + p * kPage;
+      std::memcpy(list + p * 8, &page_gpa, 8);
+    }
+    result.chain.push_back({mem.gpa_of(list),
+                            static_cast<std::uint32_t>(nr_pages * 8),
+                            false});
+    // The data pages themselves are not chained: the device reaches them
+    // through the GPAs in the page buffer (zero-copy). Whether the device
+    // may write them is implied by the request direction.
+    (void)device_writes;
+    page_list_cursor += nr_pages * 8;
+    result.nr_pages += nr_pages;
+  }
+
+  VPIM_CHECK(result.chain.size() <= virtio::kMaxMatrixBuffers,
+             "serialized matrix exceeds 130 buffers");
+  return result;
+}
+
+DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
+                                     guest::GuestMemory& mem) {
+  VPIM_CHECK(chain.descs.size() >= 2, "truncated rank-operation chain");
+  VPIM_CHECK(chain.descs.size() % 2 == 0, "malformed rank-operation chain");
+
+  const auto req =
+      read_pod<WireRequest>(mem.hva_of(chain.descs[0].addr));
+  const auto meta =
+      read_pod<WireMatrixMeta>(mem.hva_of(chain.descs[1].addr));
+  VPIM_CHECK(meta.nr_entries == (chain.descs.size() - 2) / 2,
+             "matrix metadata disagrees with chain length");
+
+  DeserializeResult result;
+  result.direction = static_cast<driver::XferDirection>(req.direction);
+
+  for (std::uint64_t k = 0; k < meta.nr_entries; ++k) {
+    const auto em = read_pod<WireEntryMeta>(
+        mem.hva_of(chain.descs[2 + 2 * k].addr));
+    const virtio::VirtqDesc& pages_desc = chain.descs[3 + 2 * k];
+    VPIM_CHECK(pages_desc.len == em.nr_pages * 8,
+               "page buffer length disagrees with entry metadata");
+    const std::uint8_t* list = mem.hva_of(pages_desc.addr);
+
+    DeserializedEntry entry;
+    entry.dpu = static_cast<std::uint32_t>(em.dpu);
+    entry.mram_offset = em.mram_offset;
+    entry.size = em.size;
+
+    std::uint64_t remaining = em.size;
+    for (std::uint64_t p = 0; p < em.nr_pages; ++p) {
+      const auto page_gpa = read_pod<std::uint64_t>(list + p * 8);
+      const std::uint64_t off = (p == 0) ? em.first_page_offset : 0;
+      const std::uint64_t len = std::min(remaining, kPage - off);
+      // GPA -> HVA translation: the step vPIM spreads over worker threads.
+      entry.segments.emplace_back(mem.hva_of(page_gpa + off), len);
+      remaining -= len;
+    }
+    VPIM_CHECK(remaining == 0, "pages do not cover the entry");
+    result.nr_pages += em.nr_pages;
+    result.total_bytes += em.size;
+    result.entries.push_back(std::move(entry));
+  }
+  return result;
+}
+
+}  // namespace vpim::core

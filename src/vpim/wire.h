@@ -1,0 +1,132 @@
+// Wire format of vUPMEM virtio requests: the serialized transfer matrix of
+// Fig 6/7 plus the fixed request-info block. All structures live in guest
+// memory and are referenced through virtqueue descriptors; payload data is
+// never copied into the ring (zero-copy, §4.2).
+//
+// Chain layout for rank operations (Fig 7):
+//   [0] request info            (WireRequest)
+//   [1] matrix metadata         (WireMatrixMeta)
+//   [2k+2] per-DPU metadata     (WireEntryMeta)
+//   [2k+3] per-DPU page buffer  (u64 GPA array)
+// = at most 2 + 2*64 = 130 buffers, always within the 512-slot transferq.
+//
+// CI operations use [0] plus an optional small payload buffer and a
+// device-writable response buffer.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "driver/xfer.h"
+#include "guest/guest_memory.h"
+#include "virtio/pim_spec.h"
+#include "virtio/virtqueue.h"
+
+namespace vpim::core {
+
+// Control-interface opcodes carried in WireRequest::ci_op.
+enum class CiOp : std::uint32_t {
+  kLoad = 0,
+  kLaunch = 1,
+  kReadStatus = 2,
+  kCopyToSymbol = 3,
+  kCopyFromSymbol = 4,
+  kBindRank = 5,     // controlq: ask the backend to acquire a rank
+  kReleaseRank = 6,  // controlq: drop the rank binding
+  kCopyToSymbolAll = 7,    // parallel per-DPU symbol write (packed payload)
+  kCopyFromSymbolAll = 8,  // parallel per-DPU symbol read
+  kMigrateRank = 9,  // controlq: move the device's state to a fresh rank
+  kSuspendRank = 10,  // controlq: snapshot state and release the rank
+  kResumeRank = 11,   // controlq: re-bind and restore the snapshot
+};
+
+// WireRequest::flags bits.
+inline constexpr std::uint32_t kWireFlagBatched = 1;  // batch-buffer flush
+
+struct WireRequest {
+  std::uint32_t type = 0;       // virtio::PimRequestType
+  std::uint32_t direction = 0;  // driver::XferDirection for rank ops
+  std::uint32_t nr_entries = 0;
+  std::uint32_t dpu = 0;  // target DPU for per-DPU CI ops
+  std::uint32_t ci_op = 0;
+  std::uint32_t symbol_offset = 0;
+  std::uint32_t flags = 0;
+  std::uint32_t reserved = 0;
+  std::uint64_t arg0 = 0;  // launch mask / payload size
+  std::uint64_t arg1 = 0;  // nr_tasklets (+1, 0 = default)
+  char name[64] = {};      // kernel or symbol name
+};
+
+// Record header inside a batch-buffer flush payload: each absorbed write
+// is stored as {mram_offset, size} followed by `size` data bytes.
+struct BatchRecordHeader {
+  std::uint64_t mram_offset = 0;
+  std::uint64_t size = 0;
+};
+
+// Device-writable response block for CI/config/control requests.
+struct WireResponse {
+  std::int32_t status = 0;  // 0 = OK
+  std::uint32_t rank_index = 0;
+  std::uint64_t value = 0;  // e.g. running mask
+  virtio::PimConfigSpace config{};
+};
+
+struct WireMatrixMeta {
+  std::uint64_t nr_entries = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+struct WireEntryMeta {
+  std::uint64_t dpu = 0;
+  std::uint64_t mram_offset = 0;
+  std::uint64_t size = 0;
+  std::uint64_t first_page_offset = 0;  // offset into the first page
+  std::uint64_t nr_pages = 0;
+};
+
+// Guest-kernel staging areas the frontend serializes into. Allocated once
+// per device at initialization; their size is the frontend's per-DPU
+// memory overhead (§4.1).
+struct WireArena {
+  std::span<std::uint8_t> request;      // sizeof(WireRequest)
+  std::span<std::uint8_t> matrix_meta;  // sizeof(WireMatrixMeta)
+  std::span<std::uint8_t> entry_meta;   // 64 * sizeof(WireEntryMeta)
+  std::span<std::uint8_t> page_lists;   // nr_dpus * 16384 * 8 bytes
+  std::span<std::uint8_t> payload;      // small CI payloads (symbols)
+  std::span<std::uint8_t> response;     // device-writable scratch
+};
+
+struct SerializeResult {
+  std::vector<virtio::DescBuffer> chain;
+  std::uint64_t nr_pages = 0;  // page-list entries written (for costing)
+};
+
+// Serializes `matrix` (host pointers must be inside `mem`) into `arena`,
+// producing the descriptor chain. Throws on malformed matrices (too many
+// entries, oversized transfer, buffers outside guest RAM).
+SerializeResult serialize_matrix(const driver::TransferMatrix& matrix,
+                                 guest::GuestMemory& mem, WireArena& arena,
+                                 std::uint32_t request_type);
+
+struct DeserializedEntry {
+  std::uint32_t dpu = 0;
+  std::uint64_t mram_offset = 0;
+  std::uint64_t size = 0;
+  // Host-virtual scatter segments after GPA->HVA translation.
+  std::vector<std::pair<std::uint8_t*, std::uint64_t>> segments;
+};
+
+struct DeserializeResult {
+  driver::XferDirection direction = driver::XferDirection::kToRank;
+  std::vector<DeserializedEntry> entries;
+  std::uint64_t nr_pages = 0;
+  std::uint64_t total_bytes = 0;
+};
+
+// Backend-side parse + GPA->HVA translation of a rank-operation chain.
+DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
+                                     guest::GuestMemory& mem);
+
+}  // namespace vpim::core

@@ -1,0 +1,141 @@
+#include <gtest/gtest.h>
+
+#include "common/breakdown.h"
+#include "common/cost_model.h"
+#include "common/rng.h"
+#include "common/sim_clock.h"
+#include "common/stats.h"
+
+namespace vpim {
+namespace {
+
+TEST(SimClock, AdvancesMonotonically) {
+  SimClock clock;
+  EXPECT_EQ(clock.now(), 0u);
+  clock.advance(5);
+  clock.advance(7);
+  EXPECT_EQ(clock.now(), 12u);
+}
+
+TEST(SimClock, ParallelTakesMax) {
+  SimClock clock;
+  clock.advance(100);
+  std::vector<std::function<void()>> branches = {
+      [&] { clock.advance(30); },
+      [&] { clock.advance(80); },
+      [&] { clock.advance(10); },
+  };
+  auto durations = clock.run_parallel(branches);
+  EXPECT_EQ(clock.now(), 180u);
+  ASSERT_EQ(durations.size(), 3u);
+  EXPECT_EQ(durations[0], 30u);
+  EXPECT_EQ(durations[1], 80u);
+  EXPECT_EQ(durations[2], 10u);
+}
+
+TEST(SimClock, NestedParallelComposes) {
+  SimClock clock;
+  std::vector<std::function<void()>> inner = {
+      [&] { clock.advance(5); },
+      [&] { clock.advance(9); },
+  };
+  std::vector<std::function<void()>> outer = {
+      [&] { clock.run_parallel(inner); },  // 9
+      [&] { clock.advance(4); },
+  };
+  clock.run_parallel(outer);
+  EXPECT_EQ(clock.now(), 9u);
+}
+
+TEST(SimClock, ScopedTimerAccumulates) {
+  SimClock clock;
+  SimNs acc = 0;
+  {
+    ScopedTimer t(clock, acc);
+    clock.advance(42);
+  }
+  {
+    ScopedTimer t(clock, acc);
+    clock.advance(8);
+  }
+  EXPECT_EQ(acc, 50u);
+}
+
+TEST(CostModel, BytesTime) {
+  // 1 GiB at 1 GB/s should be ~1.07 virtual seconds.
+  EXPECT_EQ(CostModel::bytes_time(1'000'000'000, 1.0), 1'000'000'000u);
+  EXPECT_EQ(CostModel::bytes_time(500, 0.5), 1000u);
+}
+
+TEST(CostModel, DpuCyclesTime) {
+  CostModel cost;
+  cost.dpu_hz = 350e6;
+  // 350 cycles at 350 MHz = 1 us.
+  EXPECT_EQ(cost.dpu_cycles_time(350), 1000u);
+}
+
+TEST(Breakdown, SegmentsAccumulate) {
+  SimClock clock;
+  TimeBreakdown bd;
+  {
+    SegmentScope s(clock, bd, Segment::kCpuDpu);
+    clock.advance(10);
+  }
+  {
+    SegmentScope s(clock, bd, Segment::kDpu);
+    clock.advance(20);
+  }
+  EXPECT_EQ(bd[Segment::kCpuDpu], 10u);
+  EXPECT_EQ(bd[Segment::kDpu], 20u);
+  EXPECT_EQ(bd.total(), 30u);
+}
+
+TEST(Breakdown, OpBreakdownCounts) {
+  OpBreakdown ops;
+  ops.add(RankOp::kCi, 100);
+  ops.add(RankOp::kCi, 50);
+  ops.add(RankOp::kWriteToRank, 500);
+  EXPECT_EQ(ops.count(RankOp::kCi), 2u);
+  EXPECT_EQ(ops.time(RankOp::kCi), 150u);
+  EXPECT_EQ(ops.count(RankOp::kReadFromRank), 0u);
+}
+
+TEST(Stats, MeanStddevPercentile) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(mean(xs), 3.0);
+  EXPECT_NEAR(stddev(xs), 1.5811, 1e-3);
+  EXPECT_DOUBLE_EQ(percentile(xs, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 100), 5.0);
+}
+
+TEST(Stats, Geomean) {
+  std::vector<double> xs = {1.0, 4.0};
+  EXPECT_DOUBLE_EQ(geomean(xs), 2.0);
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, FillBytesCoversBuffer) {
+  Rng rng(7);
+  std::vector<std::uint8_t> buf(1001, 0);
+  rng.fill_bytes(buf.data(), buf.size());
+  int nonzero = 0;
+  for (auto b : buf) nonzero += (b != 0);
+  EXPECT_GT(nonzero, 900);  // overwhelmingly likely for random bytes
+}
+
+TEST(Rng, ZipfSkewsLow) {
+  Rng rng(3);
+  int low = 0;
+  for (int i = 0; i < 1000; ++i) {
+    if (rng.zipf(1000, 1.0) < 10) ++low;
+  }
+  // Zipf(s=1) puts a large share of mass on the first few ranks.
+  EXPECT_GT(low, 200);
+}
+
+}  // namespace
+}  // namespace vpim

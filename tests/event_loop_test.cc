@@ -1,0 +1,123 @@
+#include <gtest/gtest.h>
+
+#include "common/cost_model.h"
+#include "common/sim_clock.h"
+#include "vmm/event_loop.h"
+
+namespace vpim::vmm {
+namespace {
+
+struct Rig {
+  SimClock clock;
+  CostModel cost;
+};
+
+TEST(SimClockFloor, TracksOutermostParallelSection) {
+  SimClock clock;
+  clock.advance(100);
+  EXPECT_EQ(clock.floor(), 100u);  // not in a parallel section: now()
+
+  std::vector<std::function<void()>> outer = {[&] {
+    clock.advance(50);
+    EXPECT_EQ(clock.floor(), 100u);  // outer section start
+    std::vector<std::function<void()>> inner = {[&] {
+      clock.advance(5);
+      EXPECT_EQ(clock.floor(), 100u);  // still the outermost start
+    }};
+    clock.run_parallel(inner);
+  }};
+  clock.run_parallel(outer);
+  EXPECT_EQ(clock.floor(), clock.now());
+}
+
+TEST(EventLoop, SequentialModeIsFifo) {
+  Rig rig;
+  EventLoop loop(rig.clock, rig.cost, /*parallel_handling=*/false);
+  // Three requests arriving at t=0 with 10us handling each: strictly
+  // serialized, completions at 10/20/30us.
+  std::vector<SimNs> completions;
+  std::vector<std::function<void()>> branches(3, [&] {
+    loop.dispatch([&] { rig.clock.advance(10 * kUs); });
+    completions.push_back(rig.clock.now());
+  });
+  rig.clock.run_parallel(branches);
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], 10 * kUs);
+  EXPECT_EQ(completions[1], 20 * kUs);
+  EXPECT_EQ(completions[2], 30 * kUs);
+}
+
+TEST(EventLoop, ParallelModeOnlySerializesDispatchSlots) {
+  Rig rig;
+  EventLoop loop(rig.clock, rig.cost, /*parallel_handling=*/true);
+  std::vector<SimNs> completions;
+  std::vector<std::function<void()>> branches(3, [&] {
+    loop.dispatch([&] { rig.clock.advance(10 * kUs); });
+    completions.push_back(rig.clock.now());
+  });
+  rig.clock.run_parallel(branches);
+  const SimNs slot = rig.cost.thread_dispatch_ns;
+  ASSERT_EQ(completions.size(), 3u);
+  EXPECT_EQ(completions[0], slot + 10 * kUs);
+  EXPECT_EQ(completions[1], 2 * slot + 10 * kUs);
+  EXPECT_EQ(completions[2], 3 * slot + 10 * kUs);
+}
+
+TEST(EventLoop, ParallelModeGapFitsBetweenSlots) {
+  Rig rig;
+  EventLoop loop(rig.clock, rig.cost, /*parallel_handling=*/true);
+  const SimNs slot = rig.cost.thread_dispatch_ns;
+
+  // Branch A dispatches at t=0 and t=4*slot; branch B at t=0 must fit its
+  // slot in the gap (right after A's first slot), not after everything.
+  std::vector<SimNs> b_completion;
+  std::vector<std::function<void()>> branches = {
+      [&] {
+        loop.dispatch([] {});
+        rig.clock.set(4 * slot);
+        loop.dispatch([] {});
+      },
+      [&] {
+        loop.dispatch([] {});
+        b_completion.push_back(rig.clock.now());
+      },
+  };
+  rig.clock.run_parallel(branches);
+  ASSERT_EQ(b_completion.size(), 1u);
+  EXPECT_EQ(b_completion[0], 2 * slot);  // queued behind A's first slot only
+}
+
+TEST(EventLoop, SequentialRequestsAfterIdlePeriodDoNotWait) {
+  Rig rig;
+  EventLoop loop(rig.clock, rig.cost, /*parallel_handling=*/false);
+  loop.dispatch([&] { rig.clock.advance(5 * kUs); });
+  rig.clock.advance(100 * kUs);  // loop idle
+  const SimNs before = rig.clock.now();
+  loop.dispatch([&] { rig.clock.advance(5 * kUs); });
+  EXPECT_EQ(rig.clock.now(), before + 5 * kUs);  // no queueing delay
+}
+
+TEST(EventLoop, BusyUntilReflectsQueue) {
+  Rig rig;
+  EventLoop loop(rig.clock, rig.cost, /*parallel_handling=*/false);
+  EXPECT_EQ(loop.busy_until(), 0u);
+  loop.dispatch([&] { rig.clock.advance(7 * kUs); });
+  EXPECT_EQ(loop.busy_until(), 7 * kUs);
+}
+
+TEST(EventLoop, IntervalsPrunedOutsideParallelSections) {
+  Rig rig;
+  EventLoop loop(rig.clock, rig.cost, /*parallel_handling=*/true);
+  // Thousands of sequential dispatches: the interval set must not grow
+  // unboundedly (pruned against the clock floor = now()).
+  for (int i = 0; i < 10000; ++i) {
+    loop.dispatch([] {});
+    rig.clock.advance(1 * kUs);
+  }
+  // After the last dispatch everything older has been pruned; busy_until
+  // is within one slot of now.
+  EXPECT_LE(loop.busy_until(), rig.clock.now());
+}
+
+}  // namespace
+}  // namespace vpim::vmm

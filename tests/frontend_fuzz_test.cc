@@ -1,0 +1,161 @@
+// Randomized coherence fuzzing of the vPIM data path.
+//
+// A shadow model mirrors what one DPU's MRAM must contain after an
+// arbitrary interleaving of small/large writes, small/large reads, kernel
+// launches, and rank migrations. Every vPIM configuration — including the
+// unoptimized ones and the ones where the prefetch cache and batch buffer
+// interact — must agree with the shadow byte-for-byte at every read.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "common/rng.h"
+#include "tests/testutil.h"
+#include "upmem/kernel.h"
+#include "vpim/guest_platform.h"
+#include "vpim/host.h"
+#include "vpim/vpim_vm.h"
+
+namespace vpim::core {
+namespace {
+
+constexpr std::uint64_t kRegion = 256 * kKiB;  // fuzzed MRAM window
+constexpr std::uint32_t kDpus = 4;             // fuzzed DPUs
+
+// Kernel that mutates MRAM (so launches really invalidate caches): adds 1
+// to every byte of the first `touch_bytes` of the region.
+void register_fuzz_kernel() {
+  auto& registry = upmem::KernelRegistry::instance();
+  if (registry.contains("fuzz_bump")) return;
+  upmem::DpuKernel k;
+  k.name = "fuzz_bump";
+  k.symbols = {{"touch_bytes", 4}};
+  k.stages.push_back([](upmem::DpuCtx& ctx) {
+    if (ctx.me() != 0) return;
+    const std::uint32_t n = ctx.var<std::uint32_t>("touch_bytes");
+    constexpr std::uint32_t kBlock = 2048;
+    auto buf = ctx.mem_alloc(kBlock);
+    for (std::uint32_t o = 0; o < n; o += kBlock) {
+      const std::uint32_t b = std::min(kBlock, n - o);
+      ctx.mram_read(o, buf.first(b));
+      for (std::uint32_t i = 0; i < b; ++i) buf[i] += 1;
+      ctx.exec(b);
+      ctx.mram_write(buf.first(b), o);
+    }
+  });
+  registry.add(std::move(k));
+}
+
+struct FuzzCase {
+  std::string config_name;
+  std::uint64_t seed;
+};
+
+class FrontendFuzz
+    : public ::testing::TestWithParam<std::tuple<std::string, int>> {};
+
+VpimConfig config_by_name(const std::string& name) {
+  if (name == "rust") return VpimConfig::rust();
+  if (name == "C") return VpimConfig::c_only();
+  if (name == "P") return VpimConfig::with_prefetch();
+  if (name == "B") return VpimConfig::with_batching();
+  if (name == "PB") return VpimConfig::with_prefetch_batching();
+  if (name == "vhost") return VpimConfig::vhost();
+  return VpimConfig::full();
+}
+
+TEST_P(FrontendFuzz, MatchesShadowModel) {
+  register_fuzz_kernel();
+  const auto [config_name, seed] = GetParam();
+
+  ManagerConfig mgr;
+  mgr.retry_wait_ns = 1 * kMs;
+  mgr.max_attempts = 2;
+  Host host(test::small_machine(), CostModel{}, mgr);
+  VpimVm vm(host, {.name = "fuzz"}, 1, config_by_name(config_name));
+  Frontend& fe = vm.device(0).frontend;
+  ASSERT_TRUE(fe.open());
+  fe.ci_load("fuzz_bump");
+  std::uint32_t touch = 0;
+
+  // Shadow: per-DPU byte image of the fuzzed window.
+  std::vector<std::vector<std::uint8_t>> shadow(
+      kDpus, std::vector<std::uint8_t>(kRegion, 0));
+
+  Rng rng(1000 + static_cast<std::uint64_t>(seed));
+  auto stage = vm.vmm().memory().alloc(kRegion);
+  auto out = vm.vmm().memory().alloc(kRegion);
+  // Packed per-DPU symbol values are referenced zero-copy, so they must
+  // live in guest RAM.
+  const std::uint32_t rank_dpus =
+      host.machine.rank(vm.device(0).backend.rank_index()).nr_dpus();
+  auto touches = vm.vmm().memory().alloc(std::uint64_t{rank_dpus} * 4);
+
+  for (int step = 0; step < 300; ++step) {
+    const auto dpu = static_cast<std::uint32_t>(rng.uniform(0, kDpus - 1));
+    const auto action = rng.uniform(0, 9);
+    if (action <= 3) {
+      // Write a random range (mixes batchable and direct sizes).
+      const auto size = static_cast<std::uint64_t>(
+          action <= 2 ? rng.uniform(1, 2048)
+                      : rng.uniform(1, kRegion / 2));
+      const auto off = static_cast<std::uint64_t>(
+          rng.uniform(0, static_cast<std::int64_t>(kRegion - size)));
+      rng.fill_bytes(stage.data(), size);
+      std::memcpy(shadow[dpu].data() + off, stage.data(), size);
+      driver::TransferMatrix w;
+      w.entries.push_back({dpu, off, stage.data(), size});
+      fe.write_to_rank(w);
+    } else if (action <= 7) {
+      // Read a random range and compare against the shadow.
+      const auto size = static_cast<std::uint64_t>(
+          action <= 6 ? rng.uniform(1, 2048)
+                      : rng.uniform(1, kRegion / 2));
+      const auto off = static_cast<std::uint64_t>(
+          rng.uniform(0, static_cast<std::int64_t>(kRegion - size)));
+      driver::TransferMatrix r;
+      r.direction = driver::XferDirection::kFromRank;
+      r.entries.push_back({dpu, off, out.data(), size});
+      fe.read_from_rank(r);
+      ASSERT_TRUE(std::memcmp(out.data(), shadow[dpu].data() + off,
+                              size) == 0)
+          << "config " << config_name << " seed " << seed << " step "
+          << step << " dpu " << dpu << " off " << off << " size " << size;
+    } else if (action == 8) {
+      // Launch the mutating kernel on every fuzzed DPU.
+      touch = static_cast<std::uint32_t>(rng.uniform(1, 64 * 1024));
+      for (std::uint32_t d = 0; d < rank_dpus; ++d) {
+        std::memcpy(touches.data() + d * 4, &touch, 4);
+      }
+      fe.ci_push_symbols(driver::XferDirection::kToRank, "touch_bytes", 0,
+                         touches, 4);
+      fe.ci_launch((1ULL << kDpus) - 1, 4);
+      while (fe.ci_running_mask() != 0) {
+        host.clock.advance(100 * kUs);
+      }
+      for (std::uint32_t d = 0; d < kDpus; ++d) {
+        for (std::uint32_t i = 0; i < touch; ++i) shadow[d][i] += 1;
+      }
+    } else {
+      // Occasionally migrate to a fresh rank mid-stream.
+      if (fe.migrate()) {
+        host.manager.observe();
+        host.manager.observe();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, FrontendFuzz,
+    ::testing::Combine(::testing::Values("rust", "C", "P", "B", "PB",
+                                         "full", "vhost"),
+                       ::testing::Values(1, 2, 3)),
+    [](const auto& info) {
+      return std::get<0>(info.param) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+}  // namespace
+}  // namespace vpim::core

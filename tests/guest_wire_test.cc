@@ -1,0 +1,189 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "common/rng.h"
+#include "guest/guest_memory.h"
+#include "virtio/virtqueue.h"
+#include "vpim/wire.h"
+
+namespace vpim::core {
+namespace {
+
+using guest::GuestMemory;
+using guest::kGuestPageSize;
+
+TEST(GuestMemory, AllocAndTranslate) {
+  GuestMemory mem(16 * kMiB);
+  auto buf = mem.alloc(10000);
+  EXPECT_EQ(buf.size(), 10000u);
+  const std::uint64_t gpa = mem.gpa_of(buf.data());
+  EXPECT_EQ(mem.hva_of(gpa), buf.data());
+  EXPECT_EQ(mem.gpa_of(buf.data() + 5000), gpa + 5000);
+}
+
+TEST(GuestMemory, AllocationsArePageAlignedAndDisjoint) {
+  GuestMemory mem(16 * kMiB);
+  auto a = mem.alloc(1);
+  auto b = mem.alloc(kGuestPageSize + 1);
+  auto c = mem.alloc(17);
+  EXPECT_EQ(mem.gpa_of(a.data()) % kGuestPageSize, 0u);
+  EXPECT_EQ(mem.gpa_of(b.data()) % kGuestPageSize, 0u);
+  EXPECT_EQ(mem.gpa_of(b.data()), mem.gpa_of(a.data()) + kGuestPageSize);
+  EXPECT_EQ(mem.gpa_of(c.data()),
+            mem.gpa_of(b.data()) + 2 * kGuestPageSize);
+}
+
+TEST(GuestMemory, ExhaustionAndBadTranslationsThrow) {
+  GuestMemory mem(64 * kKiB);
+  EXPECT_THROW(mem.alloc(128 * kKiB), VpimError);
+  EXPECT_THROW(mem.hva_of(mem.size()), VpimError);
+  std::uint8_t outside = 0;
+  EXPECT_THROW(mem.gpa_of(&outside), VpimError);
+}
+
+// ------------------------------------------------------------------ wire
+
+struct WireRig {
+  GuestMemory mem{64 * kMiB};
+  WireArena arena;
+
+  WireRig() {
+    arena.request = mem.alloc(sizeof(WireRequest));
+    arena.matrix_meta = mem.alloc(sizeof(WireMatrixMeta));
+    arena.entry_meta = mem.alloc(64 * sizeof(WireEntryMeta));
+    arena.page_lists = mem.alloc(64 * 16384 * 8);
+    arena.payload = mem.alloc(8 * kKiB);
+    arena.response = mem.alloc(sizeof(WireResponse));
+  }
+};
+
+TEST(Wire, SerializeDeserializeRoundTrip) {
+  WireRig rig;
+  Rng rng(1);
+
+  // A matrix with mixed sizes and unaligned buffers.
+  auto big = rig.mem.alloc(1 * kMiB);
+  auto small = rig.mem.alloc(8 * kKiB);
+  rng.fill_bytes(big.data(), big.size());
+
+  driver::TransferMatrix matrix;
+  matrix.direction = driver::XferDirection::kToRank;
+  matrix.entries.push_back({0, 4096, big.data(), big.size()});
+  matrix.entries.push_back({5, 64, small.data() + 123, 1000});  // unaligned
+  matrix.entries.push_back({63, 0, small.data() + 5000, 1});
+
+  auto ser = serialize_matrix(
+      matrix, rig.mem, rig.arena,
+      static_cast<std::uint32_t>(virtio::PimRequestType::kWriteToRank));
+  // Chain shape: request + meta + 2 per entry.
+  EXPECT_EQ(ser.chain.size(), 2 + 2 * 3u);
+  // 1 MiB = 256 pages; 123+1000 straddles page 0 only; 1 byte = 1 page.
+  EXPECT_EQ(ser.nr_pages, 256u + 1u + 1u);
+
+  virtio::Virtqueue q(512);
+  const std::uint16_t head = q.submit(ser.chain);
+  auto chain = q.pop_avail();
+  ASSERT_TRUE(chain);
+
+  auto de = deserialize_matrix(*chain, rig.mem);
+  EXPECT_EQ(de.direction, driver::XferDirection::kToRank);
+  ASSERT_EQ(de.entries.size(), 3u);
+  EXPECT_EQ(de.total_bytes, matrix.total_bytes());
+  EXPECT_EQ(de.nr_pages, ser.nr_pages);
+
+  // Segments must cover exactly the original buffers, in order.
+  for (std::size_t k = 0; k < 3; ++k) {
+    const auto& entry = de.entries[k];
+    EXPECT_EQ(entry.dpu, matrix.entries[k].dpu);
+    EXPECT_EQ(entry.mram_offset, matrix.entries[k].mram_offset);
+    EXPECT_EQ(entry.size, matrix.entries[k].size);
+    std::uint64_t covered = 0;
+    const std::uint8_t* expect = matrix.entries[k].host;
+    for (const auto& [ptr, len] : entry.segments) {
+      EXPECT_EQ(ptr, expect + covered);
+      covered += len;
+    }
+    EXPECT_EQ(covered, entry.size);
+  }
+  q.push_used(head, 0);
+}
+
+TEST(Wire, ZeroCopySharing) {
+  // Deserialized segments must point into the *original* guest buffer:
+  // mutating them mutates the app's data.
+  WireRig rig;
+  auto buf = rig.mem.alloc(16 * kKiB);
+  std::memset(buf.data(), 0x11, buf.size());
+
+  driver::TransferMatrix matrix;
+  matrix.direction = driver::XferDirection::kFromRank;
+  matrix.entries.push_back({2, 0, buf.data(), buf.size()});
+  auto ser = serialize_matrix(
+      matrix, rig.mem, rig.arena,
+      static_cast<std::uint32_t>(virtio::PimRequestType::kReadFromRank));
+
+  virtio::Virtqueue q(512);
+  q.submit(ser.chain);
+  auto chain = q.pop_avail();
+  auto de = deserialize_matrix(*chain, rig.mem);
+  de.entries[0].segments[0].first[0] = 0x77;
+  EXPECT_EQ(buf[0], 0x77);
+}
+
+TEST(Wire, RejectsMalformedMatrices) {
+  WireRig rig;
+  auto buf = rig.mem.alloc(4096);
+
+  // More entries than DPUs in a rank.
+  driver::TransferMatrix too_many;
+  for (int i = 0; i < 65; ++i) {
+    too_many.entries.push_back({static_cast<std::uint32_t>(i), 0,
+                                buf.data(), 16});
+  }
+  EXPECT_THROW(serialize_matrix(too_many, rig.mem, rig.arena, 3), VpimError);
+
+  // Zero-size entry.
+  driver::TransferMatrix zero;
+  zero.entries.push_back({0, 0, buf.data(), 0});
+  EXPECT_THROW(serialize_matrix(zero, rig.mem, rig.arena, 3), VpimError);
+
+  // Buffer outside guest RAM.
+  std::uint8_t local = 0;
+  driver::TransferMatrix outside;
+  outside.entries.push_back({0, 0, &local, 1});
+  EXPECT_THROW(serialize_matrix(outside, rig.mem, rig.arena, 3), VpimError);
+}
+
+class WireSizeSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(WireSizeSweep, PageCountFormula) {
+  WireRig rig;
+  const std::uint64_t size = GetParam();
+  auto buf = rig.mem.alloc(size + kGuestPageSize);
+
+  for (std::uint64_t shift : {std::uint64_t{0}, std::uint64_t{1},
+                              std::uint64_t{4095}}) {
+    driver::TransferMatrix m;
+    m.entries.push_back({0, 0, buf.data() + shift, size});
+    auto ser = serialize_matrix(m, rig.mem, rig.arena, 3);
+    const std::uint64_t expected =
+        (shift % kGuestPageSize + size + kGuestPageSize - 1) /
+        kGuestPageSize;
+    EXPECT_EQ(ser.nr_pages, expected) << "size " << size << " shift "
+                                      << shift;
+
+    virtio::Virtqueue q(512);
+    q.submit(ser.chain);
+    auto de = deserialize_matrix(*q.pop_avail(), rig.mem);
+    EXPECT_EQ(de.nr_pages, expected);
+    EXPECT_EQ(de.entries[0].size, size);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WireSizeSweep,
+                         ::testing::Values(1, 100, 4096, 4097, 65536,
+                                           1000000));
+
+}  // namespace
+}  // namespace vpim::core

@@ -1,0 +1,203 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "tests/testutil.h"
+#include "vpim/manager.h"
+#include "vpim/manager_service.h"
+
+namespace vpim::core {
+namespace {
+
+ManagerConfig fast_config(bool charge = true) {
+  ManagerConfig cfg;
+  cfg.retry_wait_ns = 1 * kMs;
+  cfg.max_attempts = 2;
+  cfg.charge_time = charge;
+  return cfg;
+}
+
+TEST(Manager, AllocatesRoundRobin) {
+  test::TestRig rig(test::small_machine());  // 2 ranks
+  Manager mgr(rig.drv, fast_config());
+  auto a = mgr.request_rank("vm-a");
+  auto b = mgr.request_rank("vm-b");
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ(mgr.state(*a), RankState::kAllo);
+  EXPECT_EQ(mgr.state(*b), RankState::kAllo);
+}
+
+TEST(Manager, AllocationChargesPaperRoundTrip) {
+  test::TestRig rig(test::small_machine());
+  Manager mgr(rig.drv, fast_config());
+  const SimNs t0 = rig.clock.now();
+  ASSERT_TRUE(mgr.request_rank("vm-a"));
+  EXPECT_EQ(rig.clock.now() - t0, rig.cost.manager_alloc_rt_ns);  // ~36 ms
+}
+
+TEST(Manager, ExhaustionRetriesThenAbandons) {
+  test::TestRig rig(test::small_machine());
+  Manager mgr(rig.drv, fast_config());
+  ASSERT_TRUE(mgr.request_rank("vm-a"));
+  ASSERT_TRUE(mgr.request_rank("vm-b"));
+  const SimNs t0 = rig.clock.now();
+  EXPECT_FALSE(mgr.request_rank("vm-c").has_value());
+  EXPECT_EQ(mgr.stats().failed_requests, 1u);
+  // Two attempts separated by the retry wait.
+  EXPECT_GE(rig.clock.now() - t0,
+            rig.cost.manager_alloc_rt_ns + 2 * kMs);
+}
+
+TEST(Manager, ObserverDetectsReleaseAndResets) {
+  test::TestRig rig(test::small_machine());
+  Manager mgr(rig.drv, fast_config());
+  auto r = mgr.request_rank("vm-a");
+  ASSERT_TRUE(r);
+
+  // Backend maps the rank; observer sees it in use.
+  auto mapping = rig.drv.map_rank(*r, "vm-a");
+  mgr.observe();
+  EXPECT_EQ(mgr.state(*r), RankState::kAllo);
+
+  // Put residual data in the rank, then release without telling anyone.
+  std::vector<std::uint8_t> secret(64, 0xAA);
+  rig.machine.rank(*r).mram(0).write(0, secret);
+  mapping.unmap();
+
+  mgr.observe(/*do_resets=*/false);
+  EXPECT_EQ(mgr.state(*r), RankState::kNana);
+  EXPECT_EQ(mgr.stats().releases_observed, 1u);
+
+  const SimNs t0 = rig.clock.now();
+  mgr.observe(/*do_resets=*/true);
+  EXPECT_EQ(mgr.state(*r), RankState::kNaav);
+  EXPECT_EQ(mgr.stats().resets, 1u);
+  // Reset takes the ~597 ms memset of the 4 GiB rank region.
+  EXPECT_NEAR(ns_to_ms(rig.clock.now() - t0), 597.0, 60.0);
+
+  // No residual data for the next tenant (isolation, R2).
+  std::vector<std::uint8_t> probe(64, 1);
+  rig.machine.rank(*r).mram(0).read(0, probe);
+  for (auto b : probe) EXPECT_EQ(b, 0);
+}
+
+TEST(Manager, NanaAffinityReusesWithoutReset) {
+  test::TestRig rig(test::small_machine());
+  Manager mgr(rig.drv, fast_config());
+  auto r = mgr.request_rank("vm-a");
+  ASSERT_TRUE(r);
+  {
+    auto mapping = rig.drv.map_rank(*r, "vm-a");
+    mgr.observe();
+    std::vector<std::uint8_t> data(8, 0x5A);
+    rig.machine.rank(*r).mram(0).write(0, data);
+  }
+  mgr.observe(/*do_resets=*/false);  // release seen, reset pending
+  ASSERT_EQ(mgr.state(*r), RankState::kNana);
+
+  // Same owner asks again before the observer erased the rank: it gets its
+  // old rank back, content intact, no reset charged.
+  auto again = mgr.request_rank("vm-a");
+  ASSERT_TRUE(again);
+  EXPECT_EQ(*again, *r);
+  EXPECT_EQ(mgr.stats().reuse_hits, 1u);
+  EXPECT_EQ(mgr.stats().resets, 0u);
+  std::vector<std::uint8_t> probe(8);
+  rig.machine.rank(*r).mram(0).read(0, probe);
+  EXPECT_EQ(probe[0], 0x5A);
+}
+
+TEST(Manager, DifferentOwnerGetsResetNanaRank) {
+  test::TestRig rig(test::small_machine());
+  Manager mgr(rig.drv, fast_config());
+  // Occupy both ranks, then release one as vm-a.
+  auto r0 = mgr.request_rank("vm-a");
+  auto r1 = mgr.request_rank("vm-b");
+  ASSERT_TRUE(r0 && r1);
+  auto keep = rig.drv.map_rank(*r1, "vm-b");
+  {
+    auto mapping = rig.drv.map_rank(*r0, "vm-a");
+    mgr.observe();
+    std::vector<std::uint8_t> data(8, 0x5A);
+    rig.machine.rank(*r0).mram(0).write(0, data);
+  }
+  mgr.observe(/*do_resets=*/false);
+  ASSERT_EQ(mgr.state(*r0), RankState::kNana);
+
+  // vm-c must only ever see zeroed memory.
+  auto rc = mgr.request_rank("vm-c");
+  ASSERT_TRUE(rc);
+  EXPECT_EQ(*rc, *r0);
+  EXPECT_EQ(mgr.stats().resets, 1u);
+  std::vector<std::uint8_t> probe(8, 1);
+  rig.machine.rank(*rc).mram(0).read(0, probe);
+  EXPECT_EQ(probe[0], 0);
+}
+
+TEST(Manager, NativeApplicationsCoexist) {
+  test::TestRig rig(test::small_machine());
+  Manager mgr(rig.drv, fast_config());
+  // A native app maps rank 0 directly, bypassing the manager.
+  auto native = rig.drv.map_rank(0, "native-app");
+  mgr.observe();
+  EXPECT_EQ(mgr.state(0), RankState::kAllo);
+
+  // The manager only hands out rank 1.
+  auto r = mgr.request_rank("vm-a");
+  ASSERT_TRUE(r);
+  EXPECT_EQ(*r, 1u);
+  EXPECT_FALSE(mgr.request_rank("vm-b").has_value());
+
+  // When the native app exits, its rank is recycled like any other.
+  native.unmap();
+  mgr.observe();
+  EXPECT_EQ(mgr.state(0), RankState::kNaav);
+  EXPECT_TRUE(mgr.request_rank("vm-b").has_value());
+}
+
+TEST(ManagerService, ConcurrentRequestsNeverDoubleAllocate) {
+  test::TestRig rig;  // 8 ranks
+  ManagerConfig cfg;
+  cfg.charge_time = false;
+  cfg.max_attempts = 50;
+  Manager mgr(rig.drv, cfg);
+  ManagerService service(mgr, 8, std::chrono::milliseconds(1));
+
+  std::mutex driver_mu;  // the simulated driver itself is not thread-safe
+  std::atomic<int> successes{0};
+  std::atomic<bool> overlap{false};
+  std::vector<std::atomic<int>> holders(rig.machine.nr_ranks());
+  for (auto& h : holders) h = 0;
+
+  auto worker = [&](int id) {
+    const std::string owner = "vm-" + std::to_string(id);
+    for (int round = 0; round < 3; ++round) {
+      auto fut = service.request_rank(owner);
+      auto rank = fut.get();
+      if (!rank.has_value()) continue;
+      if (holders[*rank].fetch_add(1) != 0) overlap = true;
+      {
+        std::lock_guard lock(driver_mu);
+        auto mapping = rig.drv.map_rank(*rank, owner);
+        std::this_thread::sleep_for(std::chrono::microseconds(200));
+        // mapping unmaps here (lock still held)
+      }
+      holders[*rank].fetch_sub(1);
+      ++successes;
+      // Observer (running every 1 ms) will recycle the rank.
+    }
+  };
+
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 16; ++i) threads.emplace_back(worker, i);
+  for (auto& t : threads) t.join();
+  service.stop();
+
+  EXPECT_FALSE(overlap.load());
+  EXPECT_GT(successes.load(), 16);  // most rounds should succeed
+}
+
+}  // namespace
+}  // namespace vpim::core

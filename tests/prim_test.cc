@@ -1,0 +1,209 @@
+#include <gtest/gtest.h>
+
+#include "prim/app.h"
+#include "prim/micro.h"
+#include "tests/testutil.h"
+#include "vpim/guest_platform.h"
+#include "vpim/host.h"
+#include "vpim/vpim_vm.h"
+
+namespace vpim::prim {
+namespace {
+
+core::ManagerConfig fast_manager() {
+  core::ManagerConfig cfg;
+  cfg.retry_wait_ns = 1 * kMs;
+  cfg.max_attempts = 2;
+  return cfg;
+}
+
+AppParams small_params(std::uint32_t nr_dpus = 8) {
+  AppParams prm;
+  prm.nr_dpus = nr_dpus;
+  prm.scale = 0.02;
+  return prm;
+}
+
+// ---- every PrIM app, natively and under vPIM, must be exact ------------
+
+class PrimAppSweep : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(PrimAppSweep, NativeResultMatchesCpu) {
+  test::TestRig rig(test::small_machine());
+  auto app = make_app(GetParam());
+  const AppResult res = app->run(rig.native, small_params());
+  EXPECT_TRUE(res.correct) << res.app;
+  EXPECT_GT(res.total(), 0u);
+}
+
+TEST_P(PrimAppSweep, VpimResultMatchesCpu) {
+  core::Host host(test::small_machine(), CostModel{}, fast_manager());
+  core::VpimVm vm(host, {.name = "prim-vm"}, 1);
+  core::GuestPlatform platform(vm);
+  auto app = make_app(GetParam());
+  const AppResult res = app->run(platform, small_params());
+  EXPECT_TRUE(res.correct) << res.app;
+}
+
+TEST_P(PrimAppSweep, VpimMultiRankMatchesCpu) {
+  core::Host host(test::small_machine(), CostModel{}, fast_manager());
+  core::VpimVm vm(host, {.name = "prim-vm2"}, 2);
+  core::GuestPlatform platform(vm);
+  auto app = make_app(GetParam());
+  const AppResult res = app->run(platform, small_params(16));
+  EXPECT_TRUE(res.correct) << res.app;
+}
+
+TEST_P(PrimAppSweep, VpimNoSlowerConfigBreaksCorrectness) {
+  // The unoptimized vPIM-rust data path must still be *correct*.
+  core::Host host(test::small_machine(), CostModel{}, fast_manager());
+  core::VpimVm vm(host, {.name = "rust-vm"}, 1, core::VpimConfig::rust());
+  core::GuestPlatform platform(vm);
+  auto app = make_app(GetParam());
+  const AppResult res = app->run(platform, small_params());
+  EXPECT_TRUE(res.correct) << res.app;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllApps, PrimAppSweep,
+                         ::testing::ValuesIn(app_names()),
+                         [](const auto& info) {
+                           std::string n = info.param;
+                           for (auto& c : n) {
+                             if (c == '-') c = '_';
+                           }
+                           return n;
+                         });
+
+TEST(PrimSuite, RegistryIsComplete) {
+  EXPECT_EQ(app_names().size(), 16u);  // Table 1
+  for (const auto& name : app_names()) {
+    EXPECT_NO_THROW((void)make_app(name)) << name;
+  }
+  EXPECT_THROW((void)make_app("NOPE"), VpimError);
+}
+
+TEST(PrimSuite, BreakdownSegmentsPopulated) {
+  test::TestRig rig(test::small_machine());
+  auto app = make_app("RED");
+  const AppResult res = app->run(rig.native, small_params());
+  EXPECT_GT(res.breakdown[Segment::kCpuDpu], 0u);
+  EXPECT_GT(res.breakdown[Segment::kDpu], 0u);
+  EXPECT_GT(res.breakdown[Segment::kInterDpu], 0u);
+}
+
+TEST(PrimSuite, VpimSlowerThanNativeOnSmallTransferApps) {
+  // NW is the paper's worst case: small-transfer dominated. Use a scale
+  // with enough DP blocks (16x16) for the per-op costs to dominate.
+  AppParams prm = small_params();
+  prm.scale = 0.5;
+  test::TestRig rig(test::small_machine());
+  auto native_res = make_app("NW")->run(rig.native, prm);
+
+  core::Host host(test::small_machine(), CostModel{}, fast_manager());
+  core::VpimVm vm(host, {.name = "nw-vm"}, 1, core::VpimConfig::c_only());
+  core::GuestPlatform platform(vm);
+  auto vpim_res = make_app("NW")->run(platform, prm);
+
+  ASSERT_TRUE(native_res.correct);
+  ASSERT_TRUE(vpim_res.correct);
+  // Without prefetch/batching the small-transfer overhead is large.
+  EXPECT_GT(static_cast<double>(vpim_res.total()),
+            3.0 * static_cast<double>(native_res.total()));
+}
+
+TEST(PrimSuite, OptimizationsShrinkNwOverhead) {
+  AppParams prm = small_params();
+  prm.scale = 0.5;  // 16x16 DP blocks: enough small ops to batch/prefetch
+  auto run_with = [&](core::VpimConfig cfg) {
+    core::Host host(test::small_machine(), CostModel{}, fast_manager());
+    core::VpimVm vm(host, {.name = "nw"}, 1, cfg);
+    core::GuestPlatform platform(vm);
+    auto res = make_app("NW")->run(platform, prm);
+    EXPECT_TRUE(res.correct);
+    return res.total();
+  };
+  const SimNs plain = run_with(core::VpimConfig::c_only());
+  const SimNs optimized = run_with(core::VpimConfig::with_prefetch_batching());
+  EXPECT_LT(optimized, plain);
+  // At this reduced test scale the common launch/poll time dilutes the
+  // gain; the full-scale bench (fig14) reproduces the paper's 10.8x.
+  EXPECT_GT(static_cast<double>(plain) / static_cast<double>(optimized),
+            1.4);
+}
+
+// ------------------------------------------------------- microbenchmarks
+
+TEST(Checksum, NativeAndVpimAgree) {
+  ChecksumParams prm;
+  prm.nr_dpus = 8;
+  prm.file_bytes = 2 * kMiB;
+
+  test::TestRig rig(test::small_machine());
+  auto native = run_checksum(rig.native, prm);
+  EXPECT_TRUE(native.correct);
+  EXPECT_EQ(native.write_ops, 1u);  // one broadcast
+  EXPECT_EQ(native.read_ops, prm.nr_dpus);
+  EXPECT_GT(native.ci_ops, 2u);
+
+  core::Host host(test::small_machine(), CostModel{}, fast_manager());
+  core::VpimVm vm(host, {.name = "ck-vm"}, 1);
+  core::GuestPlatform platform(vm);
+  auto virt = run_checksum(platform, prm);
+  EXPECT_TRUE(virt.correct);
+  EXPECT_GT(virt.total, native.total);
+}
+
+TEST(Checksum, OverheadShrinksWithDataSize) {
+  auto overhead_at = [&](std::uint64_t bytes) {
+    ChecksumParams prm;
+    prm.nr_dpus = 8;
+    prm.file_bytes = bytes;
+    test::TestRig rig(test::small_machine());
+    auto native = run_checksum(rig.native, prm);
+    core::Host host(test::small_machine(), CostModel{}, fast_manager());
+    core::VpimVm vm(host, {.name = "ck"}, 1);
+    core::GuestPlatform platform(vm);
+    auto virt = run_checksum(platform, prm);
+    return static_cast<double>(virt.total) /
+           static_cast<double>(native.total);
+  };
+  // Fig 9c: relative overhead decreases as the transfer grows.
+  EXPECT_GT(overhead_at(512 * kKiB), overhead_at(8 * kMiB));
+}
+
+TEST(IndexSearch, NativeAndVpimAgree) {
+  IndexSearchParams prm;
+  prm.nr_dpus = 8;
+  prm.nr_documents = 200;
+  prm.nr_queries = 64;
+  prm.batch_size = 32;
+  prm.avg_doc_words = 300;
+
+  test::TestRig rig(test::small_machine());
+  auto native = run_index_search(rig.native, prm);
+  EXPECT_TRUE(native.correct);
+  EXPECT_GT(native.matches, 0u);
+
+  core::Host host(test::small_machine(), CostModel{}, fast_manager());
+  core::VpimVm vm(host, {.name = "is-vm"}, 1);
+  core::GuestPlatform platform(vm);
+  auto virt = run_index_search(platform, prm);
+  EXPECT_TRUE(virt.correct);
+  EXPECT_EQ(virt.matches, native.matches);
+  EXPECT_GT(virt.total, native.total);
+}
+
+TEST(IndexSearch, SingleDpuWorks) {
+  IndexSearchParams prm;
+  prm.nr_dpus = 1;
+  prm.nr_documents = 50;
+  prm.nr_queries = 16;
+  prm.batch_size = 16;
+  prm.avg_doc_words = 100;
+  test::TestRig rig(test::small_machine());
+  auto res = run_index_search(rig.native, prm);
+  EXPECT_TRUE(res.correct);
+}
+
+}  // namespace
+}  // namespace vpim::prim

@@ -1,0 +1,31 @@
+// Shared fixtures: a simulated UPMEM machine with driver and native
+// platform, mirroring the paper's testbed geometry by default.
+#pragma once
+
+#include <memory>
+
+#include "common/cost_model.h"
+#include "common/sim_clock.h"
+#include "driver/driver.h"
+#include "sdk/native.h"
+#include "upmem/machine.h"
+
+namespace vpim::test {
+
+struct TestRig {
+  explicit TestRig(upmem::MachineConfig config = {})
+      : machine(config, clock, cost), drv(machine), native(drv, "test-app") {}
+
+  SimClock clock;
+  CostModel cost;
+  upmem::PimMachine machine;
+  driver::UpmemDriver drv;
+  sdk::NativePlatform native;
+};
+
+// Small machine for quick unit tests: 2 ranks x 8 DPUs.
+inline upmem::MachineConfig small_machine() {
+  return {.nr_ranks = 2, .functional_dpus_per_rank = 8};
+}
+
+}  // namespace vpim::test

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/rng.h"
+#include "tests/testutil.h"
+#include "upmem/interleave.h"
+#include "upmem/kernel.h"
+#include "upmem/mram.h"
+
+namespace vpim::upmem {
+namespace {
+
+// ------------------------------------------------------------------ MRAM
+
+TEST(Mram, ReadsZeroWhenUntouched) {
+  MramBank bank;
+  std::vector<std::uint8_t> buf(64, 0xFF);
+  bank.read(1 * kMiB, buf);
+  for (auto b : buf) EXPECT_EQ(b, 0);
+  EXPECT_EQ(bank.resident_pages(), 0u);
+}
+
+TEST(Mram, RoundTripAcrossPageBoundary) {
+  MramBank bank;
+  Rng rng(1);
+  std::vector<std::uint8_t> in(10000);
+  rng.fill_bytes(in.data(), in.size());
+  const std::uint64_t offset = kMramPageSize - 123;  // straddles pages
+  bank.write(offset, in);
+  std::vector<std::uint8_t> out(in.size());
+  bank.read(offset, out);
+  EXPECT_EQ(in, out);
+}
+
+TEST(Mram, OutOfBoundsThrows) {
+  MramBank bank;
+  std::vector<std::uint8_t> buf(16);
+  EXPECT_THROW(bank.write(kMramSize - 8, buf), VpimError);
+  EXPECT_THROW(bank.read(kMramSize, {buf.data(), 1}), VpimError);
+}
+
+TEST(Mram, SharedPagesAreCopyOnWrite) {
+  MramBank a, b;
+  std::vector<std::uint8_t> data(2 * kMramPageSize, 0xAB);
+  auto pages = MramBank::build_pages(data);
+  a.adopt_pages(0, pages);
+  b.adopt_pages(0, pages);
+
+  // Mutating bank a must not leak into bank b.
+  std::vector<std::uint8_t> patch = {1, 2, 3};
+  a.write(10, patch);
+  std::vector<std::uint8_t> out(3);
+  b.read(10, out);
+  EXPECT_EQ(out, std::vector<std::uint8_t>({0xAB, 0xAB, 0xAB}));
+  a.read(10, out);
+  EXPECT_EQ(out, patch);
+}
+
+TEST(Mram, ClearDropsPages) {
+  MramBank bank;
+  std::vector<std::uint8_t> data(kMramPageSize, 1);
+  bank.write(0, data);
+  EXPECT_GT(bank.resident_pages(), 0u);
+  bank.clear();
+  EXPECT_EQ(bank.resident_pages(), 0u);
+  std::vector<std::uint8_t> out(8);
+  bank.read(0, out);
+  for (auto b : out) EXPECT_EQ(b, 0);
+}
+
+// ------------------------------------------------------------ interleave
+
+class InterleaveSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InterleaveSweep, WideMatchesNaive) {
+  const std::size_t n = GetParam();
+  Rng rng(n);
+  std::vector<std::uint8_t> src(n), a(n), b(n);
+  rng.fill_bytes(src.data(), src.size());
+  interleave_naive(src, a);
+  interleave_wide(src, b);
+  EXPECT_EQ(a, b) << "size " << n;
+}
+
+TEST_P(InterleaveSweep, RoundTripIdentity) {
+  const std::size_t n = GetParam();
+  Rng rng(n + 1);
+  std::vector<std::uint8_t> src(n), wire(n), back(n);
+  rng.fill_bytes(src.data(), src.size());
+
+  interleave_wide(src, wire);
+  deinterleave_wide(wire, back);
+  EXPECT_EQ(src, back);
+
+  interleave_naive(src, wire);
+  deinterleave_naive(wire, back);
+  EXPECT_EQ(src, back);
+
+  // Cross pairing: naive interleave, wide deinterleave.
+  interleave_naive(src, wire);
+  deinterleave_wide(wire, back);
+  EXPECT_EQ(src, back);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, InterleaveSweep,
+                         ::testing::Values(8, 16, 64, 72, 128, 1000, 4096,
+                                           65536, 100000));
+
+TEST(Interleave, KnownStripePattern) {
+  // 16 bytes = 2 words; byte j of word w lands at chip j, position w.
+  std::vector<std::uint8_t> src(16);
+  std::iota(src.begin(), src.end(), 0);
+  std::vector<std::uint8_t> dst(16);
+  interleave_naive(src, dst);
+  // per_chip = 2; dst[c*2 + w] = src[w*8 + c]
+  EXPECT_EQ(dst[0], 0);   // chip 0, word 0
+  EXPECT_EQ(dst[1], 8);   // chip 0, word 1
+  EXPECT_EQ(dst[2], 1);   // chip 1, word 0
+  EXPECT_EQ(dst[15], 15); // chip 7, word 1
+}
+
+TEST(Interleave, RejectsMisalignedSizes) {
+  std::vector<std::uint8_t> a(7), b(7);
+  EXPECT_THROW(interleave_naive(a, b), VpimError);
+  std::vector<std::uint8_t> c(8), d(16);
+  EXPECT_THROW(interleave_wide(c, d), VpimError);
+}
+
+// ------------------------------------------------------------ DPU kernels
+
+DpuKernel make_sum_kernel() {
+  DpuKernel k;
+  k.name = "test_sum";
+  k.symbols = {{"result", 8}, {"n_words", 4}};
+  k.stages.push_back([](DpuCtx& ctx) {
+    if (ctx.me() != 0) return;
+    ctx.var<std::uint64_t>("result") = 0;
+  });
+  k.stages.push_back([](DpuCtx& ctx) {
+    const std::uint32_t n_words = ctx.var<std::uint32_t>("n_words");
+    const std::uint32_t per =
+        (n_words + ctx.nr_tasklets() - 1) / ctx.nr_tasklets();
+    const std::uint32_t begin = ctx.me() * per;
+    const std::uint32_t end = std::min(n_words, begin + per);
+    if (begin >= end) return;
+    // Stream the partition through a 2 KiB WRAM block, as real DPU
+    // kernels do (WRAM is only 64 KiB).
+    constexpr std::uint32_t kBlockWords = 256;
+    auto buf = ctx.mem_alloc(kBlockWords * 8);
+    std::uint64_t local = 0;
+    for (std::uint32_t w = begin; w < end; w += kBlockWords) {
+      const std::uint32_t n = std::min(kBlockWords, end - w);
+      ctx.mram_read(w * 8, buf.first(n * 8));
+      for (std::uint32_t i = 0; i < n; ++i) {
+        std::uint64_t v;
+        std::memcpy(&v, buf.data() + i * 8, 8);
+        local += v;
+      }
+    }
+    ctx.exec(end - begin);
+    // Stage-sequential tasklets make this accumulation race-free, the
+    // same way UPMEM kernels guard it with a mutex or handshake.
+    ctx.var<std::uint64_t>("result") += local;
+  });
+  return k;
+}
+
+TEST(DpuKernel, RegistryRejectsBadKernels) {
+  DpuKernel empty;
+  empty.name = "no_stages";
+  EXPECT_THROW(KernelRegistry::instance().add(empty), VpimError);
+
+  DpuKernel big = make_sum_kernel();
+  big.name = "too_big";
+  big.iram_bytes = kIramSize + 1;
+  EXPECT_THROW(KernelRegistry::instance().add(big), VpimError);
+}
+
+TEST(DpuKernel, SumKernelComputesAndTakesTime) {
+  KernelRegistry::instance().add(make_sum_kernel());
+  test::TestRig rig(test::small_machine());
+  auto& rank = rig.machine.rank(0);
+  rank.ci_load("test_sum");
+
+  // Fill DPU 0's MRAM with 1000 words of value 3.
+  std::vector<std::uint8_t> data(8000);
+  for (int i = 0; i < 1000; ++i) {
+    std::uint64_t v = 3;
+    std::memcpy(data.data() + i * 8, &v, 8);
+  }
+  rank.mram(0).write(0, data);
+  std::uint32_t n_words = 1000;
+  rank.ci_copy_to_symbol(0, "n_words", 0,
+                         {reinterpret_cast<std::uint8_t*>(&n_words), 4});
+
+  rank.ci_launch(0b1, 16);
+  EXPECT_TRUE(rank.ci_any_running());
+  EXPECT_THROW((void)rank.mram(0), VpimError);  // busy DPU is off limits
+
+  rig.clock.set(rank.busy_until());
+  EXPECT_FALSE(rank.ci_any_running());
+
+  std::uint64_t result = 0;
+  rank.ci_copy_from_symbol(0, "result", 0,
+                           {reinterpret_cast<std::uint8_t*>(&result), 8});
+  EXPECT_EQ(result, 3000u);
+  EXPECT_GT(rank.busy_until(), 0u);
+}
+
+TEST(DpuKernel, PipelineModelPenalizesFewTasklets) {
+  KernelRegistry::instance().add(make_sum_kernel());
+  test::TestRig rig(test::small_machine());
+  auto& rank0 = rig.machine.rank(0);
+  auto& rank1 = rig.machine.rank(1);
+
+  std::vector<std::uint8_t> data(80000, 1);
+  rank0.mram(0).write(0, data);
+  rank1.mram(0).write(0, data);
+  std::uint32_t n_words = 10000;
+
+  rank0.ci_load("test_sum");
+  rank0.ci_copy_to_symbol(0, "n_words", 0,
+                          {reinterpret_cast<std::uint8_t*>(&n_words), 4});
+  rank0.ci_launch(0b1, 1);  // single tasklet: pipeline underutilized
+  const SimNs t1 = rank0.busy_until();
+
+  rank1.ci_load("test_sum");
+  rank1.ci_copy_to_symbol(0, "n_words", 0,
+                          {reinterpret_cast<std::uint8_t*>(&n_words), 4});
+  rank1.ci_launch(0b1, 16);  // >= 11 tasklets: full pipeline
+  const SimNs t16 = rank1.busy_until();
+
+  // The 11-cycle issue constraint makes the single-tasklet run several
+  // times slower.
+  EXPECT_GT(t1, 5 * t16);
+}
+
+TEST(DpuKernel, WramHeapExhaustionThrows) {
+  DpuKernel k;
+  k.name = "test_hog";
+  k.stages.push_back([](DpuCtx& ctx) {
+    if (ctx.me() == 0) ctx.mem_alloc(kWramSize + 1);
+  });
+  KernelRegistry::instance().add(k);
+
+  test::TestRig rig(test::small_machine());
+  auto& rank = rig.machine.rank(0);
+  rank.ci_load("test_hog");
+  EXPECT_THROW(rank.ci_launch(0b1, 1), VpimError);
+}
+
+// ------------------------------------------------------------------ rank
+
+TEST(Rank, MaskValidation) {
+  test::TestRig rig(test::small_machine());  // 8 DPUs per rank
+  auto& rank = rig.machine.rank(0);
+  KernelRegistry::instance().add(make_sum_kernel());
+  rank.ci_load("test_sum");
+  EXPECT_THROW(rank.ci_launch(1ULL << 8), VpimError);  // beyond DPU count
+}
+
+TEST(Rank, ResetClearsEverything) {
+  test::TestRig rig(test::small_machine());
+  auto& rank = rig.machine.rank(0);
+  std::vector<std::uint8_t> data(64, 9);
+  rank.mram(0).write(0, data);
+  rank.reset_memory();
+  std::vector<std::uint8_t> out(64, 1);
+  rank.mram(0).read(0, out);
+  for (auto b : out) EXPECT_EQ(b, 0);
+}
+
+TEST(Machine, PaperGeometry) {
+  test::TestRig rig;  // defaults: 8 ranks x 60 DPUs
+  EXPECT_EQ(rig.machine.nr_ranks(), 8u);
+  EXPECT_EQ(rig.machine.total_dpus(), 480u);
+}
+
+}  // namespace
+}  // namespace vpim::upmem

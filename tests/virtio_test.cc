@@ -1,0 +1,153 @@
+#include <gtest/gtest.h>
+
+#include "common/error.h"
+#include "virtio/pim_spec.h"
+#include "virtio/virtqueue.h"
+
+namespace vpim::virtio {
+namespace {
+
+TEST(Virtqueue, RejectsNonPowerOfTwoSize) {
+  EXPECT_THROW(Virtqueue(0), VpimError);
+  EXPECT_THROW(Virtqueue(100), VpimError);
+  EXPECT_NO_THROW(Virtqueue(128));
+}
+
+TEST(Virtqueue, SubmitPopRoundTrip) {
+  Virtqueue q(8);
+  const DescBuffer bufs[] = {
+      {0x1000, 64, false},
+      {0x2000, 128, false},
+      {0x3000, 256, true},
+  };
+  const std::uint16_t head = q.submit(bufs);
+  EXPECT_EQ(q.free_descriptors(), 5);
+
+  auto chain = q.pop_avail();
+  ASSERT_TRUE(chain.has_value());
+  EXPECT_EQ(chain->head, head);
+  ASSERT_EQ(chain->descs.size(), 3u);
+  EXPECT_EQ(chain->descs[0].addr, 0x1000u);
+  EXPECT_EQ(chain->descs[1].len, 128u);
+  EXPECT_TRUE(chain->descs[2].flags & kDescFlagWrite);
+  EXPECT_FALSE(chain->descs[2].flags & kDescFlagNext);
+
+  // Nothing else pending.
+  EXPECT_FALSE(q.pop_avail().has_value());
+
+  q.push_used(head, 256);
+  auto used = q.poll_used();
+  ASSERT_TRUE(used.has_value());
+  EXPECT_EQ(used->id, head);
+  EXPECT_EQ(used->len, 256u);
+  EXPECT_EQ(q.free_descriptors(), 8);
+}
+
+TEST(Virtqueue, UsedBeforePushIsEmpty) {
+  Virtqueue q(8);
+  EXPECT_FALSE(q.poll_used().has_value());
+  EXPECT_FALSE(q.pop_avail().has_value());
+}
+
+TEST(Virtqueue, ExhaustionThrowsAndRecyclingRestores) {
+  Virtqueue q(4);
+  const DescBuffer one[] = {{0x1000, 8, false}};
+  std::uint16_t heads[4];
+  for (auto& head : heads) head = q.submit(one);
+  EXPECT_EQ(q.free_descriptors(), 0);
+  EXPECT_THROW(q.submit(one), VpimError);
+
+  // Device consumes and completes two chains.
+  for (int i = 0; i < 2; ++i) {
+    auto chain = q.pop_avail();
+    ASSERT_TRUE(chain);
+    q.push_used(chain->head, 0);
+  }
+  // Driver must poll used before descriptors are free again.
+  EXPECT_EQ(q.free_descriptors(), 0);
+  ASSERT_TRUE(q.poll_used());
+  ASSERT_TRUE(q.poll_used());
+  EXPECT_EQ(q.free_descriptors(), 2);
+  EXPECT_NO_THROW(q.submit(one));
+}
+
+TEST(Virtqueue, ManySequentialRequestsWrapRings) {
+  Virtqueue q(8);
+  const DescBuffer bufs[] = {{0xA000, 16, false}, {0xB000, 16, true}};
+  // Far more requests than the ring size: indices must wrap correctly.
+  for (int iter = 0; iter < 1000; ++iter) {
+    const std::uint16_t head = q.submit(bufs);
+    auto chain = q.pop_avail();
+    ASSERT_TRUE(chain);
+    EXPECT_EQ(chain->head, head);
+    ASSERT_EQ(chain->descs.size(), 2u);
+    q.push_used(head, 16);
+    auto used = q.poll_used();
+    ASSERT_TRUE(used);
+    EXPECT_EQ(used->id, head);
+  }
+  EXPECT_EQ(q.free_descriptors(), 8);
+}
+
+TEST(Virtqueue, InterleavedOutstandingChains) {
+  Virtqueue q(16);
+  const DescBuffer a[] = {{0x1, 1, false}};
+  const DescBuffer b[] = {{0x2, 2, false}, {0x3, 3, false}};
+  const std::uint16_t ha = q.submit(a);
+  const std::uint16_t hb = q.submit(b);
+
+  auto ca = q.pop_avail();
+  auto cb = q.pop_avail();
+  ASSERT_TRUE(ca && cb);
+  EXPECT_EQ(ca->head, ha);
+  EXPECT_EQ(cb->head, hb);
+
+  // Complete out of order: b first.
+  q.push_used(hb, 0);
+  q.push_used(ha, 0);
+  EXPECT_EQ(q.poll_used()->id, hb);
+  EXPECT_EQ(q.poll_used()->id, ha);
+  EXPECT_EQ(q.free_descriptors(), 16);
+}
+
+TEST(Virtqueue, TransferqHoldsSerializedMatrix) {
+  // The spec sizes transferq at 512 slots so the 130-buffer matrix fits.
+  Virtqueue q(kTransferQueueSize);
+  std::vector<DescBuffer> bufs(kMaxMatrixBuffers);
+  for (std::size_t i = 0; i < bufs.size(); ++i) {
+    bufs[i] = {0x1000 * (i + 1), 32, false};
+  }
+  EXPECT_NO_THROW(q.submit(bufs));
+  auto chain = q.pop_avail();
+  ASSERT_TRUE(chain);
+  EXPECT_EQ(chain->descs.size(), kMaxMatrixBuffers);
+}
+
+class ChainLengthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(ChainLengthSweep, ChainOrderPreserved) {
+  const int n = GetParam();
+  Virtqueue q(256);
+  std::vector<DescBuffer> bufs(n);
+  for (int i = 0; i < n; ++i) {
+    bufs[i] = {static_cast<std::uint64_t>(i) * 0x100 + 0x10,
+               static_cast<std::uint32_t>(i + 1), (i % 2) == 0};
+  }
+  q.submit(bufs);
+  auto chain = q.pop_avail();
+  ASSERT_TRUE(chain);
+  ASSERT_EQ(chain->descs.size(), static_cast<std::size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    EXPECT_EQ(chain->descs[i].addr,
+              static_cast<std::uint64_t>(i) * 0x100 + 0x10);
+    EXPECT_EQ(chain->descs[i].len, static_cast<std::uint32_t>(i + 1));
+    EXPECT_EQ((chain->descs[i].flags & kDescFlagWrite) != 0, (i % 2) == 0);
+    EXPECT_EQ((chain->descs[i].flags & kDescFlagNext) != 0, i != n - 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, ChainLengthSweep,
+                         ::testing::Values(1, 2, 3, 7, 64, 130, 256));
+
+}  // namespace
+}  // namespace vpim::virtio

@@ -1,0 +1,202 @@
+// Tests for the extension features: virtio device lifecycle, vhost-style
+// transitions (§7 future work), and dynamic rank migration (§3.3).
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "tests/test_kernels.h"
+#include "tests/testutil.h"
+#include "virtio/device_state.h"
+#include "vpim/guest_platform.h"
+#include "vpim/host.h"
+#include "vpim/vpim_vm.h"
+
+namespace vpim::core {
+namespace {
+
+ManagerConfig fast_manager() {
+  ManagerConfig cfg;
+  cfg.retry_wait_ns = 1 * kMs;
+  cfg.max_attempts = 2;
+  return cfg;
+}
+
+// ------------------------------------------------------ device lifecycle
+
+TEST(DeviceState, HappyPathNegotiation) {
+  virtio::DeviceState state(0);
+  EXPECT_FALSE(state.driver_ok());
+  state.write_status(virtio::kStatusAcknowledge);
+  state.write_status(virtio::kStatusAcknowledge | virtio::kStatusDriver);
+  state.write_driver_features(0);
+  state.write_status(virtio::kStatusAcknowledge | virtio::kStatusDriver |
+                     virtio::kStatusFeaturesOk);
+  state.write_status(virtio::kStatusAcknowledge | virtio::kStatusDriver |
+                     virtio::kStatusFeaturesOk | virtio::kStatusDriverOk);
+  EXPECT_TRUE(state.driver_ok());
+  EXPECT_EQ(state.negotiated_features(), 0u);
+}
+
+TEST(DeviceState, OutOfOrderTransitionsRejected) {
+  virtio::DeviceState state(0);
+  // DRIVER before ACKNOWLEDGE.
+  EXPECT_THROW(state.write_status(virtio::kStatusDriver), VpimError);
+  state.reset();
+  // FEATURES_OK before writing features.
+  state.write_status(virtio::kStatusAcknowledge);
+  state.write_status(virtio::kStatusAcknowledge | virtio::kStatusDriver);
+  EXPECT_THROW(
+      state.write_status(virtio::kStatusAcknowledge |
+                         virtio::kStatusDriver |
+                         virtio::kStatusFeaturesOk),
+      VpimError);
+  // Removing bits is not allowed.
+  EXPECT_THROW(state.write_status(virtio::kStatusAcknowledge), VpimError);
+}
+
+TEST(DeviceState, UnofferedFeaturesFailTheDevice) {
+  virtio::DeviceState state(0);  // PIM offers no feature bits
+  state.write_status(virtio::kStatusAcknowledge);
+  state.write_status(virtio::kStatusAcknowledge | virtio::kStatusDriver);
+  state.write_driver_features(0x4);  // driver asks for something bogus
+  EXPECT_THROW(
+      state.write_status(virtio::kStatusAcknowledge |
+                         virtio::kStatusDriver |
+                         virtio::kStatusFeaturesOk),
+      VpimError);
+  EXPECT_EQ(state.status() & virtio::kStatusFailed, virtio::kStatusFailed);
+  // FAILED sticks until a reset.
+  EXPECT_THROW(state.write_status(virtio::kStatusAcknowledge), VpimError);
+  state.reset();
+  EXPECT_EQ(state.status(), 0);
+}
+
+TEST(DeviceState, NotifyBeforeDriverOkRejected) {
+  test::TestRig unused(test::small_machine());
+  Host host(test::small_machine(), CostModel{}, fast_manager());
+  VpimVm vm(host, {.name = "lifecycle"}, 1);
+  // Poke the backend directly, bypassing the frontend's init dance.
+  EXPECT_THROW(vm.device(0).backend.handle_transferq(), VpimError);
+  // After a proper open, notifications flow.
+  ASSERT_TRUE(vm.device(0).frontend.open());
+  EXPECT_NO_THROW(vm.device(0).backend.handle_transferq());
+}
+
+// ----------------------------------------------------------------- vhost
+
+TEST(Vhost, CutsTransitionCostOnSmallOps) {
+  auto run = [&](VpimConfig cfg) {
+    Host host(test::small_machine(), CostModel{}, fast_manager());
+    VpimVm vm(host, {.name = "vhost"}, 1, cfg);
+    Frontend& fe = vm.device(0).frontend;
+    EXPECT_TRUE(fe.open());
+    auto buf = vm.vmm().memory().alloc(4 * kKiB);
+    const SimNs t0 = host.clock.now();
+    // Small-op workload: CI status reads are pure round trips.
+    for (int i = 0; i < 100; ++i) (void)fe.ci_running_mask();
+    driver::TransferMatrix w;
+    w.entries.push_back({0, 0, buf.data(), buf.size()});
+    fe.write_to_rank(w);
+    return host.clock.now() - t0;
+  };
+  const SimNs classic = run(VpimConfig::full());
+  const SimNs vhost = run(VpimConfig::vhost());
+  EXPECT_LT(vhost, classic);
+  // Round trip drops from ~35 us to ~9 us: better than 2x on this mix.
+  EXPECT_GT(static_cast<double>(classic) / static_cast<double>(vhost),
+            2.0);
+}
+
+TEST(Vhost, ResultsStayCorrect) {
+  Host host(test::small_machine(), CostModel{}, fast_manager());
+  VpimVm vm(host, {.name = "vhost-app"}, 1, VpimConfig::vhost());
+  GuestPlatform platform(vm);
+  auto [zeros, expected] = test::run_count_zeros(platform, 8, 4096, 5);
+  EXPECT_EQ(zeros, expected);
+}
+
+// ------------------------------------------------------- rank migration
+
+TEST(Migration, ContentSurvivesAndOldRankRecycles) {
+  Host host(test::small_machine(), CostModel{}, fast_manager());
+  VpimVm vm(host, {.name = "migrator"}, 1);
+  Frontend& fe = vm.device(0).frontend;
+  ASSERT_TRUE(fe.open());
+  const std::uint32_t old_rank = vm.device(0).backend.rank_index();
+
+  auto buf = vm.vmm().memory().alloc(64 * kKiB);
+  for (std::size_t i = 0; i < buf.size(); ++i) {
+    buf[i] = static_cast<std::uint8_t>(i * 13);
+  }
+  driver::TransferMatrix w;
+  w.entries.push_back({2, 4096, buf.data(), buf.size()});
+  fe.write_to_rank(w);
+
+  const SimNs t0 = host.clock.now();
+  ASSERT_TRUE(fe.migrate());
+  const std::uint32_t new_rank = vm.device(0).backend.rank_index();
+  EXPECT_NE(new_rank, old_rank);
+  // Migration pays the manager round trip plus the rank-to-rank copy.
+  EXPECT_GT(host.clock.now() - t0, host.cost.manager_alloc_rt_ns);
+
+  // The device still serves the same data, now from the new rank.
+  auto out = vm.vmm().memory().alloc(buf.size());
+  driver::TransferMatrix r;
+  r.direction = driver::XferDirection::kFromRank;
+  r.entries.push_back({2, 4096, out.data(), out.size()});
+  fe.read_from_rank(r);
+  EXPECT_TRUE(std::memcmp(out.data(), buf.data(), buf.size()) == 0);
+
+  // The old rank was released; the observer reclaims and erases it.
+  EXPECT_FALSE(host.drv.is_mapped(old_rank));
+  host.manager.observe();
+  host.manager.observe();
+  EXPECT_EQ(host.manager.state(old_rank), RankState::kNaav);
+  std::vector<std::uint8_t> probe(16, 1);
+  host.machine.rank(old_rank).mram(2).read(4096, probe);
+  for (auto b : probe) EXPECT_EQ(b, 0);  // no residual data (R2)
+}
+
+TEST(Migration, LoadedProgramSurvives) {
+  test::register_count_zeros();
+  Host host(test::small_machine(), CostModel{}, fast_manager());
+  VpimVm vm(host, {.name = "migrator2"}, 1);
+  Frontend& fe = vm.device(0).frontend;
+  ASSERT_TRUE(fe.open());
+
+  fe.ci_load("test_count_zeros");
+  auto buf = vm.vmm().memory().alloc(16 * kKiB);
+  std::memset(buf.data(), 0, buf.size());  // all zeros -> count = n
+  driver::TransferMatrix w;
+  w.entries.push_back({0, 0, buf.data(), buf.size()});
+  fe.write_to_rank(w);
+  std::uint32_t ps = 16 * kKiB;
+  fe.ci_copy_to_symbol(0, "partition_size", 0, test::bytes_u32(ps));
+
+  ASSERT_TRUE(fe.migrate());
+
+  // Launch *after* migration: binary and symbols must have moved too.
+  fe.ci_launch(0b1, 16);
+  while (fe.ci_running_mask() != 0) host.clock.advance(100 * kUs);
+  std::uint32_t count = 0;
+  fe.ci_copy_from_symbol(0, "zero_count", 0, test::bytes_u32(count));
+  EXPECT_EQ(count, 16 * kKiB / 4);
+}
+
+TEST(Migration, FailsCleanlyWhenMachineFull) {
+  Host host(test::small_machine(), CostModel{}, fast_manager());
+  VpimVm vm(host, {.name = "full"}, 2);
+  ASSERT_TRUE(vm.device(0).frontend.open());
+  ASSERT_TRUE(vm.device(1).frontend.open());  // both ranks taken
+  const std::uint32_t rank_before = vm.device(0).backend.rank_index();
+  EXPECT_FALSE(vm.device(0).frontend.migrate());
+  // Still bound to the original rank and fully usable.
+  EXPECT_EQ(vm.device(0).backend.rank_index(), rank_before);
+  auto buf = vm.vmm().memory().alloc(4096);
+  driver::TransferMatrix w;
+  w.entries.push_back({0, 0, buf.data(), buf.size()});
+  EXPECT_NO_THROW(vm.device(0).frontend.write_to_rank(w));
+}
+
+}  // namespace
+}  // namespace vpim::core

@@ -1,0 +1,233 @@
+// vpim-sim: command-line explorer for the simulated vPIM stack.
+//
+// Runs any PrIM application (or the checksum / index-search
+// microbenchmarks) natively and/or under a chosen vPIM configuration and
+// prints the paper-style segment breakdown plus the virtualization
+// internals.
+//
+// Examples:
+//   vpim-sim --app NW --dpus 60
+//   vpim-sim --app TRNS --dpus 480 --config vPIM-C
+//   vpim-sim --app checksum --mb 20 --config vPIM+vhost
+//   vpim-sim --list
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <string>
+
+#include "common/trace.h"
+
+#include "prim/app.h"
+#include "prim/micro.h"
+#include "sdk/native.h"
+#include "vpim/guest_platform.h"
+#include "vpim/host.h"
+#include "vpim/vpim_vm.h"
+
+using namespace vpim;
+
+namespace {
+
+struct Options {
+  std::string app = "VA";
+  std::uint32_t dpus = 60;
+  std::uint32_t tasklets = 16;
+  double scale = 1.0;
+  std::uint64_t mb = 20;  // checksum file size per DPU
+  std::string config = "vPIM";
+  std::string trace_path;  // --trace FILE: CSV of the vPIM run's ops
+  bool native_only = false;
+  bool vpim_only = false;
+};
+
+core::VpimConfig config_by_label(const std::string& label) {
+  for (const auto& preset :
+       {core::VpimConfig::rust(), core::VpimConfig::c_only(),
+        core::VpimConfig::with_prefetch(), core::VpimConfig::with_batching(),
+        core::VpimConfig::with_prefetch_batching(),
+        core::VpimConfig::sequential(), core::VpimConfig::full(),
+        core::VpimConfig::vhost()}) {
+    if (preset.label == label) return preset;
+  }
+  std::fprintf(stderr,
+               "unknown config '%s' (try vPIM-rust, vPIM-C, vPIM+P, "
+               "vPIM+B, vPIM+PB, vPIM-Seq, vPIM, vPIM+vhost)\n",
+               label.c_str());
+  std::exit(2);
+}
+
+int usage() {
+  std::printf(
+      "usage: vpim-sim [--app NAME] [--dpus N] [--tasklets N]\n"
+      "                [--scale X] [--mb N] [--config LABEL]\n"
+      "                [--trace FILE] [--native-only | --vpim-only] [--list]\n"
+      "  NAME: a PrIM app (--list), 'checksum', or 'search'\n");
+  return 2;
+}
+
+void print_breakdown(const char* who, const prim::AppResult& res) {
+  std::printf(
+      "%-8s CPU-DPU %9.2f ms | DPU %9.2f ms | Inter-DPU %9.2f ms | "
+      "DPU-CPU %9.2f ms | total %9.2f ms | %s\n",
+      who, ns_to_ms(res.breakdown[Segment::kCpuDpu]),
+      ns_to_ms(res.breakdown[Segment::kDpu]),
+      ns_to_ms(res.breakdown[Segment::kInterDpu]),
+      ns_to_ms(res.breakdown[Segment::kDpuCpu]), ns_to_ms(res.total()),
+      res.correct ? "correct" : "WRONG RESULT");
+}
+
+void print_device_stats(const core::DeviceStats& stats) {
+  std::printf(
+      "internals: %lu messages | batching %lu absorbed / %lu flushes | "
+      "cache %lu hits / %lu misses / %lu fills\n",
+      static_cast<unsigned long>(stats.notifies),
+      static_cast<unsigned long>(stats.batched_writes),
+      static_cast<unsigned long>(stats.batch_flushes),
+      static_cast<unsigned long>(stats.cache_hits),
+      static_cast<unsigned long>(stats.cache_misses),
+      static_cast<unsigned long>(stats.cache_fills));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Options opt;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s needs a value\n", arg.c_str());
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--app") {
+      opt.app = value();
+    } else if (arg == "--dpus") {
+      opt.dpus = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--tasklets") {
+      opt.tasklets = static_cast<std::uint32_t>(std::atoi(value()));
+    } else if (arg == "--scale") {
+      opt.scale = std::atof(value());
+    } else if (arg == "--mb") {
+      opt.mb = static_cast<std::uint64_t>(std::atoll(value()));
+    } else if (arg == "--config") {
+      opt.config = value();
+    } else if (arg == "--trace") {
+      opt.trace_path = value();
+    } else if (arg == "--native-only") {
+      opt.native_only = true;
+    } else if (arg == "--vpim-only") {
+      opt.vpim_only = true;
+    } else if (arg == "--list") {
+      std::printf("PrIM applications:");
+      for (const auto& name : prim::app_names()) {
+        std::printf(" %s", name.c_str());
+      }
+      std::printf("\nmicrobenchmarks: checksum search\n");
+      return 0;
+    } else {
+      return usage();
+    }
+  }
+
+  const core::VpimConfig config = config_by_label(opt.config);
+  const std::uint32_t nr_devices = (opt.dpus + 59) / 60;
+  std::printf("machine: 8 ranks x 60 DPUs @350 MHz | app %s, %u DPUs, "
+              "%u tasklets, scale %.2f | config %s\n",
+              opt.app.c_str(), opt.dpus, opt.tasklets, opt.scale,
+              config.label.c_str());
+
+  SimNs native_total = 0, vpim_total = 0;
+  if (opt.app == "checksum" || opt.app == "search") {
+    auto run_micro = [&](sdk::Platform& platform) -> SimNs {
+      if (opt.app == "checksum") {
+        prim::ChecksumParams prm;
+        prm.nr_dpus = opt.dpus;
+        prm.nr_tasklets = opt.tasklets;
+        prm.file_bytes = opt.mb * kMiB;
+        const auto res = prim::run_checksum(platform, prm);
+        std::printf("  %8.2f ms, %s, ops: %lu W / %lu R / %lu CI\n",
+                    ns_to_ms(res.total),
+                    res.correct ? "correct" : "WRONG",
+                    static_cast<unsigned long>(res.write_ops),
+                    static_cast<unsigned long>(res.read_ops),
+                    static_cast<unsigned long>(res.ci_ops));
+        return res.total;
+      }
+      prim::IndexSearchParams prm;
+      prm.nr_dpus = opt.dpus;
+      prm.nr_tasklets = opt.tasklets;
+      const auto res = prim::run_index_search(platform, prm);
+      std::printf("  %8.2f ms, %s, index %.1f MB, %lu matches\n",
+                  ns_to_ms(res.total), res.correct ? "correct" : "WRONG",
+                  static_cast<double>(res.index_bytes) / (1 << 20),
+                  static_cast<unsigned long>(res.matches));
+      return res.total;
+    };
+    if (!opt.vpim_only) {
+      core::Host host;
+      sdk::NativePlatform native(host.drv, "vpim-sim");
+      std::printf("native:\n");
+      native_total = run_micro(native);
+    }
+    if (!opt.native_only) {
+      core::Host host;
+      core::VpimVm vm(host, {.name = "vpim-sim"}, nr_devices, config);
+      core::GuestPlatform guest(vm);
+      Tracer tracer;
+      if (!opt.trace_path.empty()) {
+        for (std::uint32_t d = 0; d < vm.nr_devices(); ++d) {
+          vm.device(d).frontend.set_tracer(&tracer);
+        }
+      }
+      std::printf("%s:\n", config.label.c_str());
+      vpim_total = run_micro(guest);
+      print_device_stats(vm.device(0).stats);
+      if (!opt.trace_path.empty()) {
+        std::ofstream out(opt.trace_path);
+        tracer.dump_csv(out);
+        std::printf("trace: %zu events -> %s\n", tracer.events().size(),
+                    opt.trace_path.c_str());
+      }
+    }
+  } else {
+    prim::AppParams prm;
+    prm.nr_dpus = opt.dpus;
+    prm.nr_tasklets = opt.tasklets;
+    prm.scale = opt.scale;
+    if (!opt.vpim_only) {
+      core::Host host;
+      sdk::NativePlatform native(host.drv, "vpim-sim");
+      const auto res = prim::make_app(opt.app)->run(native, prm);
+      print_breakdown("native", res);
+      native_total = res.total();
+    }
+    if (!opt.native_only) {
+      core::Host host;
+      core::VpimVm vm(host, {.name = "vpim-sim"}, nr_devices, config);
+      core::GuestPlatform guest(vm);
+      Tracer tracer;
+      if (!opt.trace_path.empty()) {
+        for (std::uint32_t d = 0; d < vm.nr_devices(); ++d) {
+          vm.device(d).frontend.set_tracer(&tracer);
+        }
+      }
+      const auto res = prim::make_app(opt.app)->run(guest, prm);
+      print_breakdown(config.label.c_str(), res);
+      print_device_stats(vm.device(0).stats);
+      if (!opt.trace_path.empty()) {
+        std::ofstream out(opt.trace_path);
+        tracer.dump_csv(out);
+        std::printf("trace: %zu events -> %s\n", tracer.events().size(),
+                    opt.trace_path.c_str());
+      }
+      vpim_total = res.total();
+    }
+  }
+  if (native_total > 0 && vpim_total > 0) {
+    std::printf("overhead: %.2fx\n", static_cast<double>(vpim_total) /
+                                         static_cast<double>(native_total));
+  }
+  return 0;
+}
