@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_prim_apps.dir/fig08_prim_apps.cc.o"
+  "CMakeFiles/fig08_prim_apps.dir/fig08_prim_apps.cc.o.d"
+  "fig08_prim_apps"
+  "fig08_prim_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_prim_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

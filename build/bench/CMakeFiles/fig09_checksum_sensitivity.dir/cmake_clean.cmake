@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_checksum_sensitivity.dir/fig09_checksum_sensitivity.cc.o"
+  "CMakeFiles/fig09_checksum_sensitivity.dir/fig09_checksum_sensitivity.cc.o.d"
+  "fig09_checksum_sensitivity"
+  "fig09_checksum_sensitivity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_checksum_sensitivity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_index_search.dir/fig10_index_search.cc.o"
+  "CMakeFiles/fig10_index_search.dir/fig10_index_search.cc.o.d"
+  "fig10_index_search"
+  "fig10_index_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_index_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_c_enhancement.dir/fig11_c_enhancement.cc.o"
+  "CMakeFiles/fig11_c_enhancement.dir/fig11_c_enhancement.cc.o.d"
+  "fig11_c_enhancement"
+  "fig11_c_enhancement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_c_enhancement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

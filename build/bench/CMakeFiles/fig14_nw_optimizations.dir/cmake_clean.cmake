@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig14_nw_optimizations.dir/fig14_nw_optimizations.cc.o"
+  "CMakeFiles/fig14_nw_optimizations.dir/fig14_nw_optimizations.cc.o.d"
+  "fig14_nw_optimizations"
+  "fig14_nw_optimizations.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig14_nw_optimizations.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

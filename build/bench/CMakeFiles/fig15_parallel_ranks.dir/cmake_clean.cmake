@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig15_parallel_ranks.dir/fig15_parallel_ranks.cc.o"
+  "CMakeFiles/fig15_parallel_ranks.dir/fig15_parallel_ranks.cc.o.d"
+  "fig15_parallel_ranks"
+  "fig15_parallel_ranks.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig15_parallel_ranks.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig16_rank_timeline.dir/fig16_rank_timeline.cc.o"
+  "CMakeFiles/fig16_rank_timeline.dir/fig16_rank_timeline.cc.o.d"
+  "fig16_rank_timeline"
+  "fig16_rank_timeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig16_rank_timeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

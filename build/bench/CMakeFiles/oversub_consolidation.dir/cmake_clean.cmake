@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversub_consolidation.dir/oversub_consolidation.cc.o"
+  "CMakeFiles/oversub_consolidation.dir/oversub_consolidation.cc.o.d"
+  "oversub_consolidation"
+  "oversub_consolidation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversub_consolidation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

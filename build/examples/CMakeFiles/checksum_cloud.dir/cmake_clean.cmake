@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/checksum_cloud.dir/checksum_cloud.cpp.o"
+  "CMakeFiles/checksum_cloud.dir/checksum_cloud.cpp.o.d"
+  "checksum_cloud"
+  "checksum_cloud.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/checksum_cloud.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wiki_search.dir/wiki_search.cpp.o"
+  "CMakeFiles/wiki_search.dir/wiki_search.cpp.o.d"
+  "wiki_search"
+  "wiki_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wiki_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

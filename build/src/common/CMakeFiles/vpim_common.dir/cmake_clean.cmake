@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpim_common.dir/log.cc.o"
+  "CMakeFiles/vpim_common.dir/log.cc.o.d"
+  "libvpim_common.a"
+  "libvpim_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpim_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/driver/driver.cc" "src/driver/CMakeFiles/vpim_driver.dir/driver.cc.o" "gcc" "src/driver/CMakeFiles/vpim_driver.dir/driver.cc.o.d"
+  "/root/repo/src/driver/sysfs.cc" "src/driver/CMakeFiles/vpim_driver.dir/sysfs.cc.o" "gcc" "src/driver/CMakeFiles/vpim_driver.dir/sysfs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/upmem/CMakeFiles/vpim_upmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vpim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpim_driver.dir/driver.cc.o"
+  "CMakeFiles/vpim_driver.dir/driver.cc.o.d"
+  "CMakeFiles/vpim_driver.dir/sysfs.cc.o"
+  "CMakeFiles/vpim_driver.dir/sysfs.cc.o.d"
+  "libvpim_driver.a"
+  "libvpim_driver.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpim_driver.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

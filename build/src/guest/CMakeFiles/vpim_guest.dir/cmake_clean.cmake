@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpim_guest.dir/guest_memory.cc.o"
+  "CMakeFiles/vpim_guest.dir/guest_memory.cc.o.d"
+  "libvpim_guest.a"
+  "libvpim_guest.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpim_guest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libvpim_guest.a"
+)

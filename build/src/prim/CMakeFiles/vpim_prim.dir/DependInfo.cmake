@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/prim/app.cc" "src/prim/CMakeFiles/vpim_prim.dir/app.cc.o" "gcc" "src/prim/CMakeFiles/vpim_prim.dir/app.cc.o.d"
+  "/root/repo/src/prim/db.cc" "src/prim/CMakeFiles/vpim_prim.dir/db.cc.o" "gcc" "src/prim/CMakeFiles/vpim_prim.dir/db.cc.o.d"
+  "/root/repo/src/prim/dense.cc" "src/prim/CMakeFiles/vpim_prim.dir/dense.cc.o" "gcc" "src/prim/CMakeFiles/vpim_prim.dir/dense.cc.o.d"
+  "/root/repo/src/prim/heavy.cc" "src/prim/CMakeFiles/vpim_prim.dir/heavy.cc.o" "gcc" "src/prim/CMakeFiles/vpim_prim.dir/heavy.cc.o.d"
+  "/root/repo/src/prim/hist.cc" "src/prim/CMakeFiles/vpim_prim.dir/hist.cc.o" "gcc" "src/prim/CMakeFiles/vpim_prim.dir/hist.cc.o.d"
+  "/root/repo/src/prim/micro.cc" "src/prim/CMakeFiles/vpim_prim.dir/micro.cc.o" "gcc" "src/prim/CMakeFiles/vpim_prim.dir/micro.cc.o.d"
+  "/root/repo/src/prim/reduce_scan.cc" "src/prim/CMakeFiles/vpim_prim.dir/reduce_scan.cc.o" "gcc" "src/prim/CMakeFiles/vpim_prim.dir/reduce_scan.cc.o.d"
+  "/root/repo/src/prim/sparse_graph.cc" "src/prim/CMakeFiles/vpim_prim.dir/sparse_graph.cc.o" "gcc" "src/prim/CMakeFiles/vpim_prim.dir/sparse_graph.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdk/CMakeFiles/vpim_sdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/upmem/CMakeFiles/vpim_upmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vpim_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/vpim_driver.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpim_prim.dir/app.cc.o"
+  "CMakeFiles/vpim_prim.dir/app.cc.o.d"
+  "CMakeFiles/vpim_prim.dir/db.cc.o"
+  "CMakeFiles/vpim_prim.dir/db.cc.o.d"
+  "CMakeFiles/vpim_prim.dir/dense.cc.o"
+  "CMakeFiles/vpim_prim.dir/dense.cc.o.d"
+  "CMakeFiles/vpim_prim.dir/heavy.cc.o"
+  "CMakeFiles/vpim_prim.dir/heavy.cc.o.d"
+  "CMakeFiles/vpim_prim.dir/hist.cc.o"
+  "CMakeFiles/vpim_prim.dir/hist.cc.o.d"
+  "CMakeFiles/vpim_prim.dir/micro.cc.o"
+  "CMakeFiles/vpim_prim.dir/micro.cc.o.d"
+  "CMakeFiles/vpim_prim.dir/reduce_scan.cc.o"
+  "CMakeFiles/vpim_prim.dir/reduce_scan.cc.o.d"
+  "CMakeFiles/vpim_prim.dir/sparse_graph.cc.o"
+  "CMakeFiles/vpim_prim.dir/sparse_graph.cc.o.d"
+  "libvpim_prim.a"
+  "libvpim_prim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpim_prim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sdk/dpu_set.cc" "src/sdk/CMakeFiles/vpim_sdk.dir/dpu_set.cc.o" "gcc" "src/sdk/CMakeFiles/vpim_sdk.dir/dpu_set.cc.o.d"
+  "/root/repo/src/sdk/native.cc" "src/sdk/CMakeFiles/vpim_sdk.dir/native.cc.o" "gcc" "src/sdk/CMakeFiles/vpim_sdk.dir/native.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/driver/CMakeFiles/vpim_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/upmem/CMakeFiles/vpim_upmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vpim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpim_sdk.dir/dpu_set.cc.o"
+  "CMakeFiles/vpim_sdk.dir/dpu_set.cc.o.d"
+  "CMakeFiles/vpim_sdk.dir/native.cc.o"
+  "CMakeFiles/vpim_sdk.dir/native.cc.o.d"
+  "libvpim_sdk.a"
+  "libvpim_sdk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpim_sdk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

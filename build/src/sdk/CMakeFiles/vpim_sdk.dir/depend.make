@@ -1,0 +1,2 @@
+# Empty dependencies file for vpim_sdk.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/upmem/dpu.cc" "src/upmem/CMakeFiles/vpim_upmem.dir/dpu.cc.o" "gcc" "src/upmem/CMakeFiles/vpim_upmem.dir/dpu.cc.o.d"
+  "/root/repo/src/upmem/interleave.cc" "src/upmem/CMakeFiles/vpim_upmem.dir/interleave.cc.o" "gcc" "src/upmem/CMakeFiles/vpim_upmem.dir/interleave.cc.o.d"
+  "/root/repo/src/upmem/kernel.cc" "src/upmem/CMakeFiles/vpim_upmem.dir/kernel.cc.o" "gcc" "src/upmem/CMakeFiles/vpim_upmem.dir/kernel.cc.o.d"
+  "/root/repo/src/upmem/machine.cc" "src/upmem/CMakeFiles/vpim_upmem.dir/machine.cc.o" "gcc" "src/upmem/CMakeFiles/vpim_upmem.dir/machine.cc.o.d"
+  "/root/repo/src/upmem/mram.cc" "src/upmem/CMakeFiles/vpim_upmem.dir/mram.cc.o" "gcc" "src/upmem/CMakeFiles/vpim_upmem.dir/mram.cc.o.d"
+  "/root/repo/src/upmem/rank.cc" "src/upmem/CMakeFiles/vpim_upmem.dir/rank.cc.o" "gcc" "src/upmem/CMakeFiles/vpim_upmem.dir/rank.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/vpim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

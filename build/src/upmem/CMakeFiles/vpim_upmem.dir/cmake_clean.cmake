@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpim_upmem.dir/dpu.cc.o"
+  "CMakeFiles/vpim_upmem.dir/dpu.cc.o.d"
+  "CMakeFiles/vpim_upmem.dir/interleave.cc.o"
+  "CMakeFiles/vpim_upmem.dir/interleave.cc.o.d"
+  "CMakeFiles/vpim_upmem.dir/kernel.cc.o"
+  "CMakeFiles/vpim_upmem.dir/kernel.cc.o.d"
+  "CMakeFiles/vpim_upmem.dir/machine.cc.o"
+  "CMakeFiles/vpim_upmem.dir/machine.cc.o.d"
+  "CMakeFiles/vpim_upmem.dir/mram.cc.o"
+  "CMakeFiles/vpim_upmem.dir/mram.cc.o.d"
+  "CMakeFiles/vpim_upmem.dir/rank.cc.o"
+  "CMakeFiles/vpim_upmem.dir/rank.cc.o.d"
+  "libvpim_upmem.a"
+  "libvpim_upmem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpim_upmem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

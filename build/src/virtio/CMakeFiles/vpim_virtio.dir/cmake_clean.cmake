@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpim_virtio.dir/virtqueue.cc.o"
+  "CMakeFiles/vpim_virtio.dir/virtqueue.cc.o.d"
+  "libvpim_virtio.a"
+  "libvpim_virtio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpim_virtio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

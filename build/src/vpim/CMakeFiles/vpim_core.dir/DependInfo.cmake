@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/vpim/backend.cc" "src/vpim/CMakeFiles/vpim_core.dir/backend.cc.o" "gcc" "src/vpim/CMakeFiles/vpim_core.dir/backend.cc.o.d"
+  "/root/repo/src/vpim/frontend.cc" "src/vpim/CMakeFiles/vpim_core.dir/frontend.cc.o" "gcc" "src/vpim/CMakeFiles/vpim_core.dir/frontend.cc.o.d"
+  "/root/repo/src/vpim/guest_platform.cc" "src/vpim/CMakeFiles/vpim_core.dir/guest_platform.cc.o" "gcc" "src/vpim/CMakeFiles/vpim_core.dir/guest_platform.cc.o.d"
+  "/root/repo/src/vpim/manager.cc" "src/vpim/CMakeFiles/vpim_core.dir/manager.cc.o" "gcc" "src/vpim/CMakeFiles/vpim_core.dir/manager.cc.o.d"
+  "/root/repo/src/vpim/manager_service.cc" "src/vpim/CMakeFiles/vpim_core.dir/manager_service.cc.o" "gcc" "src/vpim/CMakeFiles/vpim_core.dir/manager_service.cc.o.d"
+  "/root/repo/src/vpim/wire.cc" "src/vpim/CMakeFiles/vpim_core.dir/wire.cc.o" "gcc" "src/vpim/CMakeFiles/vpim_core.dir/wire.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sdk/CMakeFiles/vpim_sdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/vpim_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/upmem/CMakeFiles/vpim_upmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/vpim_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/vpim_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vpim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpim_core.dir/backend.cc.o"
+  "CMakeFiles/vpim_core.dir/backend.cc.o.d"
+  "CMakeFiles/vpim_core.dir/frontend.cc.o"
+  "CMakeFiles/vpim_core.dir/frontend.cc.o.d"
+  "CMakeFiles/vpim_core.dir/guest_platform.cc.o"
+  "CMakeFiles/vpim_core.dir/guest_platform.cc.o.d"
+  "CMakeFiles/vpim_core.dir/manager.cc.o"
+  "CMakeFiles/vpim_core.dir/manager.cc.o.d"
+  "CMakeFiles/vpim_core.dir/manager_service.cc.o"
+  "CMakeFiles/vpim_core.dir/manager_service.cc.o.d"
+  "CMakeFiles/vpim_core.dir/wire.cc.o"
+  "CMakeFiles/vpim_core.dir/wire.cc.o.d"
+  "libvpim_core.a"
+  "libvpim_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpim_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

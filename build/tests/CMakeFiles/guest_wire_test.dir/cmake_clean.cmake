@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/guest_wire_test.dir/guest_wire_test.cc.o"
+  "CMakeFiles/guest_wire_test.dir/guest_wire_test.cc.o.d"
+  "guest_wire_test"
+  "guest_wire_test.pdb"
+  "guest_wire_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/guest_wire_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oversub_test.dir/oversub_test.cc.o"
+  "CMakeFiles/oversub_test.dir/oversub_test.cc.o.d"
+  "oversub_test"
+  "oversub_test.pdb"
+  "oversub_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oversub_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/soak_test.cc" "tests/CMakeFiles/soak_test.dir/soak_test.cc.o" "gcc" "tests/CMakeFiles/soak_test.dir/soak_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vpim/CMakeFiles/vpim_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/sdk/CMakeFiles/vpim_sdk.dir/DependInfo.cmake"
+  "/root/repo/build/src/driver/CMakeFiles/vpim_driver.dir/DependInfo.cmake"
+  "/root/repo/build/src/upmem/CMakeFiles/vpim_upmem.dir/DependInfo.cmake"
+  "/root/repo/build/src/virtio/CMakeFiles/vpim_virtio.dir/DependInfo.cmake"
+  "/root/repo/build/src/guest/CMakeFiles/vpim_guest.dir/DependInfo.cmake"
+  "/root/repo/build/src/common/CMakeFiles/vpim_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/upmem_test.dir/upmem_test.cc.o"
+  "CMakeFiles/upmem_test.dir/upmem_test.cc.o.d"
+  "upmem_test"
+  "upmem_test.pdb"
+  "upmem_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/upmem_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

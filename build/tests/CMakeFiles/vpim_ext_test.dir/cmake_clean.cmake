@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpim_ext_test.dir/vpim_ext_test.cc.o"
+  "CMakeFiles/vpim_ext_test.dir/vpim_ext_test.cc.o.d"
+  "vpim_ext_test"
+  "vpim_ext_test.pdb"
+  "vpim_ext_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpim_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpim_internals_test.dir/vpim_internals_test.cc.o"
+  "CMakeFiles/vpim_internals_test.dir/vpim_internals_test.cc.o.d"
+  "vpim_internals_test"
+  "vpim_internals_test.pdb"
+  "vpim_internals_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpim_internals_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,22 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/upmem_test[1]_include.cmake")
+include("/root/repo/build/tests/driver_test[1]_include.cmake")
+include("/root/repo/build/tests/sdk_test[1]_include.cmake")
+include("/root/repo/build/tests/virtio_test[1]_include.cmake")
+include("/root/repo/build/tests/guest_wire_test[1]_include.cmake")
+include("/root/repo/build/tests/manager_test[1]_include.cmake")
+include("/root/repo/build/tests/vpim_test[1]_include.cmake")
+include("/root/repo/build/tests/prim_test[1]_include.cmake")
+include("/root/repo/build/tests/vpim_ext_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/event_loop_test[1]_include.cmake")
+include("/root/repo/build/tests/vpim_internals_test[1]_include.cmake")
+include("/root/repo/build/tests/oversub_test[1]_include.cmake")
+include("/root/repo/build/tests/snapshot_test[1]_include.cmake")
+include("/root/repo/build/tests/soak_test[1]_include.cmake")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vpim-sim.dir/vpim_sim.cc.o"
+  "CMakeFiles/vpim-sim.dir/vpim_sim.cc.o.d"
+  "vpim-sim"
+  "vpim-sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vpim-sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
