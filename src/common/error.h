@@ -6,6 +6,7 @@
 // on the relevant APIs instead.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
@@ -14,6 +15,21 @@ namespace vpim {
 class VpimError : public std::runtime_error {
  public:
   explicit VpimError(const std::string& what) : std::runtime_error(what) {}
+};
+
+// A failure scoped to one guest request, carrying a wire status code
+// (virtio::PimStatus). The backend catches it and completes the offending
+// request with that status; the frontend rethrows non-OK completions as
+// this type so callers can inspect what the device answered.
+class VpimStatusError : public VpimError {
+ public:
+  template <typename Status>
+  VpimStatusError(Status status, const std::string& what)
+      : VpimError(what), status_(static_cast<std::int32_t>(status)) {}
+  std::int32_t status() const { return status_; }
+
+ private:
+  std::int32_t status_;
 };
 
 [[noreturn]] inline void fail(const std::string& msg) { throw VpimError(msg); }
@@ -27,4 +43,14 @@ class VpimError : public std::runtime_error {
       ::vpim::fail(std::string(__FILE__) + ":" + std::to_string(__LINE__) +  \
                    ": check `" #cond "` failed: " + (msg));                  \
     }                                                                        \
+  } while (0)
+
+// Validates guest-controlled input inside the device model: throws
+// vpim::VpimStatusError so the request completes with `status` instead of
+// tearing down the host process.
+#define VPIM_REQUEST_CHECK(cond, status, msg)                \
+  do {                                                       \
+    if (!(cond)) {                                           \
+      throw ::vpim::VpimStatusError((status), (msg));        \
+    }                                                        \
   } while (0)

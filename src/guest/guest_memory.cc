@@ -27,6 +27,19 @@ const std::uint8_t* GuestMemory::hva_of(std::uint64_t gpa) const {
   return backing_.data() + gpa;
 }
 
+std::uint8_t* GuestMemory::hva_range(std::uint64_t gpa, std::uint64_t len) {
+  VPIM_CHECK(len <= backing_.size() && gpa <= backing_.size() - len,
+             "GPA range leaves guest RAM");
+  return backing_.data() + gpa;
+}
+
+const std::uint8_t* GuestMemory::hva_range(std::uint64_t gpa,
+                                           std::uint64_t len) const {
+  VPIM_CHECK(len <= backing_.size() && gpa <= backing_.size() - len,
+             "GPA range leaves guest RAM");
+  return backing_.data() + gpa;
+}
+
 std::uint64_t GuestMemory::gpa_of(const std::uint8_t* hva) const {
   VPIM_CHECK(contains(hva), "pointer is not into guest RAM");
   return static_cast<std::uint64_t>(hva - backing_.data());

@@ -30,6 +30,13 @@ class GuestMemory {
   std::uint8_t* hva_of(std::uint64_t gpa);
   const std::uint8_t* hva_of(std::uint64_t gpa) const;
 
+  // Host virtual address of [gpa, gpa+len); rejects ranges that leave
+  // guest RAM (overflow-safe). The backend must use this — not hva_of —
+  // for every guest-supplied buffer, or a GPA near the end of RAM would
+  // let the guest read or write past the backing allocation.
+  std::uint8_t* hva_range(std::uint64_t gpa, std::uint64_t len);
+  const std::uint8_t* hva_range(std::uint64_t gpa, std::uint64_t len) const;
+
   // Guest physical address of a pointer into guest RAM.
   std::uint64_t gpa_of(const std::uint8_t* hva) const;
 

@@ -18,9 +18,9 @@ inline constexpr std::uint16_t kTransferQueueSize = 512;
 inline constexpr std::uint16_t kControlQueueSize = 64;
 
 // Serialized transfer matrix: request info + matrix metadata + 64 x
-// (per-DPU metadata buffer + per-DPU page buffer) = at most 130 buffers
-// (Fig 7).
-inline constexpr std::size_t kMaxMatrixBuffers = 130;
+// (per-DPU metadata buffer + per-DPU page buffer) + the device-writable
+// response block = at most 131 buffers (Fig 7).
+inline constexpr std::size_t kMaxMatrixBuffers = 131;
 
 // "The virtio PIM device supports five operations" (Appendix A.1).
 enum class PimRequestType : std::uint32_t {
@@ -30,6 +30,30 @@ enum class PimRequestType : std::uint32_t {
   kWriteToRank = 3,   // writing to the PIM device
   kReadFromRank = 4,  // reading from the PIM device
 };
+
+// Completion status carried in WireResponse::status. Every request the
+// device pops completes through the used ring with one of these; a
+// malformed or hostile request must never abort the device model (it
+// serves other tenants) nor be dropped silently (the guest would spin on
+// the used ring forever).
+enum class PimStatus : std::int32_t {
+  kOk = 0,
+  kBadRequest = 1,   // malformed chain, fields, bounds, or payload
+  kUnbound = 2,      // operation requires a rank binding
+  kNoCapacity = 3,   // manager could not provide a rank
+  kUnsupported = 4,  // opcode unknown or not valid on this queue
+};
+
+inline const char* status_name(std::int32_t status) {
+  switch (static_cast<PimStatus>(status)) {
+    case PimStatus::kOk: return "OK";
+    case PimStatus::kBadRequest: return "BAD_REQUEST";
+    case PimStatus::kUnbound: return "UNBOUND";
+    case PimStatus::kNoCapacity: return "NO_CAPACITY";
+    case PimStatus::kUnsupported: return "UNSUPPORTED";
+  }
+  return "UNKNOWN_STATUS";
+}
 
 // Device configuration layout the driver reads at initialization
 // (Appendix A.1: clock division, memory region size, number of control

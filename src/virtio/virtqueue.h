@@ -1,7 +1,8 @@
 // Split virtqueue (descriptor table + available ring + used ring),
 // following the virtio 1.x layout the paper's specification builds on
 // (Appendix A.1). The vUPMEM transferq has 512 slots so the serialized
-// transfer matrix (<= 130 buffers, Fig 7) always fits.
+// transfer matrix (<= 131 buffers, Fig 7 plus the response block) always
+// fits.
 //
 // Buffer addresses are guest physical addresses; the device side resolves
 // them through GuestMemory, never copying payload data through the ring —

@@ -178,42 +178,107 @@ void Backend::handle_controlq() {
   VPIM_CHECK(state_.driver_ok(),
              "queue notification before DRIVER_OK (virtio 1.x 3.1)");
   while (auto chain = controlq_.pop_avail()) {
-    const auto req =
-        read_pod<WireRequest>(vmm_.memory().hva_of(chain->descs[0].addr));
-    handle_control(*chain, req);
+    try {
+      handle_control(*chain, read_request(*chain));
+    } catch (const VpimStatusError& e) {
+      complete_with_status(controlq_, *chain, e.status());
+    } catch (const VpimError&) {
+      complete_with_status(
+          controlq_, *chain,
+          static_cast<std::int32_t>(virtio::PimStatus::kBadRequest));
+    }
   }
 }
 
+WireRequest Backend::read_request(const virtio::DescChain& chain) {
+  VPIM_REQUEST_CHECK(!chain.descs.empty() &&
+                         chain.descs[0].len >= sizeof(WireRequest),
+                     virtio::PimStatus::kBadRequest,
+                     "first descriptor too small for a request block");
+  return read_pod<WireRequest>(
+      vmm_.memory().hva_range(chain.descs[0].addr, sizeof(WireRequest)));
+}
+
+void Backend::complete_with_status(virtio::Virtqueue& queue,
+                                   const virtio::DescChain& chain,
+                                   std::int32_t status) {
+  WireResponse resp;
+  resp.status = status;
+  std::uint32_t written = 0;
+  try {
+    write_response(chain, resp);
+    written = sizeof(WireResponse);
+  } catch (const VpimError&) {
+    // No usable response buffer in the chain. Complete with zero length
+    // anyway: the guest can at least reclaim its descriptors.
+  }
+  queue.push_used(chain.head, written);
+  ++stats_.request_errors;
+}
+
 void Backend::handle_one(const virtio::DescChain& chain) {
-  const auto req =
-      read_pod<WireRequest>(vmm_.memory().hva_of(chain.descs[0].addr));
-  switch (static_cast<virtio::PimRequestType>(req.type)) {
-    case virtio::PimRequestType::kWriteToRank:
-    case virtio::PimRequestType::kReadFromRank:
-      handle_rank_op(chain, req);
-      break;
-    case virtio::PimRequestType::kCiWrite:
-    case virtio::PimRequestType::kCiRead:
-      handle_ci(chain, req);
-      break;
-    case virtio::PimRequestType::kConfig:
-      handle_config(chain);
-      break;
+  try {
+    const WireRequest req = read_request(chain);
+    switch (static_cast<virtio::PimRequestType>(req.type)) {
+      case virtio::PimRequestType::kWriteToRank:
+      case virtio::PimRequestType::kReadFromRank:
+        handle_rank_op(chain, req);
+        return;
+      case virtio::PimRequestType::kCiWrite:
+      case virtio::PimRequestType::kCiRead:
+        handle_ci(chain, req);
+        return;
+      case virtio::PimRequestType::kConfig:
+        handle_config(chain);
+        return;
+    }
+    // No default in the switch so -Wswitch keeps the known cases in sync;
+    // an unrecognized type must still complete, or the guest's poll_used
+    // spins forever while the descriptors leak.
+    throw VpimStatusError(virtio::PimStatus::kBadRequest,
+                          "unknown request type " + std::to_string(req.type));
+  } catch (const VpimStatusError& e) {
+    complete_with_status(transferq_, chain, e.status());
+  } catch (const VpimError&) {
+    // A deeper layer rejected guest-controlled input (GPA outside RAM,
+    // MRAM bounds, unknown symbol, busy DPU, ...): per-request failure,
+    // never fatal to the device model.
+    complete_with_status(
+        transferq_, chain,
+        static_cast<std::int32_t>(virtio::PimStatus::kBadRequest));
   }
 }
 
 void Backend::handle_rank_op(const virtio::DescChain& chain,
                              const WireRequest& req) {
-  VPIM_CHECK(bound(), "rank operation on a device not linked to a rank");
+  VPIM_REQUEST_CHECK(bound(), virtio::PimStatus::kUnbound,
+                     "rank operation on a device not linked to a rank");
   SimClock& clock = vmm_.clock();
   const CostModel& cost = vmm_.cost();
   const bool is_write =
       req.type == static_cast<std::uint32_t>(
                       virtio::PimRequestType::kWriteToRank);
+  VPIM_REQUEST_CHECK(
+      req.direction == static_cast<std::uint32_t>(
+                           is_write ? driver::XferDirection::kToRank
+                                    : driver::XferDirection::kFromRank),
+      virtio::PimStatus::kBadRequest,
+      "request type disagrees with transfer direction");
 
   // -- Deserialization + GPA->HVA translation (Fig 13 "Deser") ----------
   const SimNs deser_start = clock.now();
   DeserializeResult matrix = deserialize_matrix(chain, vmm_.memory());
+  // Entries must fit the bound rank before anything touches MRAM.
+  upmem::Rank& rank = bound_rank();
+  for (const DeserializedEntry& e : matrix.entries) {
+    VPIM_REQUEST_CHECK(e.dpu < rank.nr_dpus(),
+                       virtio::PimStatus::kBadRequest,
+                       "entry targets a DPU beyond the bound rank");
+    VPIM_REQUEST_CHECK(e.mram_offset <= upmem::kMramSize &&
+                           e.size <= upmem::kMramSize - e.mram_offset,
+                       virtio::PimStatus::kBadRequest,
+                       "entry falls outside the MRAM bank");
+  }
   clock.advance(cost.deserialize_ns_per_page * matrix.nr_pages +
                 cost.per_dpu_metadata_ns * matrix.entries.size());
   clock.advance(cost.gpa_translate_ns_per_page * matrix.nr_pages /
@@ -271,16 +336,18 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
     stats_.wsteps.add(WrankStep::kTransferData, clock.now() - data_start);
   }
 
-  transferq_.push_used(chain.head,
-                       is_write ? 0
-                                : static_cast<std::uint32_t>(std::min<
-                                      std::uint64_t>(matrix.total_bytes,
-                                                     0xFFFFFFFFu)));
+  WireResponse resp;
+  resp.rank_index =
+      mapping_.has_value() ? mapping_->rank_index() : 0xFFFFFFFFu;
+  resp.value = matrix.total_bytes;
+  write_response(chain, resp);
+  transferq_.push_used(chain.head, sizeof(WireResponse));
 }
 
 void Backend::apply_batched_writes(const DeserializeResult& matrix) {
-  VPIM_CHECK(matrix.direction == driver::XferDirection::kToRank,
-             "batched flush must be a write");
+  VPIM_REQUEST_CHECK(matrix.direction == driver::XferDirection::kToRank,
+                     virtio::PimStatus::kBadRequest,
+                     "batched flush must be a write");
   const CostModel& cost = vmm_.cost();
   // Stream cost for the whole batch payload.
   vmm_.clock().advance(
@@ -298,12 +365,20 @@ void Backend::apply_batched_writes(const DeserializeResult& matrix) {
     }
     std::uint64_t off = 0;
     while (off < scratch.size()) {
-      VPIM_CHECK(off + sizeof(BatchRecordHeader) <= scratch.size(),
-                 "truncated batch record header");
+      VPIM_REQUEST_CHECK(off + sizeof(BatchRecordHeader) <= scratch.size(),
+                         virtio::PimStatus::kBadRequest,
+                         "truncated batch record header");
       const auto hdr = read_pod<BatchRecordHeader>(scratch.data() + off);
       off += sizeof(BatchRecordHeader);
-      VPIM_CHECK(off + hdr.size <= scratch.size(),
-                 "truncated batch record payload");
+      // hdr.size is guest-controlled: the remaining-bytes bound must not
+      // wrap, and the record must land inside the MRAM bank.
+      VPIM_REQUEST_CHECK(hdr.size <= scratch.size() - off,
+                         virtio::PimStatus::kBadRequest,
+                         "truncated batch record payload");
+      VPIM_REQUEST_CHECK(hdr.mram_offset <= upmem::kMramSize &&
+                             hdr.size <= upmem::kMramSize - hdr.mram_offset,
+                         virtio::PimStatus::kBadRequest,
+                         "batch record falls outside the MRAM bank");
       rank.mram(e.dpu).write(hdr.mram_offset,
                              {scratch.data() + off, hdr.size});
       off += hdr.size;
@@ -313,7 +388,9 @@ void Backend::apply_batched_writes(const DeserializeResult& matrix) {
 
 void Backend::handle_ci(const virtio::DescChain& chain,
                         const WireRequest& req) {
-  VPIM_CHECK(bound(), "CI operation on a device not linked to a rank");
+  using virtio::PimStatus;
+  VPIM_REQUEST_CHECK(bound(), PimStatus::kUnbound,
+                     "CI operation on a device not linked to a rank");
   SimClock& clock = vmm_.clock();
   const CostModel& cost = vmm_.cost();
   clock.advance(cost.ci_op_backend_ns);
@@ -327,6 +404,12 @@ void Backend::handle_ci(const virtio::DescChain& chain,
       mapping_.has_value() ? mapping_->rank_index() : 0xFFFFFFFFu;
   const std::string name(req.name,
                          strnlen(req.name, sizeof(req.name)));
+  // Payload = descs[1] when the chain carries one besides the response.
+  const auto payload_desc = [&]() -> const virtio::VirtqDesc& {
+    VPIM_REQUEST_CHECK(chain.descs.size() >= 3, PimStatus::kBadRequest,
+                       "symbol transfer without a payload buffer");
+    return chain.descs[1];
+  };
   switch (static_cast<CiOp>(req.ci_op)) {
     case CiOp::kLoad:
       rank.ci_load(name);
@@ -341,36 +424,59 @@ void Backend::handle_ci(const virtio::DescChain& chain,
       resp.value = rank.ci_running_mask();
       break;
     case CiOp::kCopyToSymbol: {
-      VPIM_CHECK(chain.descs.size() >= 3, "symbol write without payload");
-      const virtio::VirtqDesc& payload = chain.descs[1];
+      const virtio::VirtqDesc& payload = payload_desc();
+      VPIM_REQUEST_CHECK(req.dpu < rank.nr_dpus(), PimStatus::kBadRequest,
+                         "symbol write targets a DPU beyond the rank");
       rank.ci_copy_to_symbol(
           req.dpu, name, req.symbol_offset,
-          {vmm_.memory().hva_of(payload.addr), payload.len});
+          {vmm_.memory().hva_range(payload.addr, payload.len),
+           payload.len});
       break;
     }
     case CiOp::kCopyFromSymbol: {
-      VPIM_CHECK(chain.descs.size() >= 3, "symbol read without buffer");
-      const virtio::VirtqDesc& payload = chain.descs[1];
+      const virtio::VirtqDesc& payload = payload_desc();
+      VPIM_REQUEST_CHECK(req.dpu < rank.nr_dpus(), PimStatus::kBadRequest,
+                         "symbol read targets a DPU beyond the rank");
+      VPIM_REQUEST_CHECK((payload.flags & virtio::kDescFlagWrite) != 0,
+                         PimStatus::kBadRequest,
+                         "symbol read into a read-only buffer");
       rank.ci_copy_from_symbol(
           req.dpu, name, req.symbol_offset,
-          {vmm_.memory().hva_of(payload.addr), payload.len});
+          {vmm_.memory().hva_range(payload.addr, payload.len),
+           payload.len});
       break;
     }
     case CiOp::kCopyToSymbolAll:
     case CiOp::kCopyFromSymbolAll: {
-      VPIM_CHECK(chain.descs.size() >= 3, "symbol transfer without payload");
-      const virtio::VirtqDesc& payload = chain.descs[1];
+      const virtio::VirtqDesc& payload = payload_desc();
+      const bool to_rank =
+          static_cast<CiOp>(req.ci_op) == CiOp::kCopyToSymbolAll;
+      // Every field here is guest-controlled: bound the entry count by
+      // the rank geometry and compute the payload-length check in 64 bits
+      // so nr_entries * bytes_per_dpu cannot wrap to a small value.
+      VPIM_REQUEST_CHECK(req.nr_entries <= rank.nr_dpus(),
+                         PimStatus::kBadRequest,
+                         "packed transfer has more entries than DPUs");
+      VPIM_REQUEST_CHECK(req.arg0 > 0 && req.arg0 <= 0xFFFFFFFFu,
+                         PimStatus::kBadRequest,
+                         "bad packed per-DPU value size");
       const auto bytes_per_dpu = static_cast<std::uint32_t>(req.arg0);
-      VPIM_CHECK(payload.len == req.nr_entries * bytes_per_dpu,
-                 "packed symbol payload length mismatch");
-      std::uint8_t* base = vmm_.memory().hva_of(payload.addr);
+      VPIM_REQUEST_CHECK(
+          payload.len == std::uint64_t{req.nr_entries} * bytes_per_dpu,
+          PimStatus::kBadRequest, "packed symbol payload length mismatch");
+      VPIM_REQUEST_CHECK(to_rank ||
+                             (payload.flags & virtio::kDescFlagWrite) != 0,
+                         PimStatus::kBadRequest,
+                         "packed symbol read into a read-only buffer");
+      std::uint8_t* base =
+          vmm_.memory().hva_range(payload.addr, payload.len);
       // Perf mode touches each DPU's CI slot.
       clock.advance(std::uint64_t{req.nr_entries} * cost.ci_op_native_ns);
       for (std::uint32_t d = 0; d < req.nr_entries; ++d) {
         std::span<std::uint8_t> value(base + std::uint64_t{d} *
                                                  bytes_per_dpu,
                                       bytes_per_dpu);
-        if (static_cast<CiOp>(req.ci_op) == CiOp::kCopyToSymbolAll) {
+        if (to_rank) {
           rank.ci_copy_to_symbol(d, name, req.symbol_offset, value);
         } else {
           rank.ci_copy_from_symbol(d, name, req.symbol_offset, value);
@@ -383,7 +489,12 @@ void Backend::handle_ci(const virtio::DescChain& chain,
     case CiOp::kMigrateRank:
     case CiOp::kSuspendRank:
     case CiOp::kResumeRank:
-      fail("control operations belong on the control queue");
+      throw VpimStatusError(PimStatus::kUnsupported,
+                            "control operations belong on the control queue");
+    default:
+      throw VpimStatusError(PimStatus::kUnsupported,
+                            "unknown CI opcode " +
+                                std::to_string(req.ci_op));
   }
   write_response(chain, resp);
   transferq_.push_used(chain.head, sizeof(WireResponse));
@@ -396,7 +507,7 @@ void Backend::handle_config(const virtio::DescChain& chain) {
         mapping_.has_value() ? mapping_->rank_index() : 0xFFFFFFFFu;
     resp.config = config_space();
   } else {
-    resp.status = -1;
+    resp.status = static_cast<std::int32_t>(virtio::PimStatus::kUnbound);
   }
   write_response(chain, resp);
   transferq_.push_used(chain.head, sizeof(WireResponse));
@@ -404,11 +515,12 @@ void Backend::handle_config(const virtio::DescChain& chain) {
 
 void Backend::handle_control(const virtio::DescChain& chain,
                              const WireRequest& req) {
+  using virtio::PimStatus;
   WireResponse resp;
   switch (static_cast<CiOp>(req.ci_op)) {
     case CiOp::kBindRank: {
       if (!try_bind()) {
-        resp.status = -1;
+        resp.status = static_cast<std::int32_t>(PimStatus::kNoCapacity);
         break;
       }
       resp.rank_index =
@@ -427,10 +539,11 @@ void Backend::handle_control(const virtio::DescChain& chain,
       // freshly allocated physical rank, then drop the old binding. Also
       // upgrades an emulated (oversubscribed) device to real hardware
       // once capacity frees up.
-      VPIM_CHECK(bound(), "migration without a bound rank");
+      VPIM_REQUEST_CHECK(bound(), PimStatus::kUnbound,
+                         "migration without a bound rank");
       const auto new_rank = manager_.request_rank(tag_);
       if (!new_rank.has_value()) {
-        resp.status = -1;
+        resp.status = static_cast<std::int32_t>(PimStatus::kNoCapacity);
         break;
       }
       upmem::Rank& src = bound_rank();
@@ -451,8 +564,10 @@ void Backend::handle_control(const virtio::DescChain& chain,
     case CiOp::kSuspendRank: {
       // §7 pause/resume: park the device's state host-side and release
       // the rank so another tenant can use it.
-      VPIM_CHECK(bound(), "suspend without a bound rank");
-      VPIM_CHECK(!suspended_.has_value(), "device already suspended");
+      VPIM_REQUEST_CHECK(!suspended_.has_value(), PimStatus::kBadRequest,
+                         "device already suspended");
+      VPIM_REQUEST_CHECK(bound(), PimStatus::kUnbound,
+                         "suspend without a bound rank");
       suspended_ = bound_rank().save_snapshot();
       vmm_.clock().advance(CostModel::bytes_time(
           suspended_->resident_bytes(),
@@ -462,9 +577,10 @@ void Backend::handle_control(const virtio::DescChain& chain,
       break;
     }
     case CiOp::kResumeRank: {
-      VPIM_CHECK(suspended_.has_value(), "resume without a suspension");
+      VPIM_REQUEST_CHECK(suspended_.has_value(), PimStatus::kBadRequest,
+                         "resume without a suspension");
       if (!try_bind()) {
-        resp.status = -1;
+        resp.status = static_cast<std::int32_t>(PimStatus::kNoCapacity);
         break;
       }
       bound_rank().load_snapshot(*suspended_);
@@ -479,7 +595,8 @@ void Backend::handle_control(const virtio::DescChain& chain,
       break;
     }
     default:
-      fail("unexpected operation on the control queue");
+      throw VpimStatusError(PimStatus::kUnsupported,
+                            "unexpected operation on the control queue");
   }
   write_response(chain, resp);
   controlq_.push_used(chain.head, sizeof(WireResponse));
@@ -490,12 +607,16 @@ void Backend::write_response(const virtio::DescChain& chain,
   // Response buffer = last device-writable descriptor of the chain.
   for (auto it = chain.descs.rbegin(); it != chain.descs.rend(); ++it) {
     if ((it->flags & virtio::kDescFlagWrite) != 0) {
-      VPIM_CHECK(it->len >= sizeof(WireResponse), "response buffer too small");
-      std::memcpy(vmm_.memory().hva_of(it->addr), &resp, sizeof(resp));
+      VPIM_REQUEST_CHECK(it->len >= sizeof(WireResponse),
+                         virtio::PimStatus::kBadRequest,
+                         "response buffer too small");
+      std::memcpy(vmm_.memory().hva_range(it->addr, sizeof(WireResponse)),
+                  &resp, sizeof(resp));
       return;
     }
   }
-  fail("request chain has no response buffer");
+  throw VpimStatusError(virtio::PimStatus::kBadRequest,
+                        "request chain has no response buffer");
 }
 
 }  // namespace vpim::core

@@ -49,6 +49,11 @@ class Backend {
   const std::string& tag() const { return tag_; }
 
  private:
+  // Per-request dispatch. Guest-controlled input is validated with
+  // VPIM_REQUEST_CHECK; a violation (or any VpimError a deeper layer
+  // raises about guest data) completes the offending chain with a
+  // virtio::PimStatus instead of unwinding out of the device model — a
+  // hostile tenant must never abort or wedge the host (§3, §7).
   void handle_one(const virtio::DescChain& chain);
   void handle_rank_op(const virtio::DescChain& chain,
                       const WireRequest& req);
@@ -57,8 +62,15 @@ class Backend {
   void handle_config(const virtio::DescChain& chain);
   void handle_control(const virtio::DescChain& chain,
                       const WireRequest& req);
+  // Reads + validates the WireRequest block at the head of a chain.
+  WireRequest read_request(const virtio::DescChain& chain);
   void write_response(const virtio::DescChain& chain,
                       const WireResponse& resp);
+  // Error completion: best-effort response write, then push_used so the
+  // guest reclaims the descriptors instead of spinning forever.
+  void complete_with_status(virtio::Virtqueue& queue,
+                            const virtio::DescChain& chain,
+                            std::int32_t status);
   driver::DataPath data_path() const;
 
   // --- rank binding (physical mapping or emulated rank) ----------------

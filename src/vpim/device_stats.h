@@ -21,6 +21,7 @@ struct DeviceStats {
   std::uint64_t batched_writes = 0; // writes absorbed by the batch buffer
   std::uint64_t batch_flushes = 0;  // flush messages sent
   std::uint64_t emulated_binds = 0; // oversubscribed (emulated) bindings
+  std::uint64_t request_errors = 0; // requests completed with a non-OK status
 
   void reset() { *this = DeviceStats{}; }
 };

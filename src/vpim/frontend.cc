@@ -16,6 +16,15 @@ void copy_name(char (&dst)[64], std::string_view name) {
   std::memset(dst, 0, sizeof(dst));
   std::memcpy(dst, name.data(), name.size());
 }
+
+// Rethrows a non-OK device completion as a typed error the guest SDK can
+// catch and inspect; the device itself never crashes on a bad request.
+void throw_if_rejected(const WireResponse& resp, const char* what) {
+  if (resp.status == 0) return;
+  throw VpimStatusError(resp.status,
+                        std::string("device rejected ") + what + ": " +
+                            virtio::status_name(resp.status));
+}
 }  // namespace
 
 Frontend::Frontend(vmm::Vmm& vmm, Backend& backend,
@@ -91,7 +100,11 @@ bool Frontend::open() {
 
   WireResponse resp;
   std::memcpy(&resp, arena_.response.data(), sizeof(resp));
-  if (resp.status != 0) return false;
+  if (resp.status ==
+      static_cast<std::int32_t>(virtio::PimStatus::kNoCapacity)) {
+    return false;  // manager abandoned the allocation
+  }
+  throw_if_rejected(resp, "the bind request");
   config_space_ = resp.config;
   open_ = true;
   return true;
@@ -113,6 +126,9 @@ void Frontend::close() {
        true},
   };
   roundtrip(controlq_, chain, /*record_wsteps=*/false);
+  WireResponse resp;
+  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+  throw_if_rejected(resp, "the release request");
   open_ = false;
 }
 
@@ -135,7 +151,11 @@ bool Frontend::migrate() {
 
   WireResponse resp;
   std::memcpy(&resp, arena_.response.data(), sizeof(resp));
-  if (resp.status != 0) return false;
+  if (resp.status ==
+      static_cast<std::int32_t>(virtio::PimStatus::kNoCapacity)) {
+    return false;  // no free rank; still bound to the original one
+  }
+  throw_if_rejected(resp, "the migration request");
   config_space_ = resp.config;
   return true;
 }
@@ -155,6 +175,9 @@ void Frontend::suspend() {
        true},
   };
   roundtrip(controlq_, chain, /*record_wsteps=*/false);
+  WireResponse resp;
+  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+  throw_if_rejected(resp, "the suspend request");
   open_ = false;
 }
 
@@ -173,7 +196,11 @@ bool Frontend::resume() {
   roundtrip(controlq_, chain, /*record_wsteps=*/false);
   WireResponse resp;
   std::memcpy(&resp, arena_.response.data(), sizeof(resp));
-  if (resp.status != 0) return false;
+  if (resp.status ==
+      static_cast<std::int32_t>(virtio::PimStatus::kNoCapacity)) {
+    return false;  // stays parked host-side until capacity frees up
+  }
+  throw_if_rejected(resp, "the resume request");
   config_space_ = resp.config;
   open_ = true;
   return true;
@@ -195,6 +222,7 @@ void Frontend::write_to_rank(const driver::TransferMatrix& matrix) {
   VPIM_CHECK(open_, "write-to-rank on an unlinked device");
   VPIM_CHECK(matrix.direction == driver::XferDirection::kToRank,
              "write_to_rank called with a read matrix");
+  check_dpus(matrix);
   SimClock& clock = vmm_.clock();
   const SimNs t0 = clock.now();
   clock.advance(vmm_.cost().ioctl_ns);
@@ -217,6 +245,7 @@ void Frontend::read_from_rank(const driver::TransferMatrix& matrix) {
   VPIM_CHECK(open_, "read-from-rank on an unlinked device");
   VPIM_CHECK(matrix.direction == driver::XferDirection::kFromRank,
              "read_from_rank called with a write matrix");
+  check_dpus(matrix);
   SimClock& clock = vmm_.clock();
   const CostModel& cost = vmm_.cost();
   const SimNs t0 = clock.now();
@@ -290,6 +319,18 @@ void Frontend::read_from_rank(const driver::TransferMatrix& matrix) {
   stats_.ops.add(RankOp::kReadFromRank, clock.now() - t0);
   trace("read.cached", t0, matrix.total_bytes(),
         static_cast<std::uint32_t>(matrix.entries.size()));
+}
+
+void Frontend::check_dpus(const driver::TransferMatrix& matrix) const {
+  // Reject out-of-range DPU indices at the device-file boundary, like the
+  // native driver's ioctl would. Catching this early keeps a bad entry
+  // from being absorbed into the batch buffer, where the rejection would
+  // otherwise surface later — attributed to an unrelated flush — and
+  // discard the other DPUs' batched writes with it.
+  for (const driver::XferEntry& e : matrix.entries) {
+    VPIM_CHECK(e.dpu < config_space_.nr_dpus,
+               "transfer entry targets a DPU beyond the bound rank");
+  }
 }
 
 bool Frontend::try_batch(const driver::TransferMatrix& matrix) {
@@ -390,6 +431,11 @@ void Frontend::send_rank_op(const driver::TransferMatrix& matrix,
   }
 
   roundtrip(transferq_, serialized.chain, is_write);
+
+  WireResponse resp;
+  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+  throw_if_rejected(resp, is_write ? "a write-to-rank operation"
+                                   : "a read-from-rank operation");
 }
 
 void Frontend::roundtrip(virtio::Virtqueue& queue,
@@ -449,7 +495,7 @@ WireResponse Frontend::ci_roundtrip(const WireRequest& req,
 
   WireResponse resp;
   std::memcpy(&resp, arena_.response.data(), sizeof(resp));
-  VPIM_CHECK(resp.status == 0, "device rejected the CI operation");
+  throw_if_rejected(resp, "the CI operation");
   return resp;
 }
 

@@ -13,6 +13,11 @@
 // Every public operation charges the guest syscall cost; messages to the
 // backend pay the VMEXIT/IRQ transition costs that the paper identifies as
 // the primary virtualization overhead.
+//
+// Error semantics: every request completes with a WireResponse status
+// (virtio::PimStatus). Capacity failures (bind/migrate/resume) surface as
+// `false` returns; any other non-OK completion is rethrown as
+// VpimStatusError carrying the device's status code.
 #pragma once
 
 #include <cstdint>
@@ -104,6 +109,7 @@ class Frontend {
   };
 
   void ensure_arenas();
+  void check_dpus(const driver::TransferMatrix& matrix) const;
   void send_rank_op(const driver::TransferMatrix& matrix, bool is_write,
                     std::uint32_t flags);
   void roundtrip(virtio::Virtqueue& queue,

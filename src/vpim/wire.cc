@@ -93,33 +93,72 @@ SerializeResult serialize_matrix(const driver::TransferMatrix& matrix,
     result.nr_pages += nr_pages;
   }
 
+  // Device-writable response block: carries the completion status back.
+  result.chain.push_back({mem.gpa_of(arena.response.data()),
+                          sizeof(WireResponse), true});
+
   VPIM_CHECK(result.chain.size() <= virtio::kMaxMatrixBuffers,
-             "serialized matrix exceeds 130 buffers");
+             "serialized matrix exceeds 131 buffers");
   return result;
 }
 
 DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
                                      guest::GuestMemory& mem) {
-  VPIM_CHECK(chain.descs.size() >= 2, "truncated rank-operation chain");
-  VPIM_CHECK(chain.descs.size() % 2 == 0, "malformed rank-operation chain");
-
-  const auto req =
-      read_pod<WireRequest>(mem.hva_of(chain.descs[0].addr));
-  const auto meta =
-      read_pod<WireMatrixMeta>(mem.hva_of(chain.descs[1].addr));
-  VPIM_CHECK(meta.nr_entries == (chain.descs.size() - 2) / 2,
-             "matrix metadata disagrees with chain length");
+  using virtio::PimStatus;
+  // [req][meta][2 per entry...][response] => odd count, at least 3.
+  VPIM_REQUEST_CHECK(chain.descs.size() >= 3 && chain.descs.size() % 2 == 1,
+                     PimStatus::kBadRequest,
+                     "truncated or malformed rank-operation chain");
+  VPIM_REQUEST_CHECK(chain.descs[0].len >= sizeof(WireRequest),
+                     PimStatus::kBadRequest, "request descriptor too small");
+  const auto req = read_pod<WireRequest>(
+      mem.hva_range(chain.descs[0].addr, sizeof(WireRequest)));
+  VPIM_REQUEST_CHECK(chain.descs[1].len >= sizeof(WireMatrixMeta),
+                     PimStatus::kBadRequest, "metadata descriptor too small");
+  const auto meta = read_pod<WireMatrixMeta>(
+      mem.hva_range(chain.descs[1].addr, sizeof(WireMatrixMeta)));
+  VPIM_REQUEST_CHECK(
+      req.direction <=
+          static_cast<std::uint32_t>(driver::XferDirection::kFromRank),
+      PimStatus::kBadRequest, "unknown transfer direction");
+  VPIM_REQUEST_CHECK(meta.nr_entries == (chain.descs.size() - 3) / 2,
+                     PimStatus::kBadRequest,
+                     "matrix metadata disagrees with chain length");
+  VPIM_REQUEST_CHECK(meta.nr_entries <= upmem::kDpuSlotsPerRank,
+                     PimStatus::kBadRequest,
+                     "matrix has more entries than DPUs in a rank");
+  VPIM_REQUEST_CHECK(meta.total_bytes <= upmem::kMaxXferBytes,
+                     PimStatus::kBadRequest,
+                     "rank operations move at most 4 GiB");
 
   DeserializeResult result;
   result.direction = static_cast<driver::XferDirection>(req.direction);
 
   for (std::uint64_t k = 0; k < meta.nr_entries; ++k) {
+    const virtio::VirtqDesc& meta_desc = chain.descs[2 + 2 * k];
+    VPIM_REQUEST_CHECK(meta_desc.len >= sizeof(WireEntryMeta),
+                       PimStatus::kBadRequest,
+                       "entry metadata descriptor too small");
     const auto em = read_pod<WireEntryMeta>(
-        mem.hva_of(chain.descs[2 + 2 * k].addr));
+        mem.hva_range(meta_desc.addr, sizeof(WireEntryMeta)));
+    // Bound size before any arithmetic so the page-count formula cannot
+    // overflow; then nr_pages is forced to match the size exactly, which
+    // caps the page-list length check well below u64 wraparound.
+    VPIM_REQUEST_CHECK(em.size > 0 && em.size <= upmem::kMaxXferBytes,
+                       PimStatus::kBadRequest, "bad entry size");
+    VPIM_REQUEST_CHECK(em.first_page_offset < kPage,
+                       PimStatus::kBadRequest, "bad first-page offset");
+    const std::uint64_t expected_pages =
+        (em.first_page_offset + em.size + kPage - 1) / kPage;
+    VPIM_REQUEST_CHECK(em.nr_pages == expected_pages,
+                       PimStatus::kBadRequest,
+                       "page count disagrees with entry size");
     const virtio::VirtqDesc& pages_desc = chain.descs[3 + 2 * k];
-    VPIM_CHECK(pages_desc.len == em.nr_pages * 8,
-               "page buffer length disagrees with entry metadata");
-    const std::uint8_t* list = mem.hva_of(pages_desc.addr);
+    VPIM_REQUEST_CHECK(pages_desc.len == em.nr_pages * 8,
+                       PimStatus::kBadRequest,
+                       "page buffer length disagrees with entry metadata");
+    const std::uint8_t* list = mem.hva_range(pages_desc.addr,
+                                             pages_desc.len);
 
     DeserializedEntry entry;
     entry.dpu = static_cast<std::uint32_t>(em.dpu);
@@ -129,17 +168,26 @@ DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
     std::uint64_t remaining = em.size;
     for (std::uint64_t p = 0; p < em.nr_pages; ++p) {
       const auto page_gpa = read_pod<std::uint64_t>(list + p * 8);
+      VPIM_REQUEST_CHECK(page_gpa % kPage == 0, PimStatus::kBadRequest,
+                         "page address not page-aligned");
       const std::uint64_t off = (p == 0) ? em.first_page_offset : 0;
       const std::uint64_t len = std::min(remaining, kPage - off);
       // GPA -> HVA translation: the step vPIM spreads over worker threads.
-      entry.segments.emplace_back(mem.hva_of(page_gpa + off), len);
+      // Whole-page range check: a page straddling the end of guest RAM
+      // must not hand out a pointer past the backing allocation.
+      entry.segments.emplace_back(mem.hva_range(page_gpa, kPage) + off,
+                                  len);
       remaining -= len;
     }
-    VPIM_CHECK(remaining == 0, "pages do not cover the entry");
+    VPIM_REQUEST_CHECK(remaining == 0, PimStatus::kBadRequest,
+                       "pages do not cover the entry");
     result.nr_pages += em.nr_pages;
     result.total_bytes += em.size;
     result.entries.push_back(std::move(entry));
   }
+  VPIM_REQUEST_CHECK(result.total_bytes == meta.total_bytes,
+                     PimStatus::kBadRequest,
+                     "matrix metadata disagrees with entry sizes");
   return result;
 }
 

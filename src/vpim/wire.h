@@ -8,7 +8,11 @@
 //   [1] matrix metadata         (WireMatrixMeta)
 //   [2k+2] per-DPU metadata     (WireEntryMeta)
 //   [2k+3] per-DPU page buffer  (u64 GPA array)
-// = at most 2 + 2*64 = 130 buffers, always within the 512-slot transferq.
+//   [last] response block       (WireResponse, device-writable)
+// = at most 2 + 2*64 + 1 = 131 buffers, always within the 512-slot
+// transferq. Every request completes with a WireResponse carrying a
+// virtio::PimStatus, so the guest can distinguish success from a
+// per-request rejection without the host ever dropping a chain.
 //
 // CI operations use [0] plus an optional small payload buffer and a
 // device-writable response buffer.
@@ -126,6 +130,11 @@ struct DeserializeResult {
 };
 
 // Backend-side parse + GPA->HVA translation of a rank-operation chain.
+// Every guest-controlled field is re-validated here (entry counts, the
+// 4 GiB transfer cap, page-list lengths, page alignment, RAM bounds) —
+// the serialize-side checks protect well-behaved guests, not the host.
+// Throws VpimStatusError (kBadRequest) on hostile or malformed chains;
+// the backend completes the request with that status.
 DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
                                      guest::GuestMemory& mem);
 

@@ -2,8 +2,10 @@
 
 #include <cstring>
 
+#include "common/error.h"
 #include "common/rng.h"
 #include "guest/guest_memory.h"
+#include "upmem/layout.h"
 #include "virtio/virtqueue.h"
 #include "vpim/wire.h"
 
@@ -42,6 +44,20 @@ TEST(GuestMemory, ExhaustionAndBadTranslationsThrow) {
   EXPECT_THROW(mem.gpa_of(&outside), VpimError);
 }
 
+TEST(GuestMemory, RangeTranslationIsBoundsAndOverflowChecked) {
+  GuestMemory mem(64 * kKiB);
+  // Whole-range translation succeeds only if every byte is in RAM.
+  EXPECT_EQ(mem.hva_range(0, mem.size()), mem.hva_of(0));
+  EXPECT_EQ(mem.hva_range(mem.size() - 16, 16),
+            mem.hva_of(mem.size() - 16));
+  // hva_of would accept the first byte of these; the *range* must throw.
+  EXPECT_THROW(mem.hva_range(mem.size() - 16, 17), VpimError);
+  EXPECT_THROW(mem.hva_range(mem.size(), 1), VpimError);
+  // gpa + len wrapping around 2^64 must not sneak past the check.
+  EXPECT_THROW(mem.hva_range(16, ~std::uint64_t{0}), VpimError);
+  EXPECT_THROW(mem.hva_range(~std::uint64_t{0}, 2), VpimError);
+}
+
 // ------------------------------------------------------------------ wire
 
 struct WireRig {
@@ -76,8 +92,8 @@ TEST(Wire, SerializeDeserializeRoundTrip) {
   auto ser = serialize_matrix(
       matrix, rig.mem, rig.arena,
       static_cast<std::uint32_t>(virtio::PimRequestType::kWriteToRank));
-  // Chain shape: request + meta + 2 per entry.
-  EXPECT_EQ(ser.chain.size(), 2 + 2 * 3u);
+  // Chain shape: request + meta + 2 per entry + response block.
+  EXPECT_EQ(ser.chain.size(), 2 + 2 * 3u + 1u);
   // 1 MiB = 256 pages; 123+1000 straddles page 0 only; 1 byte = 1 page.
   EXPECT_EQ(ser.nr_pages, 256u + 1u + 1u);
 
@@ -153,6 +169,89 @@ TEST(Wire, RejectsMalformedMatrices) {
   driver::TransferMatrix outside;
   outside.entries.push_back({0, 0, &local, 1});
   EXPECT_THROW(serialize_matrix(outside, rig.mem, rig.arena, 3), VpimError);
+}
+
+// The backend cannot trust that a chain came from our serializer: the
+// guest driver may be buggy or hostile. deserialize_matrix must reject
+// tampered chains with a typed kBadRequest, never crash or over-read.
+TEST(Wire, DeserializeRejectsTamperedChains) {
+  WireRig rig;
+  auto buf = rig.mem.alloc(16 * kKiB);
+  driver::TransferMatrix matrix;
+  matrix.entries.push_back({0, 0, buf.data(), buf.size()});
+
+  const auto expect_bad_request = [&](std::vector<virtio::DescBuffer> chain) {
+    virtio::Virtqueue q(512);
+    q.submit(chain);
+    auto popped = q.pop_avail();
+    ASSERT_TRUE(popped.has_value());
+    try {
+      deserialize_matrix(*popped, rig.mem);
+      FAIL() << "tampered chain accepted";
+    } catch (const VpimStatusError& e) {
+      EXPECT_EQ(e.status(),
+                static_cast<std::int32_t>(virtio::PimStatus::kBadRequest));
+    }
+  };
+
+  const auto fresh = [&] {
+    return serialize_matrix(matrix, rig.mem, rig.arena, 3).chain;
+  };
+
+  // Dropped response block: even descriptor count.
+  auto chain = fresh();
+  chain.pop_back();
+  expect_bad_request(chain);
+
+  // Truncated to request + response only.
+  chain = fresh();
+  chain.erase(chain.begin() + 1, chain.end() - 1);
+  expect_bad_request(chain);
+
+  // Page-list descriptor shorter than the entry metadata promises.
+  chain = fresh();
+  chain[3].len = 8;
+  expect_bad_request(chain);
+
+  // Metadata descriptor too small to hold WireMatrixMeta.
+  chain = fresh();
+  chain[1].len = 4;
+  expect_bad_request(chain);
+
+  // Unaligned page GPA in the page list.
+  chain = fresh();
+  {
+    auto* pages = reinterpret_cast<std::uint64_t*>(
+        rig.mem.hva_of(chain[3].gpa));
+    pages[0] += 7;
+    expect_bad_request(chain);
+  }
+
+  // Entry metadata claiming more bytes than kMaxXferBytes.
+  chain = fresh();
+  {
+    auto* em = reinterpret_cast<WireEntryMeta*>(
+        rig.mem.hva_of(chain[2].gpa));
+    em->size = upmem::kMaxXferBytes + 1;
+    expect_bad_request(chain);
+  }
+
+  // Matrix metadata disagreeing with the chain shape.
+  chain = fresh();
+  {
+    auto* meta = reinterpret_cast<WireMatrixMeta*>(
+        rig.mem.hva_of(chain[1].gpa));
+    meta->nr_entries = 7;
+    expect_bad_request(chain);
+  }
+
+  // An untampered chain still deserializes after all of the above.
+  chain = fresh();
+  virtio::Virtqueue q(512);
+  q.submit(chain);
+  auto de = deserialize_matrix(*q.pop_avail(), rig.mem);
+  EXPECT_EQ(de.entries.size(), 1u);
+  EXPECT_EQ(de.total_bytes, buf.size());
 }
 
 class WireSizeSweep : public ::testing::TestWithParam<std::uint64_t> {};

@@ -198,5 +198,101 @@ TEST(Migration, FailsCleanlyWhenMachineFull) {
   EXPECT_NO_THROW(vm.device(0).frontend.write_to_rank(w));
 }
 
+// ----------------------------------------------- control-queue statuses
+//
+// State errors on the control queue (suspend twice, resume without a
+// suspension, operations on an unbound device, unknown opcodes) must
+// complete with a typed WireResponse status, never abort the host.
+
+std::int32_t control_status(VupmemDevice& dev, guest::GuestMemory& mem,
+                            std::uint32_t ci_op) {
+  auto req_buf = mem.alloc(sizeof(WireRequest));
+  auto resp_buf = mem.alloc(sizeof(WireResponse));
+  WireRequest req;
+  req.ci_op = ci_op;
+  std::memcpy(req_buf.data(), &req, sizeof(req));
+  std::memset(resp_buf.data(), 0xAA, resp_buf.size());
+  const virtio::DescBuffer chain[] = {
+      {mem.gpa_of(req_buf.data()), sizeof(WireRequest), false},
+      {mem.gpa_of(resp_buf.data()), sizeof(WireResponse), true}};
+  const std::uint16_t free_before = dev.controlq.free_descriptors();
+  dev.controlq.submit(chain);
+  dev.backend.handle_controlq();
+  EXPECT_TRUE(dev.controlq.poll_used().has_value());
+  EXPECT_EQ(dev.controlq.free_descriptors(), free_before);
+  WireResponse resp;
+  std::memcpy(&resp, resp_buf.data(), sizeof(resp));
+  return resp.status;
+}
+
+TEST(ControlStatus, SuspendResumeStateErrors) {
+  using virtio::PimStatus;
+  Host host(test::small_machine(), CostModel{}, fast_manager());
+  VpimVm vm(host, {.name = "ctlstate"}, 1);
+  VupmemDevice& dev = vm.device(0);
+  guest::GuestMemory& mem = vm.vmm().memory();
+  ASSERT_TRUE(dev.frontend.open());
+  const auto op = [](CiOp o) { return static_cast<std::uint32_t>(o); };
+
+  // Resume with nothing suspended is a state error.
+  EXPECT_EQ(control_status(dev, mem, op(CiOp::kResumeRank)),
+            static_cast<std::int32_t>(PimStatus::kBadRequest));
+
+  // Suspend succeeds once, then the second attempt is rejected.
+  EXPECT_EQ(control_status(dev, mem, op(CiOp::kSuspendRank)),
+            static_cast<std::int32_t>(PimStatus::kOk));
+  EXPECT_EQ(control_status(dev, mem, op(CiOp::kSuspendRank)),
+            static_cast<std::int32_t>(PimStatus::kBadRequest));
+
+  // Resume restores the binding; the device works again.
+  EXPECT_EQ(control_status(dev, mem, op(CiOp::kResumeRank)),
+            static_cast<std::int32_t>(PimStatus::kOk));
+  auto buf = mem.alloc(4096);
+  driver::TransferMatrix w;
+  w.entries.push_back({0, 0, buf.data(), buf.size()});
+  EXPECT_NO_THROW(dev.frontend.write_to_rank(w));
+
+  // Unknown control opcode.
+  EXPECT_EQ(control_status(dev, mem, 1234),
+            static_cast<std::int32_t>(PimStatus::kUnsupported));
+
+  // After a release, suspend and migrate report the unbound state.
+  EXPECT_EQ(control_status(dev, mem, op(CiOp::kReleaseRank)),
+            static_cast<std::int32_t>(PimStatus::kOk));
+  EXPECT_EQ(control_status(dev, mem, op(CiOp::kSuspendRank)),
+            static_cast<std::int32_t>(PimStatus::kUnbound));
+  EXPECT_EQ(control_status(dev, mem, op(CiOp::kMigrateRank)),
+            static_cast<std::int32_t>(PimStatus::kUnbound));
+}
+
+TEST(ControlStatus, BindReportsNoCapacityWhenMachineFull) {
+  using virtio::PimStatus;
+  Host host(test::small_machine(), CostModel{}, fast_manager());
+  VpimVm vm(host, {.name = "ctlfull"}, 2);
+  ASSERT_TRUE(vm.device(0).frontend.open());
+  ASSERT_TRUE(vm.device(1).frontend.open());  // both ranks taken
+  guest::GuestMemory& mem = vm.vmm().memory();
+  // A raw migrate request on a full machine completes with kNoCapacity —
+  // the same status the frontend folds into migrate()'s false return.
+  EXPECT_EQ(control_status(
+                vm.device(0), mem,
+                static_cast<std::uint32_t>(CiOp::kMigrateRank)),
+            static_cast<std::int32_t>(PimStatus::kNoCapacity));
+}
+
+TEST(ControlStatus, FrontendSurfacesTypedErrors) {
+  Host host(test::small_machine(), CostModel{}, fast_manager());
+  VpimVm vm(host, {.name = "typed"}, 1);
+  Frontend& fe = vm.device(0).frontend;
+  ASSERT_TRUE(fe.open());
+  try {
+    fe.ci_load("no_such_kernel_registered");
+    FAIL() << "expected VpimStatusError";
+  } catch (const VpimStatusError& e) {
+    EXPECT_EQ(e.status(),
+              static_cast<std::int32_t>(virtio::PimStatus::kBadRequest));
+  }
+}
+
 }  // namespace
 }  // namespace vpim::core
