@@ -10,11 +10,15 @@
 // default 1.0 reproduces the paper-scale shapes recorded in EXPERIMENTS.md.
 #pragma once
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <span>
 #include <string>
+#include <vector>
 
+#include "common/thread_pool.h"
 #include "prim/app.h"
 #include "prim/micro.h"
 #include "sdk/native.h"
@@ -87,6 +91,58 @@ inline void print_header(const char* figure, const char* claim) {
 
 inline double ratio(SimNs a, SimNs b) {
   return b == 0 ? 0.0 : static_cast<double>(a) / static_cast<double>(b);
+}
+
+// ---- wall-clock + machine-readable output --------------------------------
+//
+// Simulated time (the figures) is virtual and thread-count independent;
+// wall-clock time is what the host-parallel engine actually speeds up. Each
+// bench records both per figure point and dumps BENCH_<target>.json so CI
+// can diff simulated results across VPIM_THREADS settings and trend the
+// wall-clock numbers.
+
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+struct BenchPoint {
+  std::string name;        // figure point, e.g. "fig08/BS/dpus:480/vPIM"
+  SimNs simulated_ns = 0;  // virtual time — must not depend on threads
+  double wall_ms = 0.0;    // host wall-clock for the measured iteration
+};
+
+inline void write_bench_json(const std::string& target,
+                             std::span<const BenchPoint> points) {
+  const std::string path = "BENCH_" + target + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"target\": \"%s\",\n  \"threads\": %u,\n",
+               target.c_str(), ThreadPool::instance().size());
+  std::fprintf(f, "  \"points\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    std::fprintf(f,
+                 "    {\"name\": \"%s\", \"simulated_ns\": %llu, "
+                 "\"wall_ms\": %.3f}%s\n",
+                 points[i].name.c_str(),
+                 static_cast<unsigned long long>(points[i].simulated_ns),
+                 points[i].wall_ms, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu points, %u host threads)\n", path.c_str(),
+              points.size(), ThreadPool::instance().size());
 }
 
 }  // namespace vpim::bench

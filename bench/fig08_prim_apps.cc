@@ -17,20 +17,26 @@ struct Row {
   prim::AppResult vpim;
 };
 std::map<std::pair<std::string, std::uint32_t>, Row> g_rows;
+std::vector<BenchPoint> g_points;
 
-void bench_app(benchmark::State& state, const std::string& app,
-               std::uint32_t dpus, bool virtualized) {
+void bench_app(benchmark::State& state, const std::string& name,
+               const std::string& app, std::uint32_t dpus,
+               bool virtualized) {
   prim::AppParams prm;
   prm.nr_dpus = dpus;
   prm.scale = env_scale();
   for (auto _ : state) {
+    WallTimer wall;
     prim::AppResult res =
         virtualized ? run_prim_vpim(app, prm, core::VpimConfig::full())
                     : run_prim_native(app, prm);
+    const double wall_ms = wall.elapsed_ms();
     state.SetIterationTime(ns_to_s(res.total()));
     state.counters["correct"] = res.correct ? 1 : 0;
+    state.counters["wall_ms"] = wall_ms;
     auto& row = g_rows[{app, dpus}];
     (virtualized ? row.vpim : row.native) = res;
+    g_points.push_back({name, res.total(), wall_ms});
   }
 }
 
@@ -102,8 +108,8 @@ int main(int argc, char** argv) {
                                  (virtualized ? "/vPIM" : "/native");
         benchmark::RegisterBenchmark(
             name.c_str(),
-            [app, dpus, virtualized](benchmark::State& state) {
-              bench_app(state, app, dpus, virtualized);
+            [name, app, dpus, virtualized](benchmark::State& state) {
+              bench_app(state, name, app, dpus, virtualized);
             })
             ->UseManualTime()
             ->Iterations(1)
@@ -113,6 +119,7 @@ int main(int argc, char** argv) {
   }
   benchmark::RunSpecifiedBenchmarks();
   print_summary();
+  write_bench_json("fig08", g_points);
   benchmark::Shutdown();
   return 0;
 }

@@ -1,0 +1,165 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "common/error.h"
+
+namespace vpim {
+
+namespace {
+
+// True while the current thread is executing a parallel_for chunk; nested
+// fan-outs run inline so the pool never blocks on itself.
+thread_local bool t_in_parallel_region = false;
+
+unsigned configured_threads() {
+  if (const char* s = std::getenv("VPIM_THREADS")) {
+    const long v = std::strtol(s, nullptr, 10);
+    if (v >= 1) return static_cast<unsigned>(v);
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw >= 1 ? hw : 1;
+}
+
+}  // namespace
+
+ThreadPool::ThreadPool(unsigned threads) { start_workers(threads); }
+
+ThreadPool::~ThreadPool() { stop_workers(); }
+
+ThreadPool& ThreadPool::instance() {
+  static ThreadPool pool(configured_threads());
+  return pool;
+}
+
+void ThreadPool::start_workers(unsigned threads) {
+  threads_ = std::max(1u, threads);
+  workers_.reserve(threads_ - 1);
+  for (unsigned i = 0; i + 1 < threads_; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+void ThreadPool::stop_workers() {
+  {
+    std::lock_guard lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+  workers_.clear();
+  shutdown_ = false;
+}
+
+void ThreadPool::resize(unsigned threads) {
+  {
+    std::lock_guard lock(mu_);
+    VPIM_CHECK(pending_ == 0, "resize during an active parallel_for");
+  }
+  stop_workers();
+  start_workers(threads);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t n, const std::function<void(std::size_t)>& body) {
+  if (n == 0) return;
+  if (threads_ == 1 || n < kMinFanout || t_in_parallel_region) {
+    for (std::size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+
+  const auto chunks =
+      static_cast<unsigned>(std::min<std::size_t>(threads_, n));
+  {
+    std::lock_guard lock(mu_);
+    VPIM_CHECK(pending_ == 0, "overlapping parallel_for calls");
+    job_body_ = &body;
+    job_n_ = n;
+    job_chunks_ = chunks;
+    next_chunk_ = 0;
+    pending_ = chunks;
+    chunk_errors_.assign(chunks, nullptr);
+    ++job_seq_;
+  }
+  work_cv_.notify_all();
+
+  // The caller is a full participant: it claims index-ordered chunks from
+  // the same cursor the workers use. Which thread runs a chunk is
+  // irrelevant — the chunk's index range is fixed by (k, chunks, n).
+  for (;;) {
+    unsigned k;
+    {
+      std::lock_guard lock(mu_);
+      if (next_chunk_ >= job_chunks_) break;
+      k = next_chunk_++;
+    }
+    const std::size_t begin = n * k / chunks;
+    const std::size_t end = n * (k + 1) / chunks;
+    t_in_parallel_region = true;
+    try {
+      for (std::size_t i = begin; i < end; ++i) body(i);
+    } catch (...) {
+      chunk_errors_[k] = std::current_exception();
+    }
+    t_in_parallel_region = false;
+    {
+      std::lock_guard lock(mu_);
+      --pending_;
+    }
+  }
+
+  std::unique_lock lock(mu_);
+  done_cv_.wait(lock, [this] { return pending_ == 0; });
+  job_body_ = nullptr;
+  // Rethrow what a serial loop would have thrown first: chunks run their
+  // indices in order and stop at the first failure, so the lowest failed
+  // chunk holds the lowest failing index.
+  for (std::exception_ptr& e : chunk_errors_) {
+    if (e) {
+      std::exception_ptr err = e;
+      chunk_errors_.clear();
+      lock.unlock();
+      std::rethrow_exception(err);
+    }
+  }
+  chunk_errors_.clear();
+}
+
+void ThreadPool::worker_main() {
+  std::uint64_t seen_seq = 0;
+  for (;;) {
+    unsigned k;
+    const std::function<void(std::size_t)>* body;
+    std::size_t n;
+    unsigned chunks;
+    {
+      std::unique_lock lock(mu_);
+      work_cv_.wait(lock, [&] {
+        return shutdown_ ||
+               (job_seq_ != seen_seq && next_chunk_ < job_chunks_);
+      });
+      if (shutdown_) return;
+      k = next_chunk_++;
+      if (next_chunk_ >= job_chunks_) seen_seq = job_seq_;
+      body = job_body_;
+      n = job_n_;
+      chunks = job_chunks_;
+    }
+    const std::size_t begin = n * k / chunks;
+    const std::size_t end = n * (k + 1) / chunks;
+    t_in_parallel_region = true;
+    try {
+      for (std::size_t i = begin; i < end; ++i) (*body)(i);
+    } catch (...) {
+      chunk_errors_[k] = std::current_exception();
+    }
+    t_in_parallel_region = false;
+    {
+      std::lock_guard lock(mu_);
+      if (--pending_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace vpim

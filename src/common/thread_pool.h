@@ -1,0 +1,94 @@
+// Deterministic chunked host thread pool.
+//
+// The simulator models *virtual-time* parallelism with SimClock's
+// run_parallel and the cost-model divisors; this pool is orthogonal: it
+// spreads the simulator's own leaf work (independent DPU kernel runs,
+// per-bank memcpy fan-out, GPA->HVA translation) over the host's cores so
+// wall-clock time shrinks while simulated time is untouched.
+//
+// Determinism contract — the hard requirement the tests pin down:
+//  - parallel_for(n, fn) partitions [0, n) into one contiguous,
+//    index-ordered chunk per worker (no work stealing, no dynamic
+//    scheduling), so every index always runs exactly once and callers can
+//    merge per-index results in index order to get bit-identical output
+//    regardless of VPIM_THREADS;
+//  - bodies must not touch the SimClock, tracers, or breakdown
+//    accumulators — all virtual-time accounting stays on the calling
+//    thread;
+//  - exceptions propagate deterministically: the exception thrown by the
+//    lowest failing index is rethrown on the caller (each chunk runs its
+//    indices in order and stops at its first failure, and the caller picks
+//    the lowest-index chunk's capture), matching what a serial loop would
+//    have thrown first;
+//  - nested parallel_for calls from inside a pool worker run inline on
+//    that worker, so the pool cannot deadlock on itself.
+//
+// Sizing: VPIM_THREADS env var when set (>= 1), otherwise
+// std::thread::hardware_concurrency(). A pool of size 1 runs everything
+// inline on the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace vpim {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(unsigned threads);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  // Process-wide pool, sized by VPIM_THREADS / hardware_concurrency on
+  // first use. All simulator fan-out goes through this instance.
+  static ThreadPool& instance();
+
+  // Worker count (>= 1); 1 means fully inline execution.
+  unsigned size() const { return threads_; }
+
+  // Re-sizes the pool (determinism tests sweep 1/4/hw). Must not be called
+  // concurrently with parallel_for.
+  void resize(unsigned threads);
+
+  // Runs body(i) for every i in [0, n), split into index-ordered chunks
+  // across the workers; the calling thread executes the first chunk.
+  // Blocks until every index completed; rethrows the lowest failing
+  // index's exception.
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+
+  // Chunk granularity floor: fan-out is skipped (inline loop) when n is
+  // below this, so tiny transfers don't pay wakeup latency.
+  static constexpr std::size_t kMinFanout = 2;
+
+ private:
+  void start_workers(unsigned threads);
+  void stop_workers();
+  void worker_main();
+
+  unsigned threads_ = 1;
+  std::vector<std::thread> workers_;
+
+  // One outstanding parallel_for at a time (callers serialize by design:
+  // the simulation's control flow is single-threaded between fan-outs).
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  bool shutdown_ = false;
+  std::uint64_t job_seq_ = 0;  // bumped per parallel_for; wakes workers
+  // Current job (valid while pending_ > 0).
+  const std::function<void(std::size_t)>* job_body_ = nullptr;
+  std::size_t job_n_ = 0;
+  unsigned job_chunks_ = 0;
+  unsigned next_chunk_ = 0;
+  unsigned pending_ = 0;
+  std::vector<std::exception_ptr> chunk_errors_;
+};
+
+}  // namespace vpim

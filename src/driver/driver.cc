@@ -1,10 +1,12 @@
 #include "driver/driver.h"
 
+#include <array>
 #include <cstring>
 #include <utility>
 #include <vector>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "upmem/interleave.h"
 #include "upmem/layout.h"
 
@@ -85,22 +87,45 @@ void RankMapping::transfer(const TransferMatrix& matrix) {
                           CostModel::bytes_time(bytes, copy_gbps()));
 
   upmem::Rank& rank = machine.rank(rank_index_);
-  std::vector<std::uint8_t> scratch;
+  // Group entries by target DPU, preserving request order within a group:
+  // one MRAM bank must replay its entries in order, but distinct banks are
+  // independent and fan out over the host pool (the backend's "operation
+  // workers" made real). Host parallelism only — virtual time was charged
+  // above, unchanged.
+  std::array<int, upmem::kDpuSlotsPerRank> slot;
+  slot.fill(-1);
+  std::vector<std::vector<const XferEntry*>> groups;
   for (const XferEntry& e : matrix.entries) {
     if (e.size == 0) continue;
     VPIM_CHECK(e.host != nullptr, "transfer entry without a host buffer");
-    if (matrix.direction == XferDirection::kToRank) {
-      if (data_path_.real_transform) {
-        real_transform_roundtrip({e.host, e.size}, data_path_.naive, scratch);
-      }
-      rank.mram(e.dpu).write(e.mram_offset, {e.host, e.size});
-    } else {
-      rank.mram(e.dpu).read(e.mram_offset, {e.host, e.size});
-      if (data_path_.real_transform) {
-        real_transform_roundtrip({e.host, e.size}, data_path_.naive, scratch);
+    VPIM_CHECK(e.dpu < upmem::kDpuSlotsPerRank,
+               "transfer entry targets an invalid DPU slot");
+    int& g = slot[e.dpu];
+    if (g < 0) {
+      g = static_cast<int>(groups.size());
+      groups.emplace_back();
+    }
+    groups[g].push_back(&e);
+  }
+  const bool to_rank = matrix.direction == XferDirection::kToRank;
+  ThreadPool::instance().parallel_for(groups.size(), [&](std::size_t gi) {
+    std::vector<std::uint8_t> scratch;
+    for (const XferEntry* e : groups[gi]) {
+      if (to_rank) {
+        if (data_path_.real_transform) {
+          real_transform_roundtrip({e->host, e->size}, data_path_.naive,
+                                   scratch);
+        }
+        rank.mram(e->dpu).write(e->mram_offset, {e->host, e->size});
+      } else {
+        rank.mram(e->dpu).read(e->mram_offset, {e->host, e->size});
+        if (data_path_.real_transform) {
+          real_transform_roundtrip({e->host, e->size}, data_path_.naive,
+                                   scratch);
+        }
       }
     }
-  }
+  });
 }
 
 void RankMapping::broadcast(std::uint64_t mram_offset,
@@ -124,17 +149,18 @@ void RankMapping::broadcast(std::uint64_t mram_offset,
   if (page_aligned && full_pages > 0) {
     const std::size_t shared_bytes = full_pages * upmem::kMramPageSize;
     auto pages = upmem::MramBank::build_pages(data.first(shared_bytes));
-    for (std::uint32_t d = 0; d < rank.nr_dpus(); ++d) {
-      rank.mram(d).adopt_pages(mram_offset, pages);
+    ThreadPool::instance().parallel_for(rank.nr_dpus(), [&](std::size_t d) {
+      rank.mram(static_cast<std::uint32_t>(d)).adopt_pages(mram_offset,
+                                                           pages);
       if (shared_bytes < data.size()) {
-        rank.mram(d).write(mram_offset + shared_bytes,
-                           data.subspan(shared_bytes));
+        rank.mram(static_cast<std::uint32_t>(d))
+            .write(mram_offset + shared_bytes, data.subspan(shared_bytes));
       }
-    }
+    });
   } else {
-    for (std::uint32_t d = 0; d < rank.nr_dpus(); ++d) {
-      rank.mram(d).write(mram_offset, data);
-    }
+    ThreadPool::instance().parallel_for(rank.nr_dpus(), [&](std::size_t d) {
+      rank.mram(static_cast<std::uint32_t>(d)).write(mram_offset, data);
+    });
   }
 }
 

@@ -27,23 +27,24 @@ DpuSet::DpuSet(Platform& platform, std::uint32_t nr_dpus,
     : platform_(&platform),
       nr_dpus_(nr_dpus),
       ranks_(std::move(ranks)),
-      prepared_(nr_dpus, nullptr) {}
-
-DpuSet::DpuRef DpuSet::ref(std::uint32_t dpu) const {
-  VPIM_CHECK(dpu < nr_dpus_, "DPU index outside the set");
-  std::uint32_t r = 0;
-  std::uint32_t base = 0;
-  while (true) {
-    const std::uint32_t n = ranks_[r]->nr_dpus();
-    if (dpu < base + n) return {r, dpu - base};
-    base += n;
-    ++r;
+      prepared_(nr_dpus, nullptr) {
+  rank_base_.reserve(ranks_.size() + 1);
+  rank_base_.push_back(0);
+  for (const auto& rank : ranks_) {
+    rank_base_.push_back(rank_base_.back() + rank->nr_dpus());
   }
 }
 
+DpuSet::DpuRef DpuSet::ref(std::uint32_t dpu) const {
+  VPIM_CHECK(dpu < nr_dpus_, "DPU index outside the set");
+  const auto it =
+      std::upper_bound(rank_base_.begin(), rank_base_.end(), dpu);
+  const auto r = static_cast<std::uint32_t>(it - rank_base_.begin()) - 1;
+  return {r, dpu - rank_base_[r]};
+}
+
 std::uint32_t DpuSet::dpus_on_rank(std::uint32_t r) const {
-  std::uint32_t base = 0;
-  for (std::uint32_t i = 0; i < r; ++i) base += ranks_[i]->nr_dpus();
+  const std::uint32_t base = rank_base_[r];
   if (base >= nr_dpus_) return 0;
   return std::min(ranks_[r]->nr_dpus(), nr_dpus_ - base);
 }
@@ -89,8 +90,7 @@ void DpuSet::push_xfer(driver::XferDirection dir, const Target& target,
     run_per_rank([&](std::uint32_t r) {
       driver::TransferMatrix matrix;
       matrix.direction = dir;
-      std::uint32_t base = 0;
-      for (std::uint32_t i = 0; i < r; ++i) base += ranks_[i]->nr_dpus();
+      const std::uint32_t base = rank_base(r);
       const std::uint32_t n = dpus_on_rank(r);
       for (std::uint32_t local = 0; local < n; ++local) {
         const std::uint32_t dpu = base + local;
@@ -129,8 +129,7 @@ void DpuSet::push_xfer(driver::XferDirection dir, const Target& target,
         }
       }
       run_per_rank([&](std::uint32_t r) {
-        std::uint32_t base = 0;
-        for (std::uint32_t i = 0; i < r; ++i) base += ranks_[i]->nr_dpus();
+        const std::uint32_t base = rank_base(r);
         const std::uint32_t n = dpus_on_rank(r);
         ranks_[r]->push_symbols(
             dir, target.name, static_cast<std::uint32_t>(target.offset),
@@ -151,8 +150,7 @@ void DpuSet::push_xfer(driver::XferDirection dir, const Target& target,
       return;
     }
     run_per_rank([&](std::uint32_t r) {
-      std::uint32_t base = 0;
-      for (std::uint32_t i = 0; i < r; ++i) base += ranks_[i]->nr_dpus();
+      const std::uint32_t base = rank_base(r);
       const std::uint32_t n = dpus_on_rank(r);
       for (std::uint32_t local = 0; local < n; ++local) {
         const std::uint32_t dpu = base + local;
@@ -208,8 +206,7 @@ void DpuSet::broadcast(const Target& target,
                   data.data(), data.size());
     }
     run_per_rank([&](std::uint32_t r) {
-      std::uint32_t base = 0;
-      for (std::uint32_t i = 0; i < r; ++i) base += ranks_[i]->nr_dpus();
+      const std::uint32_t base = rank_base(r);
       const std::uint32_t n = dpus_on_rank(r);
       ranks_[r]->push_symbols(
           driver::XferDirection::kToRank, target.name,

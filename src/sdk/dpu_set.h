@@ -102,6 +102,9 @@ class DpuSet {
   DpuRef ref(std::uint32_t dpu) const;
   // DPUs of the set living on rank `r`.
   std::uint32_t dpus_on_rank(std::uint32_t r) const;
+  // Global index of rank `r`'s first DPU (cumulative-base table built once
+  // in the constructor; r == nr_ranks() gives the total capacity).
+  std::uint32_t rank_base(std::uint32_t r) const { return rank_base_[r]; }
 
   void run_per_rank(
       const std::function<void(std::uint32_t rank_index)>& body);
@@ -113,6 +116,7 @@ class DpuSet {
   Platform* platform_;
   std::uint32_t nr_dpus_;
   std::vector<std::unique_ptr<RankDevice>> ranks_;
+  std::vector<std::uint32_t> rank_base_;  // prefix sums of ranks' DPU counts
   std::vector<std::uint8_t*> prepared_;
   std::span<std::uint8_t> scratch_;
   OpCounters counters_;

@@ -1,8 +1,14 @@
 #include "upmem/interleave.h"
 
+#include <cstdlib>
 #include <cstring>
 
 #include "common/error.h"
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define VPIM_INTERLEAVE_AVX2 1
+#include <immintrin.h>
+#endif
 
 namespace vpim::upmem {
 
@@ -50,6 +56,150 @@ inline void store_u64(std::uint8_t* p, std::uint64_t v) {
   std::memcpy(p, &v, 8);
 }
 
+// Shared scalar tail for the last (< main-loop granule) words.
+inline void interleave_tail(std::span<const std::uint8_t> src,
+                            std::span<std::uint8_t> dst,
+                            std::size_t per_chip, std::size_t first_word) {
+  for (std::size_t w = first_word; w < per_chip; ++w) {
+    for (std::size_t c = 0; c < kChips; ++c) {
+      dst[c * per_chip + w] = src[w * kChips + c];
+    }
+  }
+}
+
+inline void deinterleave_tail(std::span<const std::uint8_t> src,
+                              std::span<std::uint8_t> dst,
+                              std::size_t per_chip,
+                              std::size_t first_word) {
+  for (std::size_t w = first_word; w < per_chip; ++w) {
+    for (std::size_t c = 0; c < kChips; ++c) {
+      dst[w * kChips + c] = src[c * per_chip + w];
+    }
+  }
+}
+
+#ifdef VPIM_INTERLEAVE_AVX2
+
+// AVX2 path: four independent 8x8 blocks per iteration, one block per
+// 64-bit lane, so the delta swaps of transpose8x8 run 4-wide unchanged.
+// Per-chip outputs of four consecutive blocks are contiguous, which makes
+// the store (interleave) / load (deinterleave) side a single 32-byte op.
+
+__attribute__((target("avx2"))) inline __m256i gather4_u64(
+    const std::uint8_t* base, std::size_t stride) {
+  return _mm256_set_epi64x(
+      static_cast<long long>(load_u64(base + 3 * stride)),
+      static_cast<long long>(load_u64(base + 2 * stride)),
+      static_cast<long long>(load_u64(base + stride)),
+      static_cast<long long>(load_u64(base)));
+}
+
+__attribute__((target("avx2"))) inline void scatter4_u64(
+    std::uint8_t* base, std::size_t stride, __m256i v) {
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), v);
+  store_u64(base, lanes[0]);
+  store_u64(base + stride, lanes[1]);
+  store_u64(base + 2 * stride, lanes[2]);
+  store_u64(base + 3 * stride, lanes[3]);
+}
+
+__attribute__((target("avx2"))) inline void transpose8x8x4(__m256i x[8]) {
+  const __m256i m8 = _mm256_set1_epi64x(0x00FF00FF00FF00FFLL);
+  const __m256i m16 = _mm256_set1_epi64x(0x0000FFFF0000FFFFLL);
+  const __m256i m32 = _mm256_set1_epi64x(0x00000000FFFFFFFFLL);
+  __m256i t;
+  for (int i = 0; i < 8; i += 2) {
+    t = _mm256_and_si256(
+        _mm256_xor_si256(_mm256_srli_epi64(x[i], 8), x[i + 1]), m8);
+    x[i + 1] = _mm256_xor_si256(x[i + 1], t);
+    x[i] = _mm256_xor_si256(x[i], _mm256_slli_epi64(t, 8));
+  }
+  for (int i = 0; i < 8; i += 4) {
+    for (int j = 0; j < 2; ++j) {
+      t = _mm256_and_si256(
+          _mm256_xor_si256(_mm256_srli_epi64(x[i + j], 16), x[i + j + 2]),
+          m16);
+      x[i + j + 2] = _mm256_xor_si256(x[i + j + 2], t);
+      x[i + j] = _mm256_xor_si256(x[i + j], _mm256_slli_epi64(t, 16));
+    }
+  }
+  for (int j = 0; j < 4; ++j) {
+    t = _mm256_and_si256(
+        _mm256_xor_si256(_mm256_srli_epi64(x[j], 32), x[j + 4]), m32);
+    x[j + 4] = _mm256_xor_si256(x[j + 4], t);
+    x[j] = _mm256_xor_si256(x[j], _mm256_slli_epi64(t, 32));
+  }
+}
+
+__attribute__((target("avx2"))) void interleave_wide_avx2(
+    std::span<const std::uint8_t> src, std::span<std::uint8_t> dst) {
+  check_args(src, dst);
+  const std::size_t per_chip = src.size() / kChips;
+  const std::size_t groups = per_chip / 32;  // 4 blocks = 256 bytes each
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::uint8_t* base = src.data() + g * 256;
+    __m256i x[8];
+    for (std::size_t i = 0; i < 8; ++i) {
+      x[i] = gather4_u64(base + i * 8, 64);
+    }
+    transpose8x8x4(x);
+    for (std::size_t c = 0; c < kChips; ++c) {
+      _mm256_storeu_si256(
+          reinterpret_cast<__m256i*>(dst.data() + c * per_chip + g * 32),
+          x[c]);
+    }
+  }
+  interleave_tail(src, dst, per_chip, groups * 32);
+}
+
+__attribute__((target("avx2"))) void deinterleave_wide_avx2(
+    std::span<const std::uint8_t> src, std::span<std::uint8_t> dst) {
+  check_args(src, dst);
+  const std::size_t per_chip = src.size() / kChips;
+  const std::size_t groups = per_chip / 32;
+  for (std::size_t g = 0; g < groups; ++g) {
+    __m256i x[8];
+    for (std::size_t c = 0; c < kChips; ++c) {
+      x[c] = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(
+          src.data() + c * per_chip + g * 32));
+    }
+    transpose8x8x4(x);
+    std::uint8_t* base = dst.data() + g * 256;
+    for (std::size_t i = 0; i < 8; ++i) {
+      scatter4_u64(base + i * 8, 64, x[i]);
+    }
+  }
+  deinterleave_tail(src, dst, per_chip, groups * 32);
+}
+
+#endif  // VPIM_INTERLEAVE_AVX2
+
+using WideKernel = void (*)(std::span<const std::uint8_t>,
+                            std::span<std::uint8_t>);
+
+struct WideDispatch {
+  WideKernel inter;
+  WideKernel deinter;
+  std::string_view name;
+};
+
+const WideDispatch& wide_dispatch() {
+  static const WideDispatch d = [] {
+#ifdef VPIM_INTERLEAVE_AVX2
+    const char* off = std::getenv("VPIM_NO_AVX2");
+    const bool disabled = off != nullptr && off[0] != '\0' && off[0] != '0';
+    if (!disabled && __builtin_cpu_supports("avx2")) {
+      return WideDispatch{interleave_wide_avx2, deinterleave_wide_avx2,
+                          "avx2"};
+    }
+#endif
+    return WideDispatch{interleave_wide_scalar, deinterleave_wide_scalar,
+                        "scalar"};
+  }();
+  return d;
+}
+
 }  // namespace
 
 void interleave_naive(std::span<const std::uint8_t> src,
@@ -74,8 +224,8 @@ void deinterleave_naive(std::span<const std::uint8_t> src,
   }
 }
 
-void interleave_wide(std::span<const std::uint8_t> src,
-                     std::span<std::uint8_t> dst) {
+void interleave_wide_scalar(std::span<const std::uint8_t> src,
+                            std::span<std::uint8_t> dst) {
   check_args(src, dst);
   const std::size_t per_chip = src.size() / kChips;
   const std::size_t blocks = per_chip / 8;  // 64-byte main-loop blocks
@@ -89,16 +239,11 @@ void interleave_wide(std::span<const std::uint8_t> src,
       store_u64(dst.data() + c * per_chip + b * 8, x[c]);
     }
   }
-  // Tail (< 64 bytes): fall back to the scalar mapping.
-  for (std::size_t w = blocks * 8; w < per_chip; ++w) {
-    for (std::size_t c = 0; c < kChips; ++c) {
-      dst[c * per_chip + w] = src[w * kChips + c];
-    }
-  }
+  interleave_tail(src, dst, per_chip, blocks * 8);
 }
 
-void deinterleave_wide(std::span<const std::uint8_t> src,
-                       std::span<std::uint8_t> dst) {
+void deinterleave_wide_scalar(std::span<const std::uint8_t> src,
+                              std::span<std::uint8_t> dst) {
   check_args(src, dst);
   const std::size_t per_chip = src.size() / kChips;
   const std::size_t blocks = per_chip / 8;
@@ -112,11 +257,19 @@ void deinterleave_wide(std::span<const std::uint8_t> src,
       store_u64(dst.data() + (b * 8 + i) * 8, x[i]);
     }
   }
-  for (std::size_t w = blocks * 8; w < per_chip; ++w) {
-    for (std::size_t c = 0; c < kChips; ++c) {
-      dst[w * kChips + c] = src[c * per_chip + w];
-    }
-  }
+  deinterleave_tail(src, dst, per_chip, blocks * 8);
 }
+
+void interleave_wide(std::span<const std::uint8_t> src,
+                     std::span<std::uint8_t> dst) {
+  wide_dispatch().inter(src, dst);
+}
+
+void deinterleave_wide(std::span<const std::uint8_t> src,
+                       std::span<std::uint8_t> dst) {
+  wide_dispatch().deinter(src, dst);
+}
+
+std::string_view wide_kernel_name() { return wide_dispatch().name; }
 
 }  // namespace vpim::upmem

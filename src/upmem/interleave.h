@@ -6,15 +6,21 @@
 // transform to be performance-critical and rewrote it from Rust/AVX2 to
 // C/AVX512 (§4.2, up to 343% faster). We keep both shapes:
 //
-//   - *_naive: byte-at-a-time loop (the slow-path stand-in);
-//   - *_wide : 8x8 byte matrix transpose on 64-bit words (the fast path).
+//   - *_naive: byte-at-a-time loop (the slow-path stand-in, kept intact
+//     for the Fig 11/12 ablations);
+//   - *_wide : the fast path, dispatched at runtime to an AVX2
+//     implementation (four 8x8 blocks per iteration, delta swaps on ymm
+//     registers) when the CPU supports it, with the portable transpose8x8
+//     64-bit-word path as the fallback. VPIM_NO_AVX2=1 forces the
+//     portable path for A/B testing.
 //
-// Both are bit-exact inverses of each other and are property-tested against
-// each other; the cost model charges their calibrated bandwidths.
+// All variants are bit-exact inverses of each other and are property-tested
+// against each other; the cost model charges their calibrated bandwidths.
 #pragma once
 
 #include <cstdint>
 #include <span>
+#include <string_view>
 
 namespace vpim::upmem {
 
@@ -26,9 +32,20 @@ void interleave_naive(std::span<const std::uint8_t> src,
 void deinterleave_naive(std::span<const std::uint8_t> src,
                         std::span<std::uint8_t> dst);
 
+// Runtime-dispatched fast path (AVX2 when available, scalar otherwise).
 void interleave_wide(std::span<const std::uint8_t> src,
                      std::span<std::uint8_t> dst);
 void deinterleave_wide(std::span<const std::uint8_t> src,
                        std::span<std::uint8_t> dst);
+
+// The portable transpose8x8 implementation, callable directly so tests can
+// compare it against whatever interleave_wide dispatched to.
+void interleave_wide_scalar(std::span<const std::uint8_t> src,
+                            std::span<std::uint8_t> dst);
+void deinterleave_wide_scalar(std::span<const std::uint8_t> src,
+                              std::span<std::uint8_t> dst);
+
+// "avx2" or "scalar": which implementation interleave_wide dispatches to.
+std::string_view wide_kernel_name();
 
 }  // namespace vpim::upmem

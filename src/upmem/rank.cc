@@ -1,6 +1,7 @@
 #include "upmem/rank.h"
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 
 namespace vpim::upmem {
 
@@ -37,10 +38,21 @@ void Rank::ci_launch(std::uint64_t dpu_mask,
   VPIM_CHECK((dpu_mask & ~all_dpus_mask()) == 0,
              "launch mask targets defective/absent DPUs");
   const SimNs start = clock_.now();
+  const std::uint32_t tasklets = nr_tasklets.value_or(16);
+  // Each masked DPU runs its kernel against its own MRAM bank / WRAM
+  // symbols, so the launches are independent and fan out over the host
+  // pool. Durations land in a per-DPU slot and are merged serially in
+  // index order below, so finish times and busy_until_ are bit-identical
+  // to a serial walk at any VPIM_THREADS.
+  std::vector<SimNs> durations(dpus_.size(), 0);
+  ThreadPool::instance().parallel_for(dpus_.size(), [&](std::size_t i) {
+    if ((dpu_mask >> i) & 1) {
+      durations[i] = dpus_[i].run(tasklets, cost_);
+    }
+  });
   for (std::uint32_t i = 0; i < dpus_.size(); ++i) {
     if ((dpu_mask >> i) & 1) {
-      const std::uint32_t tasklets = nr_tasklets.value_or(16);
-      finish_time_[i] = start + dpus_[i].run(tasklets, cost_);
+      finish_time_[i] = start + durations[i];
       busy_until_ = std::max(busy_until_, finish_time_[i]);
     }
   }

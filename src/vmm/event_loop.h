@@ -6,9 +6,13 @@
 // optimization (§4.2) has the loop only *dispatch* each event to a
 // dedicated thread and move on, so per-rank operations overlap (blue).
 //
-// Concurrency is simulated by replaying parallel branches from the same
-// virtual start time (SimClock::run_parallel), so the loop models its
-// occupancy as a set of busy *intervals* rather than a single cursor:
+// *Virtual-time* concurrency is simulated by replaying parallel branches
+// from the same virtual start time (SimClock::run_parallel), so the loop
+// models its occupancy as a set of busy *intervals* rather than a single
+// cursor. *Host* concurrency is separate: a dispatched handler's leaf work
+// (DPU kernel execution, per-bank copies, GPA->HVA translation) fans out
+// over Vmm::pool(), so parallel handling now shortens wall-clock too, not
+// just the modeled timeline:
 //  - sequential mode: a request occupies the loop for its whole handling,
 //    FIFO behind every previously recorded interval;
 //  - parallel mode: a request only occupies the loop for the fixed

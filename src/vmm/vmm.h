@@ -8,6 +8,7 @@
 
 #include "common/cost_model.h"
 #include "common/sim_clock.h"
+#include "common/thread_pool.h"
 #include "guest/guest_memory.h"
 #include "vmm/event_loop.h"
 
@@ -38,6 +39,10 @@ class Vmm {
   EventLoop& loop() { return loop_; }
   SimClock& clock() { return clock_; }
   const CostModel& cost() const { return cost_; }
+  // Host thread pool the device models fan leaf work out on. Distinct
+  // from `parallel_handling`, which models virtual-time dispatch: the
+  // pool changes wall-clock only, never simulated time.
+  ThreadPool& pool() { return pool_; }
 
   // Boots the microVM with `nr_virtio_devices` attached vUPMEM devices;
   // returns the boot duration (base microVM boot + ~2 ms per device, §3.2).
@@ -57,6 +62,7 @@ class Vmm {
   const CostModel& cost_;
   guest::GuestMemory memory_;
   EventLoop loop_;
+  ThreadPool& pool_ = ThreadPool::instance();
   bool booted_ = false;
 };
 

@@ -1,8 +1,10 @@
 #include "vpim/backend.h"
 
+#include <array>
 #include <cstring>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "upmem/layout.h"
 
 namespace vpim::core {
@@ -15,10 +17,12 @@ T read_pod(const std::uint8_t* src) {
   return value;
 }
 
-// Merges adjacent HVA segments so bulk copies stream contiguously.
-std::vector<std::pair<std::uint8_t*, std::uint64_t>> coalesce(
-    const std::vector<std::pair<std::uint8_t*, std::uint64_t>>& segments) {
-  std::vector<std::pair<std::uint8_t*, std::uint64_t>> out;
+// Merges adjacent HVA segments so bulk copies stream contiguously. Writes
+// into a caller-owned vector so the per-entry loops reuse one allocation.
+void coalesce_into(
+    const std::vector<std::pair<std::uint8_t*, std::uint64_t>>& segments,
+    std::vector<std::pair<std::uint8_t*, std::uint64_t>>& out) {
+  out.clear();
   for (const auto& [ptr, len] : segments) {
     if (!out.empty() && out.back().first + out.back().second == ptr) {
       out.back().second += len;
@@ -26,7 +30,6 @@ std::vector<std::pair<std::uint8_t*, std::uint64_t>> coalesce(
       out.emplace_back(ptr, len);
     }
   }
-  return out;
 }
 }  // namespace
 
@@ -125,14 +128,32 @@ void Backend::data_transfer(const driver::TransferMatrix& matrix) {
                        CostModel::bytes_time(bytes,
                                              cost.emulated_copy_gbps));
   upmem::Rank& rank = emulated_->rank;
+  // Same per-bank fan-out as the physical path (RankMapping::transfer):
+  // entries for one DPU replay in order, distinct banks run host-parallel.
+  std::array<int, upmem::kDpuSlotsPerRank> slot;
+  slot.fill(-1);
+  std::vector<std::vector<const driver::XferEntry*>> groups;
   for (const driver::XferEntry& e : matrix.entries) {
     if (e.size == 0) continue;
-    if (matrix.direction == driver::XferDirection::kToRank) {
-      rank.mram(e.dpu).write(e.mram_offset, {e.host, e.size});
-    } else {
-      rank.mram(e.dpu).read(e.mram_offset, {e.host, e.size});
+    VPIM_CHECK(e.dpu < upmem::kDpuSlotsPerRank,
+               "transfer entry targets an invalid DPU slot");
+    int& g = slot[e.dpu];
+    if (g < 0) {
+      g = static_cast<int>(groups.size());
+      groups.emplace_back();
     }
+    groups[g].push_back(&e);
   }
+  const bool to_rank = matrix.direction == driver::XferDirection::kToRank;
+  vmm_.pool().parallel_for(groups.size(), [&](std::size_t gi) {
+    for (const driver::XferEntry* e : groups[gi]) {
+      if (to_rank) {
+        rank.mram(e->dpu).write(e->mram_offset, {e->host, e->size});
+      } else {
+        rank.mram(e->dpu).read(e->mram_offset, {e->host, e->size});
+      }
+    }
+  });
 }
 
 void Backend::data_broadcast(std::uint64_t mram_offset,
@@ -147,22 +168,24 @@ void Backend::data_broadcast(std::uint64_t mram_offset,
       cost.native_xfer_fixed_ns +
       CostModel::bytes_time(data.size() * rank.nr_dpus(),
                             cost.emulated_copy_gbps));
-  // Same copy-on-write page sharing as the physical broadcast path.
+  // Same copy-on-write page sharing as the physical broadcast path; banks
+  // are independent, so the per-DPU loop fans out over the pool.
   const bool aligned = (mram_offset % upmem::kMramPageSize) == 0;
   const std::size_t full_pages = data.size() / upmem::kMramPageSize;
   if (aligned && full_pages > 0) {
     const std::size_t shared = full_pages * upmem::kMramPageSize;
     auto pages = upmem::MramBank::build_pages(data.first(shared));
-    for (std::uint32_t d = 0; d < rank.nr_dpus(); ++d) {
-      rank.mram(d).adopt_pages(mram_offset, pages);
+    vmm_.pool().parallel_for(rank.nr_dpus(), [&](std::size_t d) {
+      const auto dpu = static_cast<std::uint32_t>(d);
+      rank.mram(dpu).adopt_pages(mram_offset, pages);
       if (shared < data.size()) {
-        rank.mram(d).write(mram_offset + shared, data.subspan(shared));
+        rank.mram(dpu).write(mram_offset + shared, data.subspan(shared));
       }
-    }
+    });
   } else {
-    for (std::uint32_t d = 0; d < rank.nr_dpus(); ++d) {
-      rank.mram(d).write(mram_offset, data);
-    }
+    vmm_.pool().parallel_for(rank.nr_dpus(), [&](std::size_t d) {
+      rank.mram(static_cast<std::uint32_t>(d)).write(mram_offset, data);
+    });
   }
 }
 
@@ -299,17 +322,19 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
     apply_batched_writes(matrix);
   } else {
     // Detect broadcast: every entry targets the same offset/size through
-    // the same (coalesced) guest segment.
+    // the same (coalesced) guest segment. The two coalesce outputs live in
+    // member scratch so per-request loops reuse one allocation.
     bool broadcast = matrix.direction == driver::XferDirection::kToRank &&
                      matrix.entries.size() == bound_rank().nr_dpus() &&
                      matrix.entries.size() > 1;
-    std::vector<std::pair<std::uint8_t*, std::uint64_t>> first;
+    auto& first = coalesce_first_;
+    auto& cur = coalesce_scratch_;
     if (broadcast) {
-      first = coalesce(matrix.entries[0].segments);
+      coalesce_into(matrix.entries[0].segments, first);
       for (const auto& e : matrix.entries) {
+        coalesce_into(e.segments, cur);
         if (e.mram_offset != matrix.entries[0].mram_offset ||
-            e.size != matrix.entries[0].size ||
-            coalesce(e.segments) != first) {
+            e.size != matrix.entries[0].size || cur != first) {
           broadcast = false;
           break;
         }
@@ -324,7 +349,8 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
       xfer.direction = matrix.direction;
       for (const auto& e : matrix.entries) {
         std::uint64_t mram = e.mram_offset;
-        for (const auto& [ptr, len] : coalesce(e.segments)) {
+        coalesce_into(e.segments, cur);
+        for (const auto& [ptr, len] : cur) {
           xfer.entries.push_back({e.dpu, mram, ptr, len});
           mram += len;
         }
@@ -355,35 +381,54 @@ void Backend::apply_batched_writes(const DeserializeResult& matrix) {
       CostModel::bytes_time(matrix.total_bytes, batch_gbps()));
 
   upmem::Rank& rank = bound_rank();
-  std::vector<std::uint8_t> scratch;
+  // One batch region per target DPU; group entries by DPU (replayed in
+  // order within a group) and fan the groups out over the pool with a
+  // group-local reassembly scratch.
+  std::array<int, upmem::kDpuSlotsPerRank> slot;
+  slot.fill(-1);
+  std::vector<std::vector<const DeserializedEntry*>> groups;
   for (const auto& e : matrix.entries) {
-    // Reassemble this DPU's batch region, then replay its records.
-    scratch.clear();
-    scratch.reserve(e.size);
-    for (const auto& [ptr, len] : e.segments) {
-      scratch.insert(scratch.end(), ptr, ptr + len);
+    VPIM_REQUEST_CHECK(e.dpu < upmem::kDpuSlotsPerRank,
+                       virtio::PimStatus::kBadRequest,
+                       "batch entry targets an invalid DPU slot");
+    int& g = slot[e.dpu];
+    if (g < 0) {
+      g = static_cast<int>(groups.size());
+      groups.emplace_back();
     }
-    std::uint64_t off = 0;
-    while (off < scratch.size()) {
-      VPIM_REQUEST_CHECK(off + sizeof(BatchRecordHeader) <= scratch.size(),
-                         virtio::PimStatus::kBadRequest,
-                         "truncated batch record header");
-      const auto hdr = read_pod<BatchRecordHeader>(scratch.data() + off);
-      off += sizeof(BatchRecordHeader);
-      // hdr.size is guest-controlled: the remaining-bytes bound must not
-      // wrap, and the record must land inside the MRAM bank.
-      VPIM_REQUEST_CHECK(hdr.size <= scratch.size() - off,
-                         virtio::PimStatus::kBadRequest,
-                         "truncated batch record payload");
-      VPIM_REQUEST_CHECK(hdr.mram_offset <= upmem::kMramSize &&
-                             hdr.size <= upmem::kMramSize - hdr.mram_offset,
-                         virtio::PimStatus::kBadRequest,
-                         "batch record falls outside the MRAM bank");
-      rank.mram(e.dpu).write(hdr.mram_offset,
-                             {scratch.data() + off, hdr.size});
-      off += hdr.size;
-    }
+    groups[g].push_back(&e);
   }
+  vmm_.pool().parallel_for(groups.size(), [&](std::size_t gi) {
+    std::vector<std::uint8_t> scratch;
+    for (const DeserializedEntry* e : groups[gi]) {
+      // Reassemble this DPU's batch region, then replay its records.
+      scratch.clear();
+      scratch.reserve(e->size);
+      for (const auto& [ptr, len] : e->segments) {
+        scratch.insert(scratch.end(), ptr, ptr + len);
+      }
+      std::uint64_t off = 0;
+      while (off < scratch.size()) {
+        VPIM_REQUEST_CHECK(off + sizeof(BatchRecordHeader) <= scratch.size(),
+                           virtio::PimStatus::kBadRequest,
+                           "truncated batch record header");
+        const auto hdr = read_pod<BatchRecordHeader>(scratch.data() + off);
+        off += sizeof(BatchRecordHeader);
+        // hdr.size is guest-controlled: the remaining-bytes bound must not
+        // wrap, and the record must land inside the MRAM bank.
+        VPIM_REQUEST_CHECK(hdr.size <= scratch.size() - off,
+                           virtio::PimStatus::kBadRequest,
+                           "truncated batch record payload");
+        VPIM_REQUEST_CHECK(hdr.mram_offset <= upmem::kMramSize &&
+                               hdr.size <= upmem::kMramSize - hdr.mram_offset,
+                           virtio::PimStatus::kBadRequest,
+                           "batch record falls outside the MRAM bank");
+        rank.mram(e->dpu).write(hdr.mram_offset,
+                                {scratch.data() + off, hdr.size});
+        off += hdr.size;
+      }
+    }
+  });
 }
 
 void Backend::handle_ci(const virtio::DescChain& chain,

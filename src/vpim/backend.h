@@ -16,6 +16,8 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <utility>
+#include <vector>
 
 #include "driver/driver.h"
 #include "virtio/device_state.h"
@@ -110,6 +112,10 @@ class Backend {
   std::string tag_;
   std::optional<driver::RankMapping> mapping_;
   std::unique_ptr<EmulatedRank> emulated_;
+  // Reused coalesce outputs (one allocation across requests instead of a
+  // fresh vector per matrix entry).
+  std::vector<std::pair<std::uint8_t*, std::uint64_t>> coalesce_first_;
+  std::vector<std::pair<std::uint8_t*, std::uint64_t>> coalesce_scratch_;
   // Parked state between kSuspendRank and kResumeRank (§7 pause/resume).
   std::optional<upmem::Rank::Snapshot> suspended_;
 };

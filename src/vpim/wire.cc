@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/thread_pool.h"
 #include "upmem/layout.h"
 
 namespace vpim::core {
@@ -34,6 +35,8 @@ SerializeResult serialize_matrix(const driver::TransferMatrix& matrix,
              "rank operations move at most 4 GiB");
 
   SerializeResult result;
+  // [req][meta] + 2 per entry + [response].
+  result.chain.reserve(3 + 2 * matrix.entries.size());
 
   WireRequest req;
   req.type = request_type;
@@ -133,7 +136,14 @@ DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
 
   DeserializeResult result;
   result.direction = static_cast<driver::XferDirection>(req.direction);
+  result.entries.reserve(meta.nr_entries);
 
+  // Pass 1 (serial, in entry order): validate every guest-controlled
+  // metadata field and build the entry skeletons.
+  std::vector<WireEntryMeta> entry_metas;
+  std::vector<const std::uint8_t*> page_lists;
+  entry_metas.reserve(meta.nr_entries);
+  page_lists.reserve(meta.nr_entries);
   for (std::uint64_t k = 0; k < meta.nr_entries; ++k) {
     const virtio::VirtqDesc& meta_desc = chain.descs[2 + 2 * k];
     VPIM_REQUEST_CHECK(meta_desc.len >= sizeof(WireEntryMeta),
@@ -157,34 +167,45 @@ DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
     VPIM_REQUEST_CHECK(pages_desc.len == em.nr_pages * 8,
                        PimStatus::kBadRequest,
                        "page buffer length disagrees with entry metadata");
-    const std::uint8_t* list = mem.hva_range(pages_desc.addr,
-                                             pages_desc.len);
+    page_lists.push_back(mem.hva_range(pages_desc.addr, pages_desc.len));
+    entry_metas.push_back(em);
 
     DeserializedEntry entry;
     entry.dpu = static_cast<std::uint32_t>(em.dpu);
     entry.mram_offset = em.mram_offset;
     entry.size = em.size;
-
-    std::uint64_t remaining = em.size;
-    for (std::uint64_t p = 0; p < em.nr_pages; ++p) {
-      const auto page_gpa = read_pod<std::uint64_t>(list + p * 8);
-      VPIM_REQUEST_CHECK(page_gpa % kPage == 0, PimStatus::kBadRequest,
-                         "page address not page-aligned");
-      const std::uint64_t off = (p == 0) ? em.first_page_offset : 0;
-      const std::uint64_t len = std::min(remaining, kPage - off);
-      // GPA -> HVA translation: the step vPIM spreads over worker threads.
-      // Whole-page range check: a page straddling the end of guest RAM
-      // must not hand out a pointer past the backing allocation.
-      entry.segments.emplace_back(mem.hva_range(page_gpa, kPage) + off,
-                                  len);
-      remaining -= len;
-    }
-    VPIM_REQUEST_CHECK(remaining == 0, PimStatus::kBadRequest,
-                       "pages do not cover the entry");
     result.nr_pages += em.nr_pages;
     result.total_bytes += em.size;
     result.entries.push_back(std::move(entry));
   }
+
+  // Pass 2: GPA -> HVA translation — the step vPIM spreads over worker
+  // threads (translate_threads in the cost model); here the entries fan
+  // out over the host pool for real. Each entry fills only its own
+  // segment list; a hostile page address throws and the pool rethrows the
+  // lowest failing entry's error, exactly what a serial walk reports.
+  ThreadPool::instance().parallel_for(
+      result.entries.size(), [&](std::size_t k) {
+        const WireEntryMeta& em = entry_metas[k];
+        const std::uint8_t* list = page_lists[k];
+        DeserializedEntry& entry = result.entries[k];
+        entry.segments.reserve(em.nr_pages);
+        std::uint64_t remaining = em.size;
+        for (std::uint64_t p = 0; p < em.nr_pages; ++p) {
+          const auto page_gpa = read_pod<std::uint64_t>(list + p * 8);
+          VPIM_REQUEST_CHECK(page_gpa % kPage == 0, PimStatus::kBadRequest,
+                             "page address not page-aligned");
+          const std::uint64_t off = (p == 0) ? em.first_page_offset : 0;
+          const std::uint64_t len = std::min(remaining, kPage - off);
+          // Whole-page range check: a page straddling the end of guest RAM
+          // must not hand out a pointer past the backing allocation.
+          entry.segments.emplace_back(mem.hva_range(page_gpa, kPage) + off,
+                                      len);
+          remaining -= len;
+        }
+        VPIM_REQUEST_CHECK(remaining == 0, PimStatus::kBadRequest,
+                           "pages do not cover the entry");
+      });
   VPIM_REQUEST_CHECK(result.total_bytes == meta.total_bytes,
                      PimStatus::kBadRequest,
                      "matrix metadata disagrees with entry sizes");

@@ -1,0 +1,193 @@
+// Host-parallelism determinism suite: the hard requirement of the
+// thread-pooled execution engine is that VPIM_THREADS must be invisible to
+// everything except wall-clock time. These tests run real workloads through
+// the full vPIM path (guest SDK -> frontend -> virtio -> backend -> rank)
+// at pool sizes 1 / 4 / hardware_concurrency and require byte-identical
+// results, identical virtual-time breakdowns, and identical trace logs.
+// Also pins the interleave dispatch (AVX2 vs portable) to bit-exactness.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <random>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "common/trace.h"
+#include "prim/app.h"
+#include "prim/micro.h"
+#include "tests/testutil.h"
+#include "upmem/interleave.h"
+#include "vpim/guest_platform.h"
+#include "vpim/host.h"
+#include "vpim/vpim_vm.h"
+
+namespace vpim {
+namespace {
+
+core::ManagerConfig fast_manager() {
+  core::ManagerConfig cfg;
+  cfg.retry_wait_ns = 1 * kMs;
+  cfg.max_attempts = 2;
+  return cfg;
+}
+
+std::vector<unsigned> thread_sweep() {
+  std::vector<unsigned> sweep = {1, 4};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw != 1 && hw != 4) sweep.push_back(hw);
+  return sweep;
+}
+
+// Everything observable about a run except wall-clock time.
+struct Capture {
+  bool correct = false;
+  std::array<SimNs, 4> segments{};        // TimeBreakdown
+  std::array<SimNs, 3> op_time{};         // DeviceStats.ops
+  std::array<std::uint64_t, 3> op_count{};
+  std::array<SimNs, 5> step_time{};       // DeviceStats.wsteps
+  SimNs clock_end = 0;
+  std::string trace_csv;                   // full device trace, in order
+};
+
+void expect_identical(const Capture& base, const Capture& got,
+                      unsigned threads) {
+  EXPECT_EQ(base.correct, got.correct) << "threads=" << threads;
+  EXPECT_EQ(base.segments, got.segments) << "threads=" << threads;
+  EXPECT_EQ(base.op_time, got.op_time) << "threads=" << threads;
+  EXPECT_EQ(base.op_count, got.op_count) << "threads=" << threads;
+  EXPECT_EQ(base.step_time, got.step_time) << "threads=" << threads;
+  EXPECT_EQ(base.clock_end, got.clock_end) << "threads=" << threads;
+  EXPECT_EQ(base.trace_csv, got.trace_csv) << "threads=" << threads;
+}
+
+class DeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override { original_ = ThreadPool::instance().size(); }
+  void TearDown() override { ThreadPool::instance().resize(original_); }
+  unsigned original_ = 1;
+};
+
+Capture run_prim_app(const std::string& app, unsigned threads) {
+  ThreadPool::instance().resize(threads);
+  core::Host host(test::small_machine(), CostModel{}, fast_manager());
+  core::VpimVm vm(host, {.name = "det-vm"}, 1);
+  core::GuestPlatform platform(vm);
+  Tracer tracer;
+  vm.device(0).frontend.set_tracer(&tracer);
+
+  prim::AppParams prm;
+  prm.nr_dpus = 8;
+  prm.scale = 0.02;
+  const prim::AppResult res = prim::make_app(app)->run(platform, prm);
+
+  Capture cap;
+  cap.correct = res.correct;
+  cap.segments = res.breakdown.segment;
+  const core::DeviceStats& stats = vm.device(0).stats;
+  cap.op_time = stats.ops.op_time;
+  cap.op_count = stats.ops.op_count;
+  cap.step_time = stats.wsteps.step_time;
+  cap.clock_end = host.clock.now();
+  std::ostringstream csv;
+  tracer.dump_csv(csv);
+  cap.trace_csv = csv.str();
+  return cap;
+}
+
+Capture run_checksum_app(unsigned threads) {
+  ThreadPool::instance().resize(threads);
+  core::Host host(test::small_machine(), CostModel{}, fast_manager());
+  core::VpimVm vm(host, {.name = "det-cs"}, 1);
+  core::GuestPlatform platform(vm);
+  Tracer tracer;
+  vm.device(0).frontend.set_tracer(&tracer);
+
+  prim::ChecksumParams prm;
+  prm.nr_dpus = 8;
+  prm.file_bytes = 512 * kKiB;
+  const prim::ChecksumResult res = prim::run_checksum(platform, prm);
+
+  Capture cap;
+  cap.correct = res.correct;
+  cap.segments = {res.total, 0, 0, 0};
+  const core::DeviceStats& stats = vm.device(0).stats;
+  cap.op_time = stats.ops.op_time;
+  cap.op_count = stats.ops.op_count;
+  cap.step_time = stats.wsteps.step_time;
+  cap.clock_end = host.clock.now();
+  std::ostringstream csv;
+  tracer.dump_csv(csv);
+  cap.trace_csv = csv.str();
+  return cap;
+}
+
+TEST_F(DeterminismTest, ChecksumIsThreadCountInvariant) {
+  const Capture base = run_checksum_app(1);
+  EXPECT_TRUE(base.correct);
+  EXPECT_GT(base.trace_csv.size(), 0u);
+  for (unsigned t : thread_sweep()) {
+    if (t == 1) continue;
+    expect_identical(base, run_checksum_app(t), t);
+  }
+}
+
+class PrimDeterminism : public DeterminismTest,
+                        public ::testing::WithParamInterface<std::string> {};
+
+TEST_P(PrimDeterminism, FullVpimPathIsThreadCountInvariant) {
+  const Capture base = run_prim_app(GetParam(), 1);
+  EXPECT_TRUE(base.correct);
+  for (unsigned t : thread_sweep()) {
+    if (t == 1) continue;
+    expect_identical(base, run_prim_app(GetParam(), t), t);
+  }
+}
+
+// NW is the transfer-bound app (boundary exchanges stress the parallel
+// data path); RED reduces across DPUs (stresses the launch fan-out).
+INSTANTIATE_TEST_SUITE_P(Apps, PrimDeterminism,
+                         ::testing::Values("NW", "RED"));
+
+// ---- interleave dispatch ------------------------------------------------
+
+std::vector<std::uint8_t> random_bytes(std::size_t n, std::uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::vector<std::uint8_t> out(n);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng());
+  return out;
+}
+
+TEST(InterleaveDispatch, WideMatchesScalarAndNaive) {
+  // Whatever interleave_wide dispatched to (AVX2 on capable hosts, the
+  // portable transpose otherwise) must be bit-exact against both the
+  // scalar wide path and the naive reference, including ragged tails.
+  for (std::size_t n : {8u, 64u, 256u, 2048u, 2048u + 64u, 2048u + 8u,
+                        64u * 1024u}) {
+    const auto src = random_bytes(n, 0xC0FFEE ^ n);
+    std::vector<std::uint8_t> naive(n), scalar(n), wide(n);
+    upmem::interleave_naive(src, naive);
+    upmem::interleave_wide_scalar(src, scalar);
+    upmem::interleave_wide(src, wide);
+    EXPECT_EQ(naive, scalar) << "n=" << n;
+    EXPECT_EQ(naive, wide) << "n=" << n << " kernel="
+                           << upmem::wide_kernel_name();
+
+    std::vector<std::uint8_t> back(n);
+    upmem::deinterleave_wide(wide, back);
+    EXPECT_EQ(back, src) << "n=" << n;
+    upmem::deinterleave_wide_scalar(scalar, back);
+    EXPECT_EQ(back, src) << "n=" << n;
+  }
+}
+
+TEST(InterleaveDispatch, ReportsAKnownKernel) {
+  const auto name = upmem::wide_kernel_name();
+  EXPECT_TRUE(name == "avx2" || name == "scalar") << name;
+}
+
+}  // namespace
+}  // namespace vpim

@@ -1,0 +1,109 @@
+// Unit tests for the deterministic chunked host thread pool: completion,
+// exception propagation, nested-submit safety, and the chunking contract
+// that the cross-layer determinism suite relies on.
+#include "common/thread_pool.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace vpim {
+namespace {
+
+// Every test restores the process-wide pool to its original size so the
+// remaining suites see the VPIM_THREADS / hardware_concurrency default.
+class ThreadPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override { original_ = ThreadPool::instance().size(); }
+  void TearDown() override { ThreadPool::instance().resize(original_); }
+  unsigned original_ = 1;
+};
+
+TEST_F(ThreadPoolTest, RunsEveryIndexExactlyOnce) {
+  for (unsigned threads : {1u, 2u, 4u, 7u}) {
+    ThreadPool::instance().resize(threads);
+    ASSERT_EQ(ThreadPool::instance().size(), threads);
+    for (std::size_t n : {std::size_t{0}, std::size_t{1}, std::size_t{3},
+                          std::size_t{64}, std::size_t{1000}}) {
+      std::vector<std::atomic<int>> hits(n);
+      ThreadPool::instance().parallel_for(
+          n, [&](std::size_t i) { hits[i].fetch_add(1); });
+      for (std::size_t i = 0; i < n; ++i) {
+        ASSERT_EQ(hits[i].load(), 1) << "threads=" << threads << " i=" << i;
+      }
+    }
+  }
+}
+
+TEST_F(ThreadPoolTest, ResultsMergeInIndexOrder) {
+  // Per-index outputs written into a shared vector must land exactly as a
+  // serial loop would produce them, at any thread count.
+  const std::size_t n = 512;
+  std::vector<std::uint64_t> serial(n);
+  for (std::size_t i = 0; i < n; ++i) serial[i] = i * i + 17;
+  for (unsigned threads : {1u, 3u, 8u}) {
+    ThreadPool::instance().resize(threads);
+    std::vector<std::uint64_t> out(n, 0);
+    ThreadPool::instance().parallel_for(
+        n, [&](std::size_t i) { out[i] = i * i + 17; });
+    EXPECT_EQ(out, serial) << "threads=" << threads;
+  }
+}
+
+TEST_F(ThreadPoolTest, RethrowsLowestFailingIndex) {
+  ThreadPool::instance().resize(4);
+  // Two failures in different chunks: the caller must see the exception a
+  // serial loop would have hit first (index 50, not 700).
+  try {
+    ThreadPool::instance().parallel_for(1000, [&](std::size_t i) {
+      if (i == 50 || i == 700) {
+        throw std::runtime_error("idx" + std::to_string(i));
+      }
+    });
+    FAIL() << "parallel_for swallowed the exception";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "idx50");
+  }
+}
+
+TEST_F(ThreadPoolTest, ExceptionDoesNotPoisonThePool) {
+  ThreadPool::instance().resize(4);
+  EXPECT_THROW(ThreadPool::instance().parallel_for(
+                   100, [](std::size_t) { throw std::runtime_error("x"); }),
+               std::runtime_error);
+  // The pool must remain usable after a failed job.
+  std::atomic<int> count{0};
+  ThreadPool::instance().parallel_for(100,
+                                      [&](std::size_t) { ++count; });
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST_F(ThreadPoolTest, NestedSubmitRunsInlineWithoutDeadlock) {
+  ThreadPool::instance().resize(4);
+  std::atomic<std::uint64_t> total{0};
+  ThreadPool::instance().parallel_for(8, [&](std::size_t) {
+    // A nested fan-out from a worker must not wait on the pool (the
+    // workers are busy running *this* job) — it runs inline.
+    ThreadPool::instance().parallel_for(
+        16, [&](std::size_t j) { total += j + 1; });
+  });
+  // 8 * sum(1..16)
+  EXPECT_EQ(total.load(), 8u * (16u * 17u / 2u));
+}
+
+TEST_F(ThreadPoolTest, SizeOneRunsOnCallingThread) {
+  ThreadPool::instance().resize(1);
+  const auto caller = std::this_thread::get_id();
+  std::vector<std::thread::id> ids(32);
+  ThreadPool::instance().parallel_for(
+      32, [&](std::size_t i) { ids[i] = std::this_thread::get_id(); });
+  for (const auto& id : ids) EXPECT_EQ(id, caller);
+}
+
+}  // namespace
+}  // namespace vpim
