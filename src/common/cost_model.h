@@ -110,6 +110,17 @@ struct CostModel {
   // Observer-thread polling period for sysfs rank status.
   SimNs manager_observe_period_ns = 10 * kMs;
 
+  // ---- Faults & recovery --------------------------------------------------
+  // Base backoff before the backend retries a transiently faulted rank
+  // operation; doubles per attempt up to VpimConfig::fault_max_retries.
+  SimNs fault_retry_backoff_ns = 200 * kUs;
+  // Reset-verify probe of a quarantined rank (per-DPU pattern write/read
+  // through safe mode), charged on top of the erase itself.
+  SimNs rank_probe_ns = 2 * kMs;
+  // Host streaming bandwidth while rescuing MRAM off a dying rank during a
+  // wrank migration (degraded vs the healthy interleave path).
+  double rank_rescue_gbps = 3.0;
+
   // ---- VM lifecycle ---------------------------------------------------------
   // Base Firecracker microVM boot (~125 ms per the Firecracker paper).
   SimNs vm_boot_base_ns = 125 * kMs;

@@ -1,0 +1,202 @@
+#include "common/fault.h"
+
+#include <cstring>
+
+#include "common/rng.h"
+
+namespace vpim {
+
+const char* fault_kind_name(FaultKind kind) {
+  switch (kind) {
+    case FaultKind::kTransientDpu: return "TRANSIENT_DPU";
+    case FaultKind::kMramEcc: return "MRAM_ECC";
+    case FaultKind::kRankDeath: return "RANK_DEATH";
+    case FaultKind::kRankSeizure: return "RANK_SEIZURE";
+    case FaultKind::kLostCompletion: return "LOST_COMPLETION";
+  }
+  return "UNKNOWN";
+}
+
+std::string FaultRecord::describe() const {
+  return std::string("fault ") + fault_kind_name(kind) + " rank=" +
+         std::to_string(rank) + " dpu=" + std::to_string(dpu) + " t=" +
+         std::to_string(at_time) + "ns";
+}
+
+FaultPlan::FaultPlan(std::vector<FaultEvent> events)
+    : events_(std::move(events)), fired_flags_(events_.size(), false) {}
+
+std::vector<FaultEvent> FaultPlan::generate(const FaultPlanConfig& config,
+                                            std::uint32_t nr_ranks) {
+  VPIM_CHECK(nr_ranks > 0, "fault plan needs at least one rank");
+  Rng rng(config.seed);
+  std::vector<FaultEvent> events;
+  auto pick_rank = [&] {
+    return static_cast<std::uint32_t>(rng.uniform(0, nr_ranks - 1));
+  };
+  auto pick_op = [&] {
+    return static_cast<std::uint64_t>(
+        rng.uniform(1, static_cast<std::int64_t>(config.max_op)));
+  };
+  for (std::uint32_t i = 0; i < config.transient_dpu_faults; ++i) {
+    events.push_back({FaultKind::kTransientDpu, pick_rank(),
+                      static_cast<std::uint32_t>(rng.uniform(0, 63)),
+                      pick_op(), 0, 0});
+  }
+  for (std::uint32_t i = 0; i < config.mram_ecc_faults; ++i) {
+    events.push_back({FaultKind::kMramEcc, pick_rank(), 0, pick_op(), 0, 0});
+  }
+  for (std::uint32_t i = 0; i < config.rank_deaths; ++i) {
+    events.push_back({FaultKind::kRankDeath, pick_rank(), 0, pick_op(), 0, 0});
+  }
+  for (std::uint32_t i = 0; i < config.rank_seizures; ++i) {
+    const SimNs at = static_cast<SimNs>(
+        rng.uniform(static_cast<std::int64_t>(config.seizure_from_ns),
+                    static_cast<std::int64_t>(config.seizure_until_ns)));
+    events.push_back(
+        {FaultKind::kRankSeizure, pick_rank(), 0, 0, at,
+         config.seizure_hold_ns});
+  }
+  for (std::uint32_t i = 0; i < config.lost_completions; ++i) {
+    events.push_back(
+        {FaultKind::kLostCompletion, pick_rank(), 0, pick_op(), 0, 0});
+  }
+  return events;
+}
+
+std::optional<FaultRecord> FaultPlan::fire_op_locked(std::uint32_t rank,
+                                                     SimNs now,
+                                                     bool launch_channel,
+                                                     bool transfer_channel,
+                                                     const Counters& c) {
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (fired_flags_[i]) continue;
+    const FaultEvent& ev = events_[i];
+    if (ev.rank != rank) continue;
+    bool due = false;
+    switch (ev.kind) {
+      case FaultKind::kTransientDpu:
+        due = launch_channel && ev.at_op == c.launches;
+        break;
+      case FaultKind::kMramEcc:
+        due = transfer_channel && ev.at_op == c.transfers;
+        break;
+      case FaultKind::kRankDeath:
+        // Death can strike on any device op (launch or transfer).
+        due = (launch_channel || transfer_channel) &&
+              ev.at_op == c.device_ops;
+        break;
+      default:
+        break;
+    }
+    if (!due) continue;
+    fired_flags_[i] = true;
+    const FaultRecord rec{ev.kind, ev.rank, ev.dpu, now};
+    fired_log_.push_back(rec);
+    return rec;
+  }
+  return std::nullopt;
+}
+
+std::optional<FaultRecord> FaultPlan::on_launch(std::uint32_t rank,
+                                                SimNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.size() <= rank) counters_.resize(rank + 1);
+  Counters& c = counters_[rank];
+  ++c.launches;
+  ++c.device_ops;
+  return fire_op_locked(rank, now, /*launch=*/true, /*transfer=*/false, c);
+}
+
+std::optional<FaultRecord> FaultPlan::on_transfer(std::uint32_t rank,
+                                                  SimNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.size() <= rank) counters_.resize(rank + 1);
+  Counters& c = counters_[rank];
+  ++c.transfers;
+  ++c.device_ops;
+  return fire_op_locked(rank, now, /*launch=*/false, /*transfer=*/true, c);
+}
+
+std::optional<FaultRecord> FaultPlan::on_request(std::uint32_t rank,
+                                                 SimNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (counters_.size() <= rank) counters_.resize(rank + 1);
+  Counters& c = counters_[rank];
+  ++c.requests;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (fired_flags_[i]) continue;
+    const FaultEvent& ev = events_[i];
+    if (ev.kind != FaultKind::kLostCompletion || ev.rank != rank) continue;
+    if (ev.at_op != c.requests) continue;
+    fired_flags_[i] = true;
+    const FaultRecord rec{ev.kind, ev.rank, ev.dpu, now};
+    fired_log_.push_back(rec);
+    return rec;
+  }
+  return std::nullopt;
+}
+
+std::vector<FaultEvent> FaultPlan::take_due_seizures(SimNs now) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FaultEvent> due;
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (fired_flags_[i]) continue;
+    const FaultEvent& ev = events_[i];
+    if (ev.kind != FaultKind::kRankSeizure || ev.at_time > now) continue;
+    fired_flags_[i] = true;
+    fired_log_.push_back({ev.kind, ev.rank, ev.dpu, now});
+    due.push_back(ev);
+  }
+  return due;
+}
+
+std::vector<FaultRecord> FaultPlan::fired() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return fired_log_;
+}
+
+std::uint64_t FaultPlan::fired_count(FaultKind kind) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::uint64_t n = 0;
+  for (const FaultRecord& rec : fired_log_) {
+    if (rec.kind == kind) ++n;
+  }
+  return n;
+}
+
+// ---- fault-record wire format --------------------------------------------
+
+std::vector<std::uint8_t> serialize_fault_record(const FaultRecord& record) {
+  std::vector<std::uint8_t> out(kFaultRecordBytes);
+  const std::uint32_t kind = static_cast<std::uint32_t>(record.kind);
+  std::memcpy(out.data() + 0, &kFaultRecordMagic, 4);
+  std::memcpy(out.data() + 4, &kind, 4);
+  std::memcpy(out.data() + 8, &record.rank, 4);
+  std::memcpy(out.data() + 12, &record.dpu, 4);
+  std::memcpy(out.data() + 16, &record.at_time, 8);
+  return out;
+}
+
+std::optional<FaultRecord> parse_fault_record(
+    std::span<const std::uint8_t> bytes, std::uint32_t nr_ranks) {
+  if (bytes.size() != kFaultRecordBytes) return std::nullopt;
+  std::uint32_t magic = 0;
+  std::uint32_t kind = 0;
+  FaultRecord rec;
+  std::memcpy(&magic, bytes.data() + 0, 4);
+  std::memcpy(&kind, bytes.data() + 4, 4);
+  std::memcpy(&rec.rank, bytes.data() + 8, 4);
+  std::memcpy(&rec.dpu, bytes.data() + 12, 4);
+  std::memcpy(&rec.at_time, bytes.data() + 16, 8);
+  if (magic != kFaultRecordMagic) return std::nullopt;
+  if (kind > static_cast<std::uint32_t>(FaultKind::kLostCompletion)) {
+    return std::nullopt;
+  }
+  rec.kind = static_cast<FaultKind>(kind);
+  if (rec.rank >= nr_ranks) return std::nullopt;
+  if (rec.dpu >= 64) return std::nullopt;
+  return rec;
+}
+
+}  // namespace vpim

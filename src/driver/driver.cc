@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "common/error.h"
+#include "common/log.h"
 #include "common/thread_pool.h"
 #include "upmem/interleave.h"
 #include "upmem/layout.h"
@@ -83,10 +84,18 @@ void RankMapping::transfer(const TransferMatrix& matrix) {
   const std::uint64_t bytes = matrix.total_bytes();
   VPIM_CHECK(bytes <= upmem::kMaxXferBytes,
              "rank operations move at most 4 GiB");
+  upmem::Rank& rank = machine.rank(rank_index_);
+  // Serial DMA-window entry: injected faults fire here, before any time is
+  // charged or bytes move, so retries see an unchanged bank.
+  rank.check_alive();
+  if (FaultPlan* plan = machine.fault_plan()) {
+    if (auto fault = plan->on_transfer(rank_index_, machine.clock().now())) {
+      if (fault->kind == FaultKind::kRankDeath) rank.fail();
+      throw FaultError(*fault);
+    }
+  }
   machine.clock().advance(cost.native_xfer_fixed_ns +
                           CostModel::bytes_time(bytes, copy_gbps()));
-
-  upmem::Rank& rank = machine.rank(rank_index_);
   // Group entries by target DPU, preserving request order within a group:
   // one MRAM bank must replay its entries in order, but distinct banks are
   // independent and fan out over the host pool (the backend's "operation
@@ -136,6 +145,13 @@ void RankMapping::broadcast(std::uint64_t mram_offset,
   upmem::Rank& rank = machine.rank(rank_index_);
   VPIM_CHECK(data.size() <= upmem::kMaxXferBytes,
              "rank operations move at most 4 GiB");
+  rank.check_alive();
+  if (FaultPlan* plan = machine.fault_plan()) {
+    if (auto fault = plan->on_transfer(rank_index_, machine.clock().now())) {
+      if (fault->kind == FaultKind::kRankDeath) rank.fail();
+      throw FaultError(*fault);
+    }
+  }
 
   // The host physically streams the payload into every bank.
   machine.clock().advance(
@@ -284,6 +300,118 @@ void UpmemDriver::reset_rank(std::uint32_t rank) {
   machine_.clock().advance(
       CostModel::bytes_time(region, machine_.cost().memset_gbps));
   machine_.rank(rank).reset_memory();
+}
+
+// ---------------------------------------------------------- fault surface
+
+std::string UpmemDriver::rank_status_line(std::uint32_t rank) const {
+  return sysfs_.format(rank);
+}
+
+void UpmemDriver::log_fault(const FaultRecord& record) {
+  if (record.rank < machine_.nr_ranks()) {
+    sysfs_.count_fault(record.rank);
+    if (record.kind == FaultKind::kRankDeath) sysfs_.set_failed(record.rank);
+  }
+  std::lock_guard lock(fault_mu_);
+  fault_log_.push_back(serialize_fault_record(record));
+}
+
+void UpmemDriver::log_raw_fault_bytes(std::span<const std::uint8_t> bytes) {
+  std::lock_guard lock(fault_mu_);
+  fault_log_.emplace_back(bytes.begin(), bytes.end());
+}
+
+std::vector<FaultRecord> UpmemDriver::drain_fault_records() {
+  std::vector<std::vector<std::uint8_t>> raw;
+  {
+    std::lock_guard lock(fault_mu_);
+    raw.swap(fault_log_);
+  }
+  std::vector<FaultRecord> records;
+  records.reserve(raw.size());
+  for (const auto& bytes : raw) {
+    if (auto rec = parse_fault_record(bytes, machine_.nr_ranks())) {
+      records.push_back(*rec);
+    } else {
+      VPIM_WARN("driver", "dropping malformed fault record (%zu bytes)",
+                bytes.size());
+    }
+  }
+  return records;
+}
+
+bool UpmemDriver::try_recover_rank(std::uint32_t rank, bool charge_time) {
+  VPIM_CHECK(rank < machine_.nr_ranks(), "rank index out of range");
+  if (is_mapped(rank)) return false;
+  upmem::Rank& r = machine_.rank(rank);
+  try {
+    if (charge_time) {
+      const std::uint64_t region =
+          static_cast<std::uint64_t>(upmem::kDpuSlotsPerRank) *
+          upmem::kMramSize;
+      machine_.clock().advance(
+          CostModel::bytes_time(region, machine_.cost().memset_gbps) +
+          machine_.cost().rank_probe_ns);
+    }
+    r.reset_memory();
+    // Verify: pattern write + readback in every functional bank, then
+    // scrub the probe back to zero so a recovered rank hands out zeroed
+    // memory like a fresh reset would.
+    std::array<std::uint8_t, 64> pattern;
+    for (std::size_t i = 0; i < pattern.size(); ++i) {
+      pattern[i] = static_cast<std::uint8_t>(0xA5 ^ i);
+    }
+    std::array<std::uint8_t, 64> readback{};
+    const std::array<std::uint8_t, 64> zeros{};
+    for (std::uint32_t d = 0; d < r.nr_dpus(); ++d) {
+      r.mram(d).write(0, pattern);
+      r.mram(d).read(0, readback);
+      if (readback != pattern) return false;
+      r.mram(d).write(0, zeros);
+    }
+  } catch (const FaultError&) {
+    return false;
+  }
+  sysfs_.clear_failed(rank);
+  return true;
+}
+
+void UpmemDriver::apply_fault_plan() {
+  const SimNs now = machine_.clock().now();
+  for (auto it = seizures_.begin(); it != seizures_.end();) {
+    if (now >= it->release_at) {
+      unmap_rank(it->rank);
+      it = seizures_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  FaultPlan* plan = machine_.fault_plan();
+  if (plan == nullptr) return;
+  for (const FaultEvent& ev : plan->take_due_seizures(now)) {
+    if (ev.rank >= machine_.nr_ranks()) continue;
+    {
+      std::lock_guard lock(map_mu_);
+      if (mapped_[ev.rank]) continue;  // mapped ranks resist the grab
+      mapped_[ev.rank] = 1;
+    }
+    sysfs_.set_in_use(ev.rank, "native-seizure");
+    log_fault({FaultKind::kRankSeizure, ev.rank, 0, now});
+    // The squatter scribbles over the head of every bank if the rank is
+    // idle, making residual-tenant-data loss real.
+    upmem::Rank& r = machine_.rank(ev.rank);
+    if (!r.failed() && !r.ci_any_running()) {
+      std::array<std::uint8_t, 256> junk;
+      for (std::size_t i = 0; i < junk.size(); ++i) {
+        junk[i] = static_cast<std::uint8_t>(0xDE ^ (i * 7));
+      }
+      for (std::uint32_t d = 0; d < r.nr_dpus(); ++d) {
+        r.mram(d).write(0, junk);
+      }
+    }
+    seizures_.push_back({ev.rank, now + ev.hold_ns});
+  }
 }
 
 }  // namespace vpim::driver

@@ -19,7 +19,9 @@
 #include <span>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "common/fault.h"
 #include "driver/sysfs.h"
 #include "driver/xfer.h"
 #include "upmem/machine.h"
@@ -114,6 +116,32 @@ class UpmemDriver {
   // rank-mapped region (manager reset path, ~597 ms in the paper).
   void reset_rank(std::uint32_t rank);
 
+  // ---- Fault surface ----------------------------------------------------
+  // The textual sysfs status file for one rank (what the manager's
+  // observer actually reads and parses).
+  std::string rank_status_line(std::uint32_t rank) const;
+
+  // Records a fault in the driver's error mailbox (serialized bytes, like
+  // a device DMA) and updates sysfs health: every fault bumps the rank's
+  // fault counter; kRankDeath marks it failed.
+  void log_fault(const FaultRecord& record);
+  // Raw mailbox write, bypassing serialization — the fuzz tests use this
+  // to feed the parse path truncated/garbage records.
+  void log_raw_fault_bytes(std::span<const std::uint8_t> bytes);
+  // Drains and parses the mailbox; malformed records are dropped with a
+  // warning (the parser treats mailbox bytes as untrusted).
+  std::vector<FaultRecord> drain_fault_records();
+
+  // Reset-verify pass over a quarantined rank: erase, then a pattern
+  // write/readback probe in every bank. Returns false (without touching
+  // sysfs health) if the rank is mapped, still dead, or fails the probe.
+  bool try_recover_rank(std::uint32_t rank, bool charge_time);
+
+  // Fires due FaultPlan seizures (a native app grabbing free ranks) and
+  // releases expired ones. Callers must serialize calls; the manager
+  // invokes this from its locked observe pass.
+  void apply_fault_plan();
+
  private:
   friend class RankMapping;
   void do_transfer(std::uint32_t rank, const TransferMatrix& matrix,
@@ -126,6 +154,17 @@ class UpmemDriver {
   // the data path itself is single-threaded (virtual time).
   mutable std::mutex map_mu_;
   std::vector<char> mapped_;
+
+  // Error mailbox: serialized fault records awaiting the observer's drain.
+  mutable std::mutex fault_mu_;
+  std::vector<std::vector<std::uint8_t>> fault_log_;
+  // Ranks currently held by an injected native seizure, and when the
+  // squatter lets go. Serialized by apply_fault_plan's caller.
+  struct Seizure {
+    std::uint32_t rank;
+    SimNs release_at;
+  };
+  std::vector<Seizure> seizures_;
 };
 
 }  // namespace vpim::driver

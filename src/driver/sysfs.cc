@@ -3,23 +3,129 @@
 #include "common/error.h"
 
 namespace vpim::driver {
+namespace {
+
+// Unsigned decimal with overflow rejection; nullopt on anything else.
+std::optional<std::uint32_t> parse_u32(std::string_view s) {
+  if (s.empty() || s.size() > 10) return std::nullopt;
+  std::uint64_t v = 0;
+  for (char c : s) {
+    if (c < '0' || c > '9') return std::nullopt;
+    v = v * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  if (v > 0xFFFFFFFFull) return std::nullopt;
+  return static_cast<std::uint32_t>(v);
+}
+
+}  // namespace
 
 void Sysfs::set_in_use(std::uint32_t rank, const std::string& owner) {
   std::lock_guard lock(mu_);
   VPIM_CHECK(rank < entries_.size(), "sysfs rank index out of range");
-  entries_[rank] = {true, owner};
+  entries_[rank].in_use = true;
+  entries_[rank].owner = owner;
 }
 
 void Sysfs::set_free(std::uint32_t rank) {
   std::lock_guard lock(mu_);
   VPIM_CHECK(rank < entries_.size(), "sysfs rank index out of range");
-  entries_[rank] = {false, {}};
+  entries_[rank].in_use = false;
+  entries_[rank].owner.clear();
+}
+
+void Sysfs::set_failed(std::uint32_t rank) {
+  std::lock_guard lock(mu_);
+  VPIM_CHECK(rank < entries_.size(), "sysfs rank index out of range");
+  entries_[rank].health = RankHealth::kFailed;
+}
+
+void Sysfs::clear_failed(std::uint32_t rank) {
+  std::lock_guard lock(mu_);
+  VPIM_CHECK(rank < entries_.size(), "sysfs rank index out of range");
+  entries_[rank].health = RankHealth::kOk;
+}
+
+void Sysfs::count_fault(std::uint32_t rank) {
+  std::lock_guard lock(mu_);
+  VPIM_CHECK(rank < entries_.size(), "sysfs rank index out of range");
+  ++entries_[rank].fault_count;
 }
 
 RankSysfsEntry Sysfs::read(std::uint32_t rank) const {
   std::lock_guard lock(mu_);
   VPIM_CHECK(rank < entries_.size(), "sysfs rank index out of range");
   return entries_[rank];
+}
+
+std::string Sysfs::format(std::uint32_t rank) const {
+  const RankSysfsEntry e = read(rank);
+  std::string line = "in_use=";
+  line += e.in_use ? '1' : '0';
+  line += " owner=";
+  line += e.owner.empty() ? "-" : e.owner;
+  line += " health=";
+  line += e.health == RankHealth::kOk ? "ok" : "failed";
+  line += " faults=" + std::to_string(e.fault_count);
+  return line;
+}
+
+std::optional<RankSysfsEntry> Sysfs::parse(std::string_view line) {
+  // Exactly four space-separated key=value tokens, in a fixed order, with
+  // no duplicates, doubled spaces, or trailing bytes. Owners with embedded
+  // spaces (or anything else hostile) fail loudly here and the caller must
+  // treat the rank's state as unknown.
+  RankSysfsEntry entry;
+  if (line.empty() || line.back() == ' ') return std::nullopt;
+  std::size_t pos = 0;
+  auto next_token = [&]() -> std::optional<std::string_view> {
+    if (pos >= line.size()) return std::nullopt;
+    const std::size_t space = line.find(' ', pos);
+    const std::size_t end =
+        space == std::string_view::npos ? line.size() : space;
+    if (end == pos) return std::nullopt;  // empty token = doubled space
+    std::string_view tok = line.substr(pos, end - pos);
+    pos = space == std::string_view::npos ? line.size() : space + 1;
+    return tok;
+  };
+  auto value_of = [](std::string_view tok,
+                     std::string_view key) -> std::optional<std::string_view> {
+    if (tok.size() <= key.size() + 1) return std::nullopt;
+    if (tok.substr(0, key.size()) != key || tok[key.size()] != '=') {
+      return std::nullopt;
+    }
+    return tok.substr(key.size() + 1);
+  };
+
+  const auto in_use_tok = next_token();
+  if (!in_use_tok) return std::nullopt;
+  const auto in_use = value_of(*in_use_tok, "in_use");
+  if (!in_use || (*in_use != "0" && *in_use != "1")) return std::nullopt;
+  entry.in_use = *in_use == "1";
+
+  const auto owner_tok = next_token();
+  if (!owner_tok) return std::nullopt;
+  const auto owner = value_of(*owner_tok, "owner");
+  if (!owner) return std::nullopt;
+  entry.owner = *owner == "-" ? std::string() : std::string(*owner);
+
+  const auto health_tok = next_token();
+  if (!health_tok) return std::nullopt;
+  const auto health = value_of(*health_tok, "health");
+  if (!health || (*health != "ok" && *health != "failed")) {
+    return std::nullopt;
+  }
+  entry.health = *health == "ok" ? RankHealth::kOk : RankHealth::kFailed;
+
+  const auto faults_tok = next_token();
+  if (!faults_tok) return std::nullopt;
+  const auto faults = value_of(*faults_tok, "faults");
+  if (!faults) return std::nullopt;
+  const auto count = parse_u32(*faults);
+  if (!count) return std::nullopt;
+  entry.fault_count = *count;
+
+  if (pos < line.size()) return std::nullopt;  // trailing garbage
+  return entry;
 }
 
 }  // namespace vpim::driver

@@ -1,22 +1,37 @@
-// Simulated sysfs view of rank usage.
+// Simulated sysfs view of rank usage and health.
 //
 // The real UPMEM driver exposes per-rank status files under sysfs; the vPIM
 // manager's observer thread polls them to detect releases without any
 // cooperation from applications (§3.5). This registry is that surface:
 // perf-mode mappings flip a rank to "in use" on map and back to "free" on
-// unmap, and anyone may poll.
+// unmap, fault handling marks ranks failed, and anyone may poll.
+//
+// The manager consumes the *textual* status line (format/parse round trip)
+// rather than the struct, mirroring a real sysfs read — which makes the
+// parser an attack surface for hostile co-tenants, fuzzed in
+// tests/driver_fuzz_test.cc. parse() treats its input as hostile and
+// returns nullopt for anything it does not fully recognize.
 #pragma once
 
 #include <cstdint>
 #include <mutex>
+#include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
 namespace vpim::driver {
 
+enum class RankHealth : std::uint8_t {
+  kOk = 0,
+  kFailed = 1,  // quarantined: a permanent fault was reported on this rank
+};
+
 struct RankSysfsEntry {
   bool in_use = false;
   std::string owner;  // diagnostic tag: process/VM name
+  RankHealth health = RankHealth::kOk;
+  std::uint32_t fault_count = 0;  // faults reported against this rank
 };
 
 class Sysfs {
@@ -25,10 +40,21 @@ class Sysfs {
 
   void set_in_use(std::uint32_t rank, const std::string& owner);
   void set_free(std::uint32_t rank);
+  // Health survives map/unmap cycles; only an explicit clear (after a
+  // successful reset-verify) brings a failed rank back.
+  void set_failed(std::uint32_t rank);
+  void clear_failed(std::uint32_t rank);
+  void count_fault(std::uint32_t rank);
   RankSysfsEntry read(std::uint32_t rank) const;
   std::uint32_t nr_ranks() const {
     return static_cast<std::uint32_t>(entries_.size());
   }
+
+  // Status-file text, e.g. "in_use=1 owner=vm-a health=ok faults=0".
+  // An empty owner renders as "-".
+  std::string format(std::uint32_t rank) const;
+  // Strict inverse of format(); nullopt on any malformed input.
+  static std::optional<RankSysfsEntry> parse(std::string_view line);
 
  private:
   mutable std::mutex mu_;

@@ -20,6 +20,11 @@ Rank& PimMachine::rank(std::uint32_t i) {
   return *ranks_[i];
 }
 
+void PimMachine::set_fault_plan(FaultPlan* plan) {
+  fault_plan_ = plan;
+  for (auto& rank : ranks_) rank->set_fault_plan(plan);
+}
+
 std::uint32_t PimMachine::total_dpus() const {
   std::uint32_t total = 0;
   for (const auto& rank : ranks_) total += rank->nr_dpus();

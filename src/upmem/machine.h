@@ -32,10 +32,16 @@ class PimMachine {
   SimClock& clock() { return clock_; }
   const CostModel& cost() const { return cost_; }
 
+  // Installs (or clears, with nullptr) a fault plan on the machine and all
+  // its ranks. The plan must outlive the machine's use of it.
+  void set_fault_plan(FaultPlan* plan);
+  FaultPlan* fault_plan() const { return fault_plan_; }
+
  private:
   SimClock& clock_;
   const CostModel& cost_;
   std::vector<std::unique_ptr<Rank>> ranks_;
+  FaultPlan* fault_plan_ = nullptr;
 };
 
 }  // namespace vpim::upmem

@@ -26,7 +26,14 @@ const Dpu& Rank::dpu(std::uint32_t i) const {
   return dpus_[i];
 }
 
+void Rank::check_alive() const {
+  if (failed_) {
+    throw FaultError({FaultKind::kRankDeath, index_, 0, clock_.now()});
+  }
+}
+
 void Rank::ci_load(std::string_view kernel_name) {
+  check_alive();
   VPIM_CHECK(!ci_any_running(), "loading a binary while DPUs are running");
   const DpuKernel& kernel = KernelRegistry::instance().get(kernel_name);
   for (Dpu& dpu : dpus_) dpu.load(kernel);
@@ -34,9 +41,16 @@ void Rank::ci_load(std::string_view kernel_name) {
 
 void Rank::ci_launch(std::uint64_t dpu_mask,
                      std::optional<std::uint32_t> nr_tasklets) {
+  check_alive();
   VPIM_CHECK(!ci_any_running(), "launch while DPUs are still running");
   VPIM_CHECK((dpu_mask & ~all_dpus_mask()) == 0,
              "launch mask targets defective/absent DPUs");
+  if (fault_plan_ != nullptr) {
+    if (auto fault = fault_plan_->on_launch(index_, clock_.now())) {
+      if (fault->kind == FaultKind::kRankDeath) failed_ = true;
+      throw FaultError(*fault);
+    }
+  }
   const SimNs start = clock_.now();
   const std::uint32_t tasklets = nr_tasklets.value_or(16);
   // Each masked DPU runs its kernel against its own MRAM bank / WRAM
@@ -139,11 +153,13 @@ void Rank::load_snapshot(const Snapshot& snapshot) {
 }
 
 void Rank::reset_memory() {
+  check_alive();
   VPIM_CHECK(!ci_any_running(), "reset while DPUs are running");
   for (Dpu& dpu : dpus_) dpu.reset();
 }
 
 void Rank::check_not_running(std::uint32_t dpu) const {
+  check_alive();
   VPIM_CHECK(dpu < dpus_.size(), "DPU index out of range");
   VPIM_CHECK(finish_time_[dpu] <= clock_.now(),
              "host access to a running DPU");

@@ -17,6 +17,7 @@
 #include <vector>
 
 #include "common/cost_model.h"
+#include "common/fault.h"
 #include "common/sim_clock.h"
 #include "upmem/dpu.h"
 
@@ -90,6 +91,19 @@ class Rank {
   // Clears all DPU state (manager reset path; time charged by the caller).
   void reset_memory();
 
+  // --- Fault injection ---------------------------------------------------
+  // Installed by PimMachine; consulted only at the serial entry of
+  // ci_launch, so injected faults are thread-count invariant.
+  void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
+
+  // Permanent rank death: the control interface and DMA windows stop
+  // responding. MRAM content stays recoverable via clone_state_from (the
+  // chips hold data; only the rank-level pipeline is gone).
+  void fail() { failed_ = true; }
+  bool failed() const { return failed_; }
+  // Throws FaultError(kRankDeath) if the rank has died.
+  void check_alive() const;
+
  private:
   void check_not_running(std::uint32_t dpu) const;
 
@@ -99,6 +113,8 @@ class Rank {
   std::vector<Dpu> dpus_;
   std::vector<SimNs> finish_time_;
   SimNs busy_until_ = 0;
+  FaultPlan* fault_plan_ = nullptr;
+  bool failed_ = false;
 };
 
 }  // namespace vpim::upmem

@@ -42,6 +42,8 @@ enum class PimStatus : std::int32_t {
   kUnbound = 2,      // operation requires a rank binding
   kNoCapacity = 3,   // manager could not provide a rank
   kUnsupported = 4,  // opcode unknown or not valid on this queue
+  kTimeout = 5,      // device did not complete before the driver deadline
+  kDeviceFault = 6,  // unrecoverable hardware fault behind the device
 };
 
 inline const char* status_name(std::int32_t status) {
@@ -51,6 +53,8 @@ inline const char* status_name(std::int32_t status) {
     case PimStatus::kUnbound: return "UNBOUND";
     case PimStatus::kNoCapacity: return "NO_CAPACITY";
     case PimStatus::kUnsupported: return "UNSUPPORTED";
+    case PimStatus::kTimeout: return "TIMEOUT";
+    case PimStatus::kDeviceFault: return "DEVICE_FAULT";
   }
   return "UNKNOWN_STATUS";
 }

@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "common/error.h"
+#include "common/log.h"
 #include "common/thread_pool.h"
 #include "upmem/layout.h"
 
@@ -92,9 +93,17 @@ driver::DataPath Backend::data_path() const {
 
 bool Backend::try_bind() {
   if (bound()) return true;
-  const auto rank = manager_.request_rank(tag_);
-  if (rank.has_value()) {
-    mapping_ = drv_.map_rank(*rank, tag_);
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    const auto rank = manager_.request_rank(tag_);
+    if (!rank.has_value()) break;
+    try {
+      mapping_ = drv_.map_rank(*rank, tag_);
+    } catch (const VpimError&) {
+      // Lost the race: a native app seized the rank between allocation and
+      // mapping. Tell the manager and ask again.
+      manager_.note_seized(*rank);
+      continue;
+    }
     mapping_->set_data_path(data_path());
     return true;
   }
@@ -189,6 +198,85 @@ void Backend::data_broadcast(std::uint64_t mram_offset,
   }
 }
 
+std::optional<FaultRecord> Backend::lost_completion() {
+  FaultPlan* plan = drv_.machine().fault_plan();
+  if (plan == nullptr || !mapping_.has_value()) return std::nullopt;
+  return plan->on_request(mapping_->rank_index(), vmm_.clock().now());
+}
+
+void Backend::run_with_recovery(const std::function<void()>& op) {
+  std::uint32_t attempt = 0;
+  for (;;) {
+    try {
+      op();
+      return;
+    } catch (const FaultError& e) {
+      drv_.log_fault(e.record());
+      if (e.transient()) {
+        if (attempt < config_.fault_max_retries) {
+          // Exponential backoff before touching the rank again.
+          vmm_.clock().advance(vmm_.cost().fault_retry_backoff_ns
+                               << attempt);
+          ++attempt;
+          ++stats_.fault_retries;
+          continue;
+        }
+        ++stats_.fault_failures;
+        throw VpimStatusError(
+            virtio::PimStatus::kDeviceFault,
+            std::string("transient fault persisted: ") + e.what());
+      }
+      if (e.record().kind == FaultKind::kRankDeath &&
+          mapping_.has_value() && recover_rank_death()) {
+        attempt = 0;  // fresh rank, fresh retry budget
+        continue;
+      }
+      // Unrecoverable: drop a dead binding so later requests complete
+      // UNBOUND instead of re-faulting, then fail this one typed.
+      if (mapping_.has_value() &&
+          e.record().kind == FaultKind::kRankDeath) {
+        unbind();
+      }
+      ++stats_.fault_failures;
+      throw VpimStatusError(
+          virtio::PimStatus::kDeviceFault,
+          std::string("unrecoverable device fault: ") + e.what());
+    }
+  }
+}
+
+bool Backend::recover_rank_death() {
+  const std::uint32_t dead = mapping_->rank_index();
+  upmem::Rank& src = drv_.machine().rank(dead);
+  if (src.ci_any_running()) return false;  // in-flight kernels are lost
+  // Keep the dead mapping held while asking for a replacement so the
+  // manager cannot hand the dead rank straight back.
+  const auto replacement = manager_.request_rank(tag_);
+  if (!replacement.has_value()) return false;
+  std::optional<driver::RankMapping> new_mapping;
+  try {
+    new_mapping = drv_.map_rank(*replacement, tag_);
+  } catch (const VpimError&) {
+    manager_.note_seized(*replacement);
+    return false;
+  }
+  new_mapping->set_data_path(data_path());
+  upmem::Rank& dst = drv_.machine().rank(*replacement);
+  // Rescue stream: every bank read off the dying rank at degraded
+  // bandwidth, then written into the replacement.
+  const std::uint64_t bytes = 2ULL * src.nr_dpus() * upmem::kMramSize;
+  vmm_.clock().advance(
+      CostModel::bytes_time(bytes, vmm_.cost().rank_rescue_gbps));
+  dst.clone_state_from(src);
+  mapping_.reset();  // free the dead rank; its sysfs health stays failed
+  mapping_ = std::move(new_mapping);
+  ++stats_.fault_migrations;
+  manager_.note_wrank_migration();
+  VPIM_WARN("backend", "%s: wrank migrated off dead rank %u onto rank %u",
+            tag_.c_str(), dead, *replacement);
+  return true;
+}
+
 void Backend::handle_transferq() {
   VPIM_CHECK(state_.driver_ok(),
              "queue notification before DRIVER_OK (virtio 1.x 3.1)");
@@ -205,6 +293,14 @@ void Backend::handle_controlq() {
       handle_control(*chain, read_request(*chain));
     } catch (const VpimStatusError& e) {
       complete_with_status(controlq_, *chain, e.status());
+    } catch (const FaultError& e) {
+      // Control-path faults (e.g. kMigrateRank touching a dead rank) have
+      // no retry wrapper; surface them typed instead of as BAD_REQUEST.
+      drv_.log_fault(e.record());
+      ++stats_.fault_failures;
+      complete_with_status(
+          controlq_, *chain,
+          static_cast<std::int32_t>(virtio::PimStatus::kDeviceFault));
     } catch (const VpimError&) {
       complete_with_status(
           controlq_, *chain,
@@ -240,6 +336,14 @@ void Backend::complete_with_status(virtio::Virtqueue& queue,
 }
 
 void Backend::handle_one(const virtio::DescChain& chain) {
+  if (auto lost = lost_completion()) {
+    // Injected lost completion: the device wedges on this request. No
+    // response, no push_used — the chain's descriptors stay outstanding
+    // and the frontend's poll deadline is what recovers the guest.
+    drv_.log_fault(*lost);
+    ++stats_.dropped_completions;
+    return;
+  }
   try {
     const WireRequest req = read_request(chain);
     switch (static_cast<virtio::PimRequestType>(req.type)) {
@@ -262,6 +366,14 @@ void Backend::handle_one(const virtio::DescChain& chain) {
                           "unknown request type " + std::to_string(req.type));
   } catch (const VpimStatusError& e) {
     complete_with_status(transferq_, chain, e.status());
+  } catch (const FaultError& e) {
+    // Safety net for injected faults raised outside run_with_recovery
+    // (e.g. a dead rank hit by a path that does not retry).
+    drv_.log_fault(e.record());
+    ++stats_.fault_failures;
+    complete_with_status(
+        transferq_, chain,
+        static_cast<std::int32_t>(virtio::PimStatus::kDeviceFault));
   } catch (const VpimError&) {
     // A deeper layer rejected guest-controlled input (GPA outside RAM,
     // MRAM bounds, unknown symbol, busy DPU, ...): per-request failure,
@@ -318,9 +430,13 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
       std::max<std::uint32_t>(1, cost.backend_op_threads);
   clock.advance(entry_batches * cost.backend_per_entry_ns);
 
-  if ((req.flags & kWireFlagBatched) != 0) {
-    apply_batched_writes(matrix);
-  } else {
+  // Faults fire at the serial RankMapping entry points inside; recovery
+  // re-runs the whole movement block so a migrated binding is re-resolved.
+  run_with_recovery([&] {
+    if ((req.flags & kWireFlagBatched) != 0) {
+      apply_batched_writes(matrix);
+      return;
+    }
     // Detect broadcast: every entry targets the same offset/size through
     // the same (coalesced) guest segment. The two coalesce outputs live in
     // member scratch so per-request loops reuse one allocation.
@@ -357,7 +473,7 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
       }
       data_transfer(xfer);
     }
-  }
+  });
   if (is_write) {
     stats_.wsteps.add(WrankStep::kTransferData, clock.now() - data_start);
   }
@@ -443,10 +559,7 @@ void Backend::handle_ci(const virtio::DescChain& chain,
   // the emulated rank is plain memory.
   clock.advance(cost.ci_op_native_ns);
 
-  upmem::Rank& rank = bound_rank();
   WireResponse resp;
-  resp.rank_index =
-      mapping_.has_value() ? mapping_->rank_index() : 0xFFFFFFFFu;
   const std::string name(req.name,
                          strnlen(req.name, sizeof(req.name)));
   // Payload = descs[1] when the chain carries one besides the response.
@@ -455,92 +568,104 @@ void Backend::handle_ci(const virtio::DescChain& chain,
                        "symbol transfer without a payload buffer");
     return chain.descs[1];
   };
-  switch (static_cast<CiOp>(req.ci_op)) {
-    case CiOp::kLoad:
-      rank.ci_load(name);
-      break;
-    case CiOp::kLaunch: {
-      std::optional<std::uint32_t> tasklets;
-      if (req.arg1 > 0) tasklets = static_cast<std::uint32_t>(req.arg1 - 1);
-      rank.ci_launch(req.arg0, tasklets);
-      break;
-    }
-    case CiOp::kReadStatus:
-      resp.value = rank.ci_running_mask();
-      break;
-    case CiOp::kCopyToSymbol: {
-      const virtio::VirtqDesc& payload = payload_desc();
-      VPIM_REQUEST_CHECK(req.dpu < rank.nr_dpus(), PimStatus::kBadRequest,
-                         "symbol write targets a DPU beyond the rank");
-      rank.ci_copy_to_symbol(
-          req.dpu, name, req.symbol_offset,
-          {vmm_.memory().hva_range(payload.addr, payload.len),
-           payload.len});
-      break;
-    }
-    case CiOp::kCopyFromSymbol: {
-      const virtio::VirtqDesc& payload = payload_desc();
-      VPIM_REQUEST_CHECK(req.dpu < rank.nr_dpus(), PimStatus::kBadRequest,
-                         "symbol read targets a DPU beyond the rank");
-      VPIM_REQUEST_CHECK((payload.flags & virtio::kDescFlagWrite) != 0,
-                         PimStatus::kBadRequest,
-                         "symbol read into a read-only buffer");
-      rank.ci_copy_from_symbol(
-          req.dpu, name, req.symbol_offset,
-          {vmm_.memory().hva_range(payload.addr, payload.len),
-           payload.len});
-      break;
-    }
-    case CiOp::kCopyToSymbolAll:
-    case CiOp::kCopyFromSymbolAll: {
-      const virtio::VirtqDesc& payload = payload_desc();
-      const bool to_rank =
-          static_cast<CiOp>(req.ci_op) == CiOp::kCopyToSymbolAll;
-      // Every field here is guest-controlled: bound the entry count by
-      // the rank geometry and compute the payload-length check in 64 bits
-      // so nr_entries * bytes_per_dpu cannot wrap to a small value.
-      VPIM_REQUEST_CHECK(req.nr_entries <= rank.nr_dpus(),
-                         PimStatus::kBadRequest,
-                         "packed transfer has more entries than DPUs");
-      VPIM_REQUEST_CHECK(req.arg0 > 0 && req.arg0 <= 0xFFFFFFFFu,
-                         PimStatus::kBadRequest,
-                         "bad packed per-DPU value size");
-      const auto bytes_per_dpu = static_cast<std::uint32_t>(req.arg0);
-      VPIM_REQUEST_CHECK(
-          payload.len == std::uint64_t{req.nr_entries} * bytes_per_dpu,
-          PimStatus::kBadRequest, "packed symbol payload length mismatch");
-      VPIM_REQUEST_CHECK(to_rank ||
-                             (payload.flags & virtio::kDescFlagWrite) != 0,
-                         PimStatus::kBadRequest,
-                         "packed symbol read into a read-only buffer");
-      std::uint8_t* base =
-          vmm_.memory().hva_range(payload.addr, payload.len);
-      // Perf mode touches each DPU's CI slot.
-      clock.advance(std::uint64_t{req.nr_entries} * cost.ci_op_native_ns);
-      for (std::uint32_t d = 0; d < req.nr_entries; ++d) {
-        std::span<std::uint8_t> value(base + std::uint64_t{d} *
-                                                 bytes_per_dpu,
-                                      bytes_per_dpu);
-        if (to_rank) {
-          rank.ci_copy_to_symbol(d, name, req.symbol_offset, value);
-        } else {
-          rank.ci_copy_from_symbol(d, name, req.symbol_offset, value);
+  // The rank reference is resolved inside the recovery wrapper so a retry
+  // after wrank migration lands on the replacement rank. Typed request
+  // rejections (VpimStatusError) pass straight through the wrapper.
+  run_with_recovery([&] {
+    upmem::Rank& rank = bound_rank();
+    switch (static_cast<CiOp>(req.ci_op)) {
+      case CiOp::kLoad:
+        rank.ci_load(name);
+        break;
+      case CiOp::kLaunch: {
+        std::optional<std::uint32_t> tasklets;
+        if (req.arg1 > 0) {
+          tasklets = static_cast<std::uint32_t>(req.arg1 - 1);
         }
+        rank.ci_launch(req.arg0, tasklets);
+        break;
       }
-      break;
+      case CiOp::kReadStatus:
+        resp.value = rank.ci_running_mask();
+        break;
+      case CiOp::kCopyToSymbol: {
+        const virtio::VirtqDesc& payload = payload_desc();
+        VPIM_REQUEST_CHECK(req.dpu < rank.nr_dpus(), PimStatus::kBadRequest,
+                           "symbol write targets a DPU beyond the rank");
+        rank.ci_copy_to_symbol(
+            req.dpu, name, req.symbol_offset,
+            {vmm_.memory().hva_range(payload.addr, payload.len),
+             payload.len});
+        break;
+      }
+      case CiOp::kCopyFromSymbol: {
+        const virtio::VirtqDesc& payload = payload_desc();
+        VPIM_REQUEST_CHECK(req.dpu < rank.nr_dpus(), PimStatus::kBadRequest,
+                           "symbol read targets a DPU beyond the rank");
+        VPIM_REQUEST_CHECK((payload.flags & virtio::kDescFlagWrite) != 0,
+                           PimStatus::kBadRequest,
+                           "symbol read into a read-only buffer");
+        rank.ci_copy_from_symbol(
+            req.dpu, name, req.symbol_offset,
+            {vmm_.memory().hva_range(payload.addr, payload.len),
+             payload.len});
+        break;
+      }
+      case CiOp::kCopyToSymbolAll:
+      case CiOp::kCopyFromSymbolAll: {
+        const virtio::VirtqDesc& payload = payload_desc();
+        const bool to_rank =
+            static_cast<CiOp>(req.ci_op) == CiOp::kCopyToSymbolAll;
+        // Every field here is guest-controlled: bound the entry count by
+        // the rank geometry and compute the payload-length check in 64
+        // bits so nr_entries * bytes_per_dpu cannot wrap to a small value.
+        VPIM_REQUEST_CHECK(req.nr_entries <= rank.nr_dpus(),
+                           PimStatus::kBadRequest,
+                           "packed transfer has more entries than DPUs");
+        VPIM_REQUEST_CHECK(req.arg0 > 0 && req.arg0 <= 0xFFFFFFFFu,
+                           PimStatus::kBadRequest,
+                           "bad packed per-DPU value size");
+        const auto bytes_per_dpu = static_cast<std::uint32_t>(req.arg0);
+        VPIM_REQUEST_CHECK(
+            payload.len == std::uint64_t{req.nr_entries} * bytes_per_dpu,
+            PimStatus::kBadRequest, "packed symbol payload length mismatch");
+        VPIM_REQUEST_CHECK(to_rank ||
+                               (payload.flags & virtio::kDescFlagWrite) != 0,
+                           PimStatus::kBadRequest,
+                           "packed symbol read into a read-only buffer");
+        std::uint8_t* base =
+            vmm_.memory().hva_range(payload.addr, payload.len);
+        // Perf mode touches each DPU's CI slot.
+        clock.advance(std::uint64_t{req.nr_entries} * cost.ci_op_native_ns);
+        for (std::uint32_t d = 0; d < req.nr_entries; ++d) {
+          std::span<std::uint8_t> value(base + std::uint64_t{d} *
+                                                   bytes_per_dpu,
+                                        bytes_per_dpu);
+          if (to_rank) {
+            rank.ci_copy_to_symbol(d, name, req.symbol_offset, value);
+          } else {
+            rank.ci_copy_from_symbol(d, name, req.symbol_offset, value);
+          }
+        }
+        break;
+      }
+      case CiOp::kBindRank:
+      case CiOp::kReleaseRank:
+      case CiOp::kMigrateRank:
+      case CiOp::kSuspendRank:
+      case CiOp::kResumeRank:
+        throw VpimStatusError(
+            PimStatus::kUnsupported,
+            "control operations belong on the control queue");
+      default:
+        throw VpimStatusError(PimStatus::kUnsupported,
+                              "unknown CI opcode " +
+                                  std::to_string(req.ci_op));
     }
-    case CiOp::kBindRank:
-    case CiOp::kReleaseRank:
-    case CiOp::kMigrateRank:
-    case CiOp::kSuspendRank:
-    case CiOp::kResumeRank:
-      throw VpimStatusError(PimStatus::kUnsupported,
-                            "control operations belong on the control queue");
-    default:
-      throw VpimStatusError(PimStatus::kUnsupported,
-                            "unknown CI opcode " +
-                                std::to_string(req.ci_op));
-  }
+  });
+  // After recovery: a migrated device reports its replacement rank.
+  resp.rank_index =
+      mapping_.has_value() ? mapping_->rank_index() : 0xFFFFFFFFu;
   write_response(chain, resp);
   transferq_.push_used(chain.head, sizeof(WireResponse));
 }

@@ -13,6 +13,7 @@
 //   - per-chip operation workers (8 DPUs at a time).
 #pragma once
 
+#include <functional>
 #include <memory>
 #include <optional>
 #include <string>
@@ -100,6 +101,18 @@ class Backend {
   void data_broadcast(std::uint64_t mram_offset,
                       std::span<const std::uint8_t> data);
   double batch_gbps() const;
+
+  // --- fault recovery (ISSUE 3) -----------------------------------------
+  // Runs `op`, absorbing injected faults: transient faults retry with
+  // exponential backoff up to VpimConfig::fault_max_retries; permanent
+  // rank death triggers a transparent wrank migration and a fresh retry.
+  // Exhausted/unrecoverable faults rethrow as a DEVICE_FAULT status.
+  void run_with_recovery(const std::function<void()>& op);
+  // Moves this device's wrank off its (dead) physical rank onto a freshly
+  // allocated one, rescuing MRAM content. False when out of capacity.
+  bool recover_rank_death();
+  // Injected kLostCompletion check at the per-request dispatch point.
+  std::optional<FaultRecord> lost_completion();
 
   vmm::Vmm& vmm_;
   driver::UpmemDriver& drv_;

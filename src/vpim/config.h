@@ -5,6 +5,8 @@
 
 #include <string>
 
+#include "common/units.h"
+
 namespace vpim::core {
 
 struct VpimConfig {
@@ -36,6 +38,15 @@ struct VpimConfig {
   // transfers go straight to the backend (batching bulk data would just
   // add a copy).
   std::uint32_t batch_entry_max_pages = 16;  // 64 KiB
+
+  // Fault handling (robustness, ISSUE 3). The frontend abandons a request
+  // whose completion never arrives after poll_deadline_ns of virtual time
+  // (typed TIMEOUT error), re-polling every poll_interval_ns; the backend
+  // retries a transiently faulted rank operation up to fault_max_retries
+  // times with exponential backoff (CostModel::fault_retry_backoff_ns).
+  SimNs poll_deadline_ns = 100 * kMs;
+  SimNs poll_interval_ns = 100 * kUs;
+  std::uint32_t fault_max_retries = 4;
 
   static VpimConfig rust() {
     return {false, false, false, false, false, false, "vPIM-rust"};

@@ -23,6 +23,13 @@ struct DeviceStats {
   std::uint64_t emulated_binds = 0; // oversubscribed (emulated) bindings
   std::uint64_t request_errors = 0; // requests completed with a non-OK status
 
+  // Fault handling (ISSUE 3).
+  std::uint64_t fault_retries = 0;        // transient faults retried
+  std::uint64_t fault_migrations = 0;     // wranks moved off a dead rank
+  std::uint64_t fault_failures = 0;       // requests completed DEVICE_FAULT
+  std::uint64_t dropped_completions = 0;  // injected lost completions
+  std::uint64_t poll_timeouts = 0;        // frontend poll deadline expiries
+
   void reset() { *this = DeviceStats{}; }
 };
 

@@ -113,7 +113,15 @@ bool Frontend::open() {
 void Frontend::close() {
   if (!open_) return;
   vmm_.clock().advance(vmm_.cost().ioctl_ns);
-  flush_batch();
+  // Teardown must never wedge: if the device died (DEVICE_FAULT, UNBOUND,
+  // TIMEOUT), pending batched writes are lost with it, but the guest still
+  // releases its device file and moves on.
+  try {
+    flush_batch();
+  } catch (const VpimStatusError&) {
+    for (auto& batch : batches_) batch.cursor = 0;
+    batch_pending_ = 0;
+  }
   invalidate_cache();
 
   WireRequest req;
@@ -125,10 +133,15 @@ void Frontend::close() {
       {vmm_.memory().gpa_of(arena_.response.data()), sizeof(WireResponse),
        true},
   };
-  roundtrip(controlq_, chain, /*record_wsteps=*/false);
-  WireResponse resp;
-  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
-  throw_if_rejected(resp, "the release request");
+  try {
+    roundtrip(controlq_, chain, /*record_wsteps=*/false);
+    WireResponse resp;
+    std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+    throw_if_rejected(resp, "the release request");
+  } catch (const VpimStatusError&) {
+    // Releasing an already-unbound or wedged device: local teardown still
+    // completes; the manager's observer reclaims the rank either way.
+  }
   open_ = false;
 }
 
@@ -471,8 +484,25 @@ void Frontend::roundtrip(virtio::Virtqueue& queue,
     stats_.wsteps.add(WrankStep::kInterrupt, notify_cost + complete_cost);
   }
 
-  const auto used = queue.poll_used();
-  VPIM_CHECK(used.has_value(), "device did not complete the request");
+  // Bounded completion wait: the first poll is free (the dispatch above
+  // is synchronous, so a healthy device has already completed). If the
+  // completion never arrives — injected lost completion, wedged device —
+  // the guest re-polls every poll_interval_ns of virtual time and abandons
+  // the request with a typed TIMEOUT once poll_deadline_ns has elapsed.
+  auto used = queue.poll_used();
+  if (!used.has_value()) {
+    const SimNs deadline = clock.now() + config_.poll_deadline_ns;
+    while (!used.has_value() && clock.now() < deadline) {
+      clock.advance(config_.poll_interval_ns);
+      used = queue.poll_used();
+    }
+  }
+  if (!used.has_value()) {
+    ++stats_.poll_timeouts;
+    throw VpimStatusError(virtio::PimStatus::kTimeout,
+                          "device did not complete the request within the "
+                          "poll deadline");
+  }
 }
 
 // --------------------------------------------------------------- CI ops

@@ -3,7 +3,11 @@
 // and boot VMs against it.
 #pragma once
 
+#include <memory>
+#include <vector>
+
 #include "common/cost_model.h"
+#include "common/fault.h"
 #include "common/sim_clock.h"
 #include "driver/driver.h"
 #include "upmem/machine.h"
@@ -20,11 +24,20 @@ struct Host {
         drv(machine),
         manager(drv, manager_config) {}
 
+  // Installs a fault schedule on the machine (see common/fault.h). With no
+  // plan installed the fault paths are dead code and the simulation is
+  // byte-identical to a fault-free build.
+  void install_fault_plan(std::vector<FaultEvent> events) {
+    fault_plan = std::make_unique<FaultPlan>(std::move(events));
+    machine.set_fault_plan(fault_plan.get());
+  }
+
   SimClock clock;
   CostModel cost;
   upmem::PimMachine machine;
   driver::UpmemDriver drv;
   Manager manager;
+  std::unique_ptr<FaultPlan> fault_plan;
 };
 
 }  // namespace vpim::core

@@ -1,5 +1,7 @@
 #include "vpim/manager.h"
 
+#include <algorithm>
+
 #include "common/error.h"
 #include "common/log.h"
 #include "upmem/layout.h"
@@ -43,7 +45,7 @@ std::optional<std::uint32_t> Manager::try_allocate_locked(
   //    without a reset: its residual content belongs to the requester.
   for (std::uint32_t r = 0; r < table_.size(); ++r) {
     if (table_[r].state == RankState::kNana &&
-        table_[r].last_owner == owner) {
+        table_[r].last_owner == owner && !drv_.is_mapped(r)) {
       table_[r].state = RankState::kAllo;
       table_[r].owner = owner;
       table_[r].activated = false;
@@ -68,7 +70,7 @@ std::optional<std::uint32_t> Manager::try_allocate_locked(
   // 3. Reset-and-take any NANA rank (the requester effectively waits for
   //    the erase to finish).
   for (std::uint32_t r = 0; r < table_.size(); ++r) {
-    if (table_[r].state == RankState::kNana) {
+    if (table_[r].state == RankState::kNana && !drv_.is_mapped(r)) {
       reset_rank_locked(r);
       table_[r].state = RankState::kAllo;
       table_[r].owner = owner;
@@ -92,23 +94,57 @@ void Manager::reset_rank_locked(std::uint32_t rank) {
 
 void Manager::observe(bool do_resets) {
   std::lock_guard lock(mu_);
+  // Fire any due injected seizures and pull typed fault records out of the
+  // driver mailbox before reading status, so this pass already sees their
+  // sysfs consequences.
+  drv_.apply_fault_plan();
+  stats_.fault_records_drained += drv_.drain_fault_records().size();
+  const SimNs now = drv_.machine().clock().now();
   for (std::uint32_t r = 0; r < table_.size(); ++r) {
     Entry& e = table_[r];
-    const bool in_use = drv_.sysfs().read(r).in_use;
+    // The observer reads the textual status file, exactly as it would on a
+    // real host; a line it cannot parse means the rank's state is unknown,
+    // so it conservatively leaves the entry untouched.
+    const auto status = driver::Sysfs::parse(drv_.rank_status_line(r));
+    if (!status) {
+      ++stats_.status_parse_errors;
+      VPIM_WARN("manager", "unparseable sysfs status for rank %u; skipping",
+                r);
+      continue;
+    }
+    const bool in_use = status->in_use;
+    if (status->health == driver::RankHealth::kFailed &&
+        e.state != RankState::kFail) {
+      // The driver reported a permanent fault (rank death).
+      quarantine_locked(r, now);
+    }
     switch (e.state) {
       case RankState::kAllo:
-        if (in_use) {
+        if (in_use && !e.owner.empty() && status->owner != e.owner) {
+          // Hot seizure: sysfs names a different holder than our table.
+          // Track the squatter; once it lets go the rank's content cannot
+          // be trusted, so it goes through reset-verify.
+          ++stats_.seizures_observed;
+          e.owner = status->owner;
+          e.activated = true;
+          e.missed = 0;
+          e.quarantine_on_release = true;
+        } else if (in_use) {
           e.activated = true;
           e.missed = 0;
         } else if (e.activated || ++e.missed >= 2) {
           // The holder released the rank without telling us (by design,
           // §3.5): its mapping vanished from sysfs.
-          e.state = RankState::kNana;
-          e.last_owner = e.owner;
-          e.owner.clear();
-          e.activated = false;
-          e.missed = 0;
           ++stats_.releases_observed;
+          if (e.quarantine_on_release) {
+            quarantine_locked(r, now);
+          } else {
+            e.state = RankState::kNana;
+            e.last_owner = e.owner;
+            e.owner.clear();
+            e.activated = false;
+            e.missed = 0;
+          }
         }
         break;
       case RankState::kNaav:
@@ -116,11 +152,36 @@ void Manager::observe(bool do_resets) {
           // A native host application grabbed the rank directly; track it
           // so it is not handed to a VM.
           e.state = RankState::kAllo;
-          e.owner = drv_.sysfs().read(r).owner;
+          e.owner = status->owner;
           e.activated = true;
         }
         break;
       case RankState::kNana:
+        if (in_use) {
+          // Someone grabbed a rank still holding residual tenant data:
+          // track the holder and force reset-verify once it lets go.
+          ++stats_.seizures_observed;
+          e.state = RankState::kAllo;
+          e.owner = status->owner;
+          e.last_owner.clear();
+          e.activated = true;
+          e.missed = 0;
+          e.quarantine_on_release = true;
+        }
+        break;
+      case RankState::kFail:
+        if (!in_use && now >= e.next_probe) {
+          ++stats_.quarantine_probes;
+          if (drv_.try_recover_rank(r, config_.charge_time)) {
+            e = Entry{};  // back to a fresh kNaav
+            ++stats_.recoveries;
+          } else {
+            e.next_probe =
+                drv_.machine().clock().now() + e.probe_backoff;
+            e.probe_backoff = std::min(e.probe_backoff * 2,
+                                       config_.quarantine_backoff_max_ns);
+          }
+        }
         break;
     }
   }
@@ -143,6 +204,38 @@ RankState Manager::state(std::uint32_t rank) const {
 ManagerStats Manager::stats() const {
   std::lock_guard lock(mu_);
   return stats_;
+}
+
+void Manager::quarantine_locked(std::uint32_t rank, SimNs now) {
+  Entry& e = table_[rank];
+  e.state = RankState::kFail;
+  e.owner.clear();
+  e.last_owner.clear();
+  e.activated = false;
+  e.missed = 0;
+  e.quarantine_on_release = false;
+  e.probe_backoff = config_.quarantine_backoff_ns;
+  e.next_probe = now;  // first probe as soon as the rank is unmapped
+  ++stats_.quarantined;
+  VPIM_WARN("manager", "rank %u quarantined (FAIL)", rank);
+}
+
+void Manager::note_seized(std::uint32_t rank) {
+  std::lock_guard lock(mu_);
+  VPIM_CHECK(rank < table_.size(), "rank index out of range");
+  Entry& e = table_[rank];
+  ++stats_.seizures_observed;
+  e.state = RankState::kAllo;
+  e.owner = drv_.sysfs().read(rank).owner;
+  e.last_owner.clear();
+  e.activated = true;
+  e.missed = 0;
+  e.quarantine_on_release = true;
+}
+
+void Manager::note_wrank_migration() {
+  std::lock_guard lock(mu_);
+  ++stats_.wrank_migrations;
 }
 
 void Manager::note_external_use(std::uint32_t rank,

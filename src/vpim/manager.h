@@ -1,9 +1,14 @@
 // The vPIM manager (§3.5): one per host, arbitrating physical ranks among
 // VMs (and coexisting native applications).
 //
-// Rank life cycle (Fig 5):
+// Rank life cycle (Fig 5, extended with quarantine):
 //   NAAV --alloc--> ALLO --release--> NANA --reset--> NAAV
 //                    ^---- realloc (same previous owner, no reset) ----'
+//   any --permanent fault / seized release--> FAIL --reset-verify--> NAAV
+//
+// FAIL ranks are quarantined: the observer probes them with the driver's
+// reset-verify pass under exponential backoff and only returns them to
+// NAAV once the probe passes (see DESIGN.md fault model).
 //
 // Releases are *not* announced by VMs: a dedicated observer watches the
 // driver's sysfs rank-status files and reacts, so native host applications
@@ -31,6 +36,7 @@ enum class RankState : std::uint8_t {
   kNaav,  // not allocated, available
   kAllo,  // allocated (to a VM device or a native application)
   kNana,  // not allocated, not available (awaiting content reset)
+  kFail,  // quarantined after a fault; reset-verify before reuse
 };
 
 struct ManagerConfig {
@@ -43,6 +49,10 @@ struct ManagerConfig {
   // Disabled by the real-thread ManagerService (virtual clocks are not
   // meaningful across preemptive threads).
   bool charge_time = true;
+  // Quarantine probing: first reset-verify retry waits this long after a
+  // failed probe, doubling per failure up to the cap.
+  SimNs quarantine_backoff_ns = 100 * kMs;
+  SimNs quarantine_backoff_max_ns = 1600 * kMs;
 };
 
 struct ManagerStats {
@@ -51,6 +61,14 @@ struct ManagerStats {
   std::uint64_t resets = 0;
   std::uint64_t failed_requests = 0;
   std::uint64_t releases_observed = 0;
+  // Fault handling (ISSUE 3).
+  std::uint64_t quarantined = 0;         // transitions into kFail
+  std::uint64_t quarantine_probes = 0;   // reset-verify attempts on kFail
+  std::uint64_t recoveries = 0;          // kFail -> kNaav probe successes
+  std::uint64_t seizures_observed = 0;   // ranks grabbed out from under us
+  std::uint64_t wrank_migrations = 0;    // backend moved a wrank off a dead rank
+  std::uint64_t fault_records_drained = 0;
+  std::uint64_t status_parse_errors = 0;  // hostile/corrupt sysfs lines
 };
 
 class Manager {
@@ -75,6 +93,13 @@ class Manager {
   // it before the manager existed). Normally discovered via observe().
   void note_external_use(std::uint32_t rank, const std::string& owner);
 
+  // The backend lost the race to map a just-allocated rank (a native app
+  // seized it): track the squatter and quarantine the rank on release.
+  void note_seized(std::uint32_t rank);
+
+  // The backend migrated a wrank off a dead rank (stats only).
+  void note_wrank_migration();
+
  private:
   struct Entry {
     RankState state = RankState::kNaav;
@@ -88,10 +113,17 @@ class Manager {
     // would be reclaimed immediately.
     bool activated = false;
     std::uint32_t missed = 0;
+    // Fault bookkeeping: a seized rank must be reset-verified (not merely
+    // reset) once its squatter lets go; kFail ranks are probed with
+    // exponential backoff.
+    bool quarantine_on_release = false;
+    SimNs probe_backoff = 0;
+    SimNs next_probe = 0;
   };
 
   std::optional<std::uint32_t> try_allocate_locked(const std::string& owner);
   void reset_rank_locked(std::uint32_t rank);
+  void quarantine_locked(std::uint32_t rank, SimNs now);
 
   driver::UpmemDriver& drv_;
   ManagerConfig config_;

@@ -5,10 +5,17 @@
 //   - no tenant ever reads another tenant's (or a stale) pattern;
 //   - rank allocations never overlap;
 //   - the machine always returns to all-NAAV after everything releases.
+// The fault-enabled variant (ISSUE 3) additionally injects a seeded
+// FaultPlan — transient DPU faults, ECC events, one rank death, one native
+// seizure, one lost completion — and requires the same isolation
+// invariants to hold, with every rank either recovered to NAAV or parked
+// in FAIL (permanently dead hardware) at wind-down.
 #include <gtest/gtest.h>
 
 #include <cstring>
+#include <tuple>
 
+#include "common/fault.h"
 #include "common/rng.h"
 #include "tests/test_kernels.h"
 #include "tests/testutil.h"
@@ -24,17 +31,34 @@ struct Tenant {
   std::uint8_t tag = 0;       // pattern identity
   bool open = false;
   bool suspended = false;
+  bool pattern_valid = false;  // expectation dropped after a device fault
   std::span<std::uint8_t> buf;
 };
 
-class Soak : public ::testing::TestWithParam<int> {};
+// (seed, fault injection enabled)
+class Soak : public ::testing::TestWithParam<std::tuple<int, bool>> {};
 
 TEST_P(Soak, RandomChurnKeepsTenantsIsolated) {
+  const auto [seed, faults] = GetParam();
   ManagerConfig mgr;
   mgr.retry_wait_ns = 1 * kMs;
   mgr.max_attempts = 2;
   Host host({.nr_ranks = 3, .functional_dpus_per_rank = 8}, CostModel{},
             mgr);
+  if (faults) {
+    FaultPlanConfig fcfg;
+    fcfg.seed = static_cast<std::uint64_t>(seed) * 97 + 13;
+    fcfg.transient_dpu_faults = 3;
+    fcfg.mram_ecc_faults = 3;
+    fcfg.rank_deaths = 1;
+    fcfg.rank_seizures = 1;
+    fcfg.lost_completions = 1;
+    fcfg.max_op = 48;
+    fcfg.seizure_from_ns = 100 * kMs;
+    fcfg.seizure_until_ns = 2 * kSec;
+    host.install_fault_plan(
+        FaultPlan::generate(fcfg, host.machine.nr_ranks()));
+  }
   VpimConfig config = VpimConfig::full();
   config.oversubscribe = true;  // churn never hard-fails on capacity
 
@@ -48,9 +72,31 @@ TEST_P(Soak, RandomChurnKeepsTenantsIsolated) {
     tenants[t].buf = tenants[t].vm->vmm().memory().alloc(64 * kKiB);
   }
 
-  Rng rng(9000 + static_cast<std::uint64_t>(GetParam()));
+  Rng rng(9000 + static_cast<std::uint64_t>(seed));
   auto frontend = [&](int t) -> Frontend& {
     return tenants[t].vm->device(0).frontend;
+  };
+  // Injected device faults (DEVICE_FAULT / UNBOUND / TIMEOUT) end the
+  // tenant's session: it closes, forgets its pattern, and rebinds later.
+  // Any other status is still a hard test failure.
+  auto tolerate = [&](int t, auto&& op) -> bool {
+    try {
+      op();
+      return true;
+    } catch (const VpimStatusError& e) {
+      const auto status = static_cast<virtio::PimStatus>(e.status());
+      EXPECT_TRUE(faults) << "unexpected device error without fault "
+                             "injection: " << e.what();
+      EXPECT_TRUE(status == virtio::PimStatus::kDeviceFault ||
+                  status == virtio::PimStatus::kUnbound ||
+                  status == virtio::PimStatus::kTimeout)
+          << e.what();
+      frontend(t).close();  // never throws; drops wedged state
+      tenants[t].open = false;
+      tenants[t].suspended = false;
+      tenants[t].pattern_valid = false;
+      return false;
+    }
   };
   auto write_pattern = [&](int t) {
     std::memset(tenants[t].buf.data(), tenants[t].tag,
@@ -58,14 +104,17 @@ TEST_P(Soak, RandomChurnKeepsTenantsIsolated) {
     driver::TransferMatrix w;
     w.entries.push_back({2, 4096, tenants[t].buf.data(),
                          tenants[t].buf.size()});
-    frontend(t).write_to_rank(w);
+    if (tolerate(t, [&] { frontend(t).write_to_rank(w); })) {
+      tenants[t].pattern_valid = true;
+    }
   };
   auto verify_pattern = [&](int t) {
+    if (!tenants[t].pattern_valid) return;
     auto out = tenants[t].vm->vmm().memory().alloc(64 * kKiB);
     driver::TransferMatrix r;
     r.direction = driver::XferDirection::kFromRank;
     r.entries.push_back({2, 4096, out.data(), out.size()});
-    frontend(t).read_from_rank(r);
+    if (!tolerate(t, [&] { frontend(t).read_from_rank(r); })) return;
     for (std::size_t i = 0; i < out.size(); ++i) {
       ASSERT_EQ(out[i], tenants[t].tag)
           << "tenant " << t << " saw foreign data at " << i;
@@ -77,14 +126,16 @@ TEST_P(Soak, RandomChurnKeepsTenantsIsolated) {
     Tenant& tenant = tenants[t];
     const int action = static_cast<int>(rng.uniform(0, 5));
     if (!tenant.open && !tenant.suspended) {
-      if (frontend(t).open()) {
+      bool opened = false;
+      if (tolerate(t, [&] { opened = frontend(t).open(); }) && opened) {
         tenant.open = true;
         write_pattern(t);
       }
       continue;
     }
     if (tenant.suspended) {
-      if (frontend(t).resume()) {
+      bool resumed = false;
+      if (tolerate(t, [&] { resumed = frontend(t).resume(); }) && resumed) {
         tenant.suspended = false;
         tenant.open = true;
         verify_pattern(t);
@@ -99,16 +150,24 @@ TEST_P(Soak, RandomChurnKeepsTenantsIsolated) {
         write_pattern(t);
         break;
       case 2:  // migrate
-        if (frontend(t).migrate()) verify_pattern(t);
+        {
+          bool migrated = false;
+          if (tolerate(t, [&] { migrated = frontend(t).migrate(); }) &&
+              migrated) {
+            verify_pattern(t);
+          }
+        }
         break;
       case 3:  // suspend
-        frontend(t).suspend();
-        tenant.open = false;
-        tenant.suspended = true;
+        if (tolerate(t, [&] { frontend(t).suspend(); })) {
+          tenant.open = false;
+          tenant.suspended = true;
+        }
         break;
       case 4:  // release entirely (pattern intentionally discarded)
         frontend(t).close();
         tenant.open = false;
+        tenant.pattern_valid = false;
         break;
       default:  // occasionally let the observer catch up
         host.manager.observe();
@@ -117,30 +176,59 @@ TEST_P(Soak, RandomChurnKeepsTenantsIsolated) {
     if (step % 10 == 0) host.manager.observe();
   }
 
-  // Wind down: everyone releases; two observer passes recycle every rank.
+  // Wind down: everyone releases; observer passes recycle every rank.
   for (int t = 0; t < kTenants; ++t) {
     if (tenants[t].suspended) {
-      if (!frontend(t).resume()) continue;  // stays parked host-side
+      bool resumed = false;
+      if (!tolerate(t, [&] { resumed = frontend(t).resume(); }) ||
+          !resumed) {
+        continue;  // stays parked host-side (or died with the device)
+      }
       tenants[t].suspended = false;
       tenants[t].open = true;
     }
     if (tenants[t].open) frontend(t).close();
   }
-  host.manager.observe();
-  host.manager.observe();
+  // Let injected seizures expire and quarantine probes run their backoff
+  // (the cap is 1600 ms): advance far past both, observing in between.
+  for (int pass = 0; pass < 6; ++pass) {
+    host.clock.advance(2 * kSec);
+    host.manager.observe();
+  }
   for (std::uint32_t r = 0; r < host.machine.nr_ranks(); ++r) {
+    if (host.machine.rank(r).failed()) {
+      // Permanently dead hardware can only converge to quarantine.
+      EXPECT_EQ(host.manager.state(r), RankState::kFail) << "rank " << r;
+      continue;
+    }
     EXPECT_EQ(host.manager.state(r), RankState::kNaav) << "rank " << r;
     EXPECT_FALSE(host.drv.is_mapped(r)) << "rank " << r;
   }
-  // Isolation guarantee (R2): recycled ranks hold no residual data.
+  // Isolation guarantee (R2): recycled ranks hold no residual data. Dead
+  // ranks never re-enter circulation, so their content is irrelevant.
   for (std::uint32_t r = 0; r < host.machine.nr_ranks(); ++r) {
+    if (host.machine.rank(r).failed()) continue;
     std::vector<std::uint8_t> probe(64);
     host.machine.rank(r).mram(2).read(4096, probe);
     for (auto b : probe) EXPECT_EQ(b, 0) << "rank " << r;
   }
 }
 
-INSTANTIATE_TEST_SUITE_P(Seeds, Soak, ::testing::Values(1, 2, 3, 4));
+INSTANTIATE_TEST_SUITE_P(
+    Seeds, Soak,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(false)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param));
+    });
+
+INSTANTIATE_TEST_SUITE_P(
+    FaultSeeds, Soak,
+    ::testing::Combine(::testing::Values(1, 2, 3, 4),
+                       ::testing::Values(true)),
+    [](const auto& info) {
+      return "seed" + std::to_string(std::get<0>(info.param)) + "faults";
+    });
 
 }  // namespace
 }  // namespace vpim::core
