@@ -36,6 +36,57 @@ inline double env_scale() {
   return 1.0;
 }
 
+// VPIM_COST_PERTURB uniformly slows the cost model by the given factor:
+// every fixed cost is multiplied by it and every bandwidth divided by it,
+// so end-to-end simulated time drifts by roughly the same factor on any
+// workload. CI uses it to self-test the perf-regression gate: a 1.01
+// perturbation must trip the 0.5% drift check, and an unset (or 1.0)
+// value must reproduce the committed baselines exactly.
+inline CostModel bench_cost() {
+  CostModel cost;
+  if (const char* s = std::getenv("VPIM_COST_PERTURB")) {
+    const double f = std::atof(s);
+    if (f > 0) {
+      auto slow = [f](SimNs& ns) {
+        ns = static_cast<SimNs>(static_cast<double>(ns) * f);
+      };
+      auto throttle = [f](double& gbps) { gbps /= f; };
+      slow(cost.ci_op_native_ns);
+      slow(cost.ci_op_backend_ns);
+      slow(cost.ioctl_ns);
+      slow(cost.native_xfer_fixed_ns);
+      slow(cost.vmexit_notify_ns);
+      slow(cost.irq_inject_ns);
+      slow(cost.frontend_request_fixed_ns);
+      slow(cost.vhost_notify_ns);
+      slow(cost.vhost_complete_ns);
+      slow(cost.page_mgmt_ns_per_page);
+      slow(cost.serialize_ns_per_page);
+      slow(cost.per_dpu_metadata_ns);
+      slow(cost.deserialize_ns_per_page);
+      slow(cost.gpa_translate_ns_per_page);
+      slow(cost.thread_dispatch_ns);
+      slow(cost.backend_per_entry_ns);
+      slow(cost.cache_hit_fixed_ns);
+      slow(cost.manager_alloc_rt_ns);
+      slow(cost.fault_retry_backoff_ns);
+      slow(cost.rank_probe_ns);
+      slow(cost.vm_boot_base_ns);
+      slow(cost.vupmem_boot_ns);
+      throttle(cost.mram_dma_gbps);
+      throttle(cost.interleave_wide_gbps);
+      throttle(cost.interleave_naive_gbps);
+      throttle(cost.scattered_copy_gbps);
+      throttle(cost.memset_gbps);
+      throttle(cost.guest_memcpy_gbps);
+      throttle(cost.emulated_copy_gbps);
+      throttle(cost.rank_rescue_gbps);
+      cost.dpu_hz /= f;
+    }
+  }
+  return cost;
+}
+
 inline core::ManagerConfig bench_manager() {
   core::ManagerConfig cfg;
   cfg.retry_wait_ns = 10 * kMs;
@@ -45,7 +96,7 @@ inline core::ManagerConfig bench_manager() {
 
 // A fresh host per measurement keeps virtual clocks independent.
 struct NativeRig {
-  core::Host host{upmem::MachineConfig{}, CostModel{}, bench_manager()};
+  core::Host host{upmem::MachineConfig{}, bench_cost(), bench_manager()};
   sdk::NativePlatform platform{host.drv, "bench-native"};
 };
 
@@ -60,7 +111,7 @@ struct VmRig {
            nr_devices, config),
         platform(vm) {}
 
-  core::Host host{upmem::MachineConfig{}, CostModel{}, bench_manager()};
+  core::Host host{upmem::MachineConfig{}, bench_cost(), bench_manager()};
   core::VpimVm vm;
   core::GuestPlatform platform;
 };

@@ -5,9 +5,12 @@
 // the step the C rewrite shrinks; CI and R-rank are similar across both.
 #include <benchmark/benchmark.h>
 
+#include <fstream>
 #include <map>
 
 #include "bench/bench_util.h"
+#include "common/obs/chrome_trace.h"
+#include "common/obs/trace.h"
 
 namespace vpim::bench {
 namespace {
@@ -24,10 +27,40 @@ void run_system(benchmark::State& state, const std::string& label,
   for (auto _ : state) {
     WallTimer wall;
     VmRig rig(config, 1);
+    obs::Tracer tracer;
+    rig.host.attach_tracer(&tracer);
     prim::run_checksum(rig.platform, prm);
     const double wall_ms = wall.elapsed_ms();
     const core::DeviceStats& stats = rig.vm.device(0).stats;
     g_stats[label] = stats;
+
+    // The figure is readable straight off the span stream: root-span
+    // category totals must equal the DeviceStats breakdown to the ns.
+    struct Check {
+      obs::Category cat;
+      RankOp op;
+    };
+    for (const Check c : {Check{obs::Category::kCi, RankOp::kCi},
+                          Check{obs::Category::kRead, RankOp::kReadFromRank},
+                          Check{obs::Category::kWrite, RankOp::kWriteToRank}}) {
+      const SimNs spans = tracer.total_for(c.cat);
+      const SimNs ops = stats.ops.time(c.op);
+      if (spans != ops) {
+        std::fprintf(stderr,
+                     "fig12/%s: span total %llu ns != stats %llu ns for %s\n",
+                     label.c_str(), static_cast<unsigned long long>(spans),
+                     static_cast<unsigned long long>(ops),
+                     obs::kCategoryNames[static_cast<int>(c.cat)].data());
+        std::exit(1);
+      }
+    }
+    {
+      const std::string path = "BENCH_fig12_" + label + ".trace.json";
+      std::ofstream out(path);
+      obs::export_chrome_trace(tracer, out);
+      std::printf("chrome trace: %zu spans -> %s\n", tracer.spans().size(),
+                  path.c_str());
+    }
     const SimNs total = stats.ops.time(RankOp::kCi) +
                         stats.ops.time(RankOp::kReadFromRank) +
                         stats.ops.time(RankOp::kWriteToRank);

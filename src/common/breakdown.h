@@ -48,7 +48,8 @@ class SegmentScope {
 
 // Driver-centric operation classes (Fig 12).
 enum class RankOp : std::uint8_t { kCi = 0, kReadFromRank, kWriteToRank };
-inline constexpr std::array<std::string_view, 3> kRankOpNames = {
+inline constexpr std::size_t kNumRankOps = 3;
+inline constexpr std::array<std::string_view, kNumRankOps> kRankOpNames = {
     "CI", "R-rank", "W-rank"};
 
 struct OpBreakdown {

@@ -1,0 +1,77 @@
+#include "common/obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace vpim::obs {
+
+namespace {
+
+// Lane (tid) assignment: layers 1..6 in stack order, ranks at 100 + index
+// so rank lanes sort below the per-layer lanes in the viewer.
+constexpr int kRankLaneBase = 100;
+
+int lane_of(const Span& s) {
+  const Layer layer = layer_of(s.kind);
+  if (layer == Layer::kRank && s.rank != kNoRank) {
+    return kRankLaneBase + static_cast<int>(s.rank);
+  }
+  return static_cast<int>(layer) + 1;
+}
+
+}  // namespace
+
+void export_chrome_trace(const Tracer& tracer, std::ostream& os) {
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  // Lane-name metadata first: the fixed layer lanes, then every rank lane
+  // the stream touches (in lane order for determinism).
+  std::vector<int> rank_lanes;
+  for (const Span& s : tracer.spans()) {
+    const int lane = lane_of(s);
+    if (lane < kRankLaneBase) continue;
+    bool seen = false;
+    for (int l : rank_lanes) seen = seen || l == lane;
+    if (!seen) rank_lanes.push_back(lane);
+  }
+  std::sort(rank_lanes.begin(), rank_lanes.end());
+  auto lane_meta = [&](int lane, const std::string& name) {
+    if (!first) os << ",\n";
+    first = false;
+    os << "{\"ph\":\"M\",\"pid\":1,\"tid\":" << lane
+       << ",\"name\":\"thread_name\",\"args\":{\"name\":\"" << name
+       << "\"}}";
+  };
+  for (std::size_t i = 0; i < kLayerNames.size(); ++i) {
+    lane_meta(static_cast<int>(i) + 1, std::string(kLayerNames[i]));
+  }
+  for (int lane : rank_lanes) {
+    lane_meta(lane, "rank " + std::to_string(lane - kRankLaneBase));
+  }
+
+  char buf[128];
+  for (const Span& s : tracer.spans()) {
+    if (!first) os << ",\n";
+    first = false;
+    // ts/dur are microseconds; three decimals keep nanosecond precision.
+    std::snprintf(buf, sizeof(buf),
+                  "\"ts\":%.3f,\"dur\":%.3f",
+                  static_cast<double>(s.start) / 1000.0,
+                  static_cast<double>(s.duration) / 1000.0);
+    os << "{\"ph\":\"X\",\"pid\":1,\"tid\":" << lane_of(s) << ",\"name\":\""
+       << kind_name(s.kind) << "\"," << buf << ",\"args\":{\"id\":" << s.id
+       << ",\"parent\":" << s.parent << ",\"request\":" << s.request
+       << ",\"bytes\":" << s.bytes << ",\"entries\":" << s.entries;
+    if (s.rank != kNoRank) os << ",\"rank\":" << s.rank;
+    if (s.tenant != kNoTenant && s.tenant < tracer.tenants().size()) {
+      os << ",\"tenant\":\"" << tracer.tenants()[s.tenant] << '"';
+    }
+    os << "}}";
+  }
+  os << "\n],\"displayTimeUnit\":\"ns\"}\n";
+}
+
+}  // namespace vpim::obs

@@ -1,0 +1,15 @@
+// Chrome trace_event JSON exporter: renders a Tracer's span stream for
+// chrome://tracing / Perfetto, one lane per stack layer plus one lane per
+// physical rank. `vpim-sim --chrome-trace out.json` and the fig12 bench
+// both use this.
+#pragma once
+
+#include <ostream>
+
+#include "common/obs/trace.h"
+
+namespace vpim::obs {
+
+void export_chrome_trace(const Tracer& tracer, std::ostream& os);
+
+}  // namespace vpim::obs

@@ -1,0 +1,238 @@
+#include "common/obs/metrics.h"
+
+#include <sstream>
+
+namespace vpim::obs {
+
+namespace {
+
+void append_labels(std::string& out, const Labels& labels) {
+  if (labels.empty()) return;
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += k;
+    out += "=\"";
+    out += v;
+    out += '"';
+  }
+  out += '}';
+}
+
+void append_labels_json(std::string& out, const Labels& labels) {
+  out += '{';
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += k;
+    out += "\":\"";
+    out += v;
+    out += '"';
+  }
+  out += '}';
+}
+
+const Labels kOverflowLabels = {{"overflow", "true"}};
+
+}  // namespace
+
+void Collection::counter(std::string_view name, const Labels& labels,
+                         std::uint64_t value) {
+  samples_.push_back(
+      {std::string(name), labels, true, static_cast<std::int64_t>(value)});
+}
+
+void Collection::gauge(std::string_view name, const Labels& labels,
+                       std::int64_t value) {
+  samples_.push_back({std::string(name), labels, false, value});
+}
+
+MetricsRegistry::Family& MetricsRegistry::family(std::string_view name,
+                                                 Kind kind) {
+  for (Family& f : families_) {
+    if (f.name == name) return f;
+  }
+  families_.push_back({std::string(name), kind, {}});
+  return families_.back();
+}
+
+MetricsRegistry::Series& MetricsRegistry::series(Family& fam,
+                                                 const Labels& labels) {
+  for (Series& s : fam.series) {
+    if (s.labels == labels) return s;
+  }
+  if (fam.series.size() >= kMaxSeriesPerFamily) {
+    // Cardinality limit: everything beyond the cap shares one overflow
+    // series (created on first overflow, so it counts toward the cap + 1).
+    for (Series& s : fam.series) {
+      if (s.labels == kOverflowLabels) return s;
+    }
+    fam.series.push_back({kOverflowLabels, {}, {}, {}});
+    return fam.series.back();
+  }
+  fam.series.push_back({labels, {}, {}, {}});
+  return fam.series.back();
+}
+
+Counter& MetricsRegistry::counter(std::string_view name,
+                                  const Labels& labels) {
+  return series(family(name, Kind::kCounter), labels).counter;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name, const Labels& labels) {
+  return series(family(name, Kind::kGauge), labels).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name,
+                                      const Labels& labels) {
+  return series(family(name, Kind::kHistogram), labels).histogram;
+}
+
+MetricsRegistry::CollectorHandle MetricsRegistry::add_collector(
+    Collector fn) {
+  const std::uint64_t id = next_collector_id_++;
+  collectors_.push_back({id, std::move(fn)});
+  return CollectorHandle(this, id);
+}
+
+void MetricsRegistry::remove_collector(std::uint64_t id) {
+  for (std::size_t i = 0; i < collectors_.size(); ++i) {
+    if (collectors_[i].id == id) {
+      collectors_.erase(collectors_.begin() + static_cast<std::ptrdiff_t>(i));
+      return;
+    }
+  }
+}
+
+void MetricsRegistry::CollectorHandle::release() {
+  if (reg_ != nullptr) {
+    reg_->remove_collector(id_);
+    reg_ = nullptr;
+  }
+}
+
+std::string MetricsRegistry::prometheus_text() const {
+  std::string out;
+  for (const Family& f : families_) {
+    out += "# TYPE ";
+    out += f.name;
+    out += f.kind == Kind::kCounter
+               ? " counter\n"
+               : (f.kind == Kind::kGauge ? " gauge\n" : " histogram\n");
+    for (const Series& s : f.series) {
+      if (f.kind == Kind::kHistogram) {
+        std::uint64_t cumulative = 0;
+        for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+          cumulative += s.histogram.bucket_count(i);
+          Labels bl = s.labels;
+          bl.emplace_back(
+              "le", i == Histogram::kBuckets
+                        ? std::string("+Inf")
+                        : std::to_string(Histogram::upper_bound(i)));
+          out += f.name;
+          out += "_bucket";
+          append_labels(out, bl);
+          out += ' ';
+          out += std::to_string(cumulative);
+          out += '\n';
+        }
+        out += f.name;
+        out += "_sum";
+        append_labels(out, s.labels);
+        out += ' ';
+        out += std::to_string(s.histogram.sum());
+        out += '\n';
+        out += f.name;
+        out += "_count";
+        append_labels(out, s.labels);
+        out += ' ';
+        out += std::to_string(s.histogram.count());
+        out += '\n';
+      } else {
+        out += f.name;
+        append_labels(out, s.labels);
+        out += ' ';
+        out += std::to_string(f.kind == Kind::kCounter
+                                  ? static_cast<std::int64_t>(
+                                        s.counter.value())
+                                  : s.gauge.value());
+        out += '\n';
+      }
+    }
+  }
+  Collection col;
+  for (const CollectorEntry& c : collectors_) c.fn(col);
+  std::string_view last_name;
+  for (const Collection::Sample& s : col.samples_) {
+    if (s.name != last_name) {
+      out += "# TYPE ";
+      out += s.name;
+      out += s.is_counter ? " counter\n" : " gauge\n";
+      last_name = s.name;
+    }
+    out += s.name;
+    append_labels(out, s.labels);
+    out += ' ';
+    out += std::to_string(s.value);
+    out += '\n';
+  }
+  return out;
+}
+
+std::string MetricsRegistry::json_snapshot() const {
+  std::string out = "{\"metrics\":[";
+  bool first = true;
+  auto emit_head = [&](std::string_view name, std::string_view type,
+                       const Labels& labels) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    out += name;
+    out += "\",\"type\":\"";
+    out += type;
+    out += "\",\"labels\":";
+    append_labels_json(out, labels);
+  };
+  for (const Family& f : families_) {
+    for (const Series& s : f.series) {
+      if (f.kind == Kind::kHistogram) {
+        emit_head(f.name, "histogram", s.labels);
+        out += ",\"count\":";
+        out += std::to_string(s.histogram.count());
+        out += ",\"sum\":";
+        out += std::to_string(s.histogram.sum());
+        out += ",\"buckets\":[";
+        for (std::size_t i = 0; i <= Histogram::kBuckets; ++i) {
+          if (i != 0) out += ',';
+          out += std::to_string(s.histogram.bucket_count(i));
+        }
+        out += "]}";
+      } else {
+        emit_head(f.name, f.kind == Kind::kCounter ? "counter" : "gauge",
+                  s.labels);
+        out += ",\"value\":";
+        out += std::to_string(
+            f.kind == Kind::kCounter
+                ? static_cast<std::int64_t>(s.counter.value())
+                : s.gauge.value());
+        out += '}';
+      }
+    }
+  }
+  Collection col;
+  for (const CollectorEntry& c : collectors_) c.fn(col);
+  for (const Collection::Sample& s : col.samples_) {
+    emit_head(s.name, s.is_counter ? "counter" : "gauge", s.labels);
+    out += ",\"value\":";
+    out += std::to_string(s.value);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+}  // namespace vpim::obs

@@ -1,0 +1,181 @@
+// Process-wide metrics registry (DESIGN.md §"Observability").
+//
+// Counters, gauges and virtual-time histograms with deterministic
+// semantics: histogram buckets are fixed log2 boundaries (bucket index =
+// bit_width of the value), series are keyed by explicit label sets and
+// enumerated in registration order, and nothing reads the wall clock — so
+// two runs of the same workload export byte-identical text at any
+// VPIM_THREADS. Instruments must only be touched from the serial control
+// path (the SimClock contract); thread-pool bodies aggregate locally and
+// publish on the serial path.
+//
+// Live stats structs that predate the registry (DeviceStats, ManagerStats)
+// are published through collectors: a callback registered with
+// add_collector() that contributes point-in-time samples at export. That
+// absorbs the scattered structs into one exporter without double
+// bookkeeping on the hot path.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/units.h"
+
+namespace vpim::obs {
+
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+class Counter {
+ public:
+  void inc(std::uint64_t n = 1) { value_ += n; }
+  std::uint64_t value() const { return value_; }
+  void reset() { value_ = 0; }
+
+ private:
+  std::uint64_t value_ = 0;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_ = v; }
+  void add(std::int64_t d) { value_ += d; }
+  std::int64_t value() const { return value_; }
+
+ private:
+  std::int64_t value_ = 0;
+};
+
+// Fixed log2-bucket histogram for virtual-time (or byte-size) samples.
+// Bucket i counts values with bit_width(v) == i, i.e. upper bounds
+// 0, 1, 3, 7, ..., 2^39-1; the last bucket is +Inf. 2^39 ns ≈ 9.2 min of
+// virtual time, far beyond any single modeled operation.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 41;  // bit widths 0..40, then +Inf
+
+  void observe(std::uint64_t v) {
+    std::size_t b = 0;
+    for (std::uint64_t x = v; x != 0; x >>= 1) ++b;  // bit_width
+    if (b >= kBuckets) b = kBuckets;                 // +Inf bucket
+    ++counts_[b];
+    ++count_;
+    sum_ += v;
+  }
+
+  // Inclusive upper bound of bucket i (the +Inf bucket has none).
+  static std::uint64_t upper_bound(std::size_t i) {
+    return i == 0 ? 0 : ((std::uint64_t{1} << i) - 1);
+  }
+
+  std::uint64_t count() const { return count_; }
+  std::uint64_t sum() const { return sum_; }
+  std::uint64_t bucket_count(std::size_t i) const { return counts_[i]; }
+
+ private:
+  std::uint64_t counts_[kBuckets + 1] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t sum_ = 0;
+};
+
+// A point-in-time sample sink passed to collectors at export time.
+class Collection {
+ public:
+  void counter(std::string_view name, const Labels& labels,
+               std::uint64_t value);
+  void gauge(std::string_view name, const Labels& labels, std::int64_t value);
+
+ private:
+  friend class MetricsRegistry;
+  struct Sample {
+    std::string name;
+    Labels labels;
+    bool is_counter = true;
+    std::int64_t value = 0;
+  };
+  std::vector<Sample> samples_;
+};
+
+class MetricsRegistry {
+ public:
+  // A family keeps at most this many labeled series; further label
+  // combinations all fold into one overflow series labeled
+  // {"overflow"="true"} so a label-cardinality bug cannot eat memory.
+  static constexpr std::size_t kMaxSeriesPerFamily = 64;
+
+  Counter& counter(std::string_view name, const Labels& labels = {});
+  Gauge& gauge(std::string_view name, const Labels& labels = {});
+  Histogram& histogram(std::string_view name, const Labels& labels = {});
+
+  // Registers a live-stats collector; the returned handle unregisters on
+  // destruction. Collectors run (in registration order) at every export.
+  using Collector = std::function<void(Collection&)>;
+  class CollectorHandle {
+   public:
+    CollectorHandle() = default;
+    CollectorHandle(MetricsRegistry* reg, std::uint64_t id)
+        : reg_(reg), id_(id) {}
+    CollectorHandle(CollectorHandle&& o) noexcept
+        : reg_(o.reg_), id_(o.id_) {
+      o.reg_ = nullptr;
+    }
+    CollectorHandle& operator=(CollectorHandle&& o) noexcept {
+      release();
+      reg_ = o.reg_;
+      id_ = o.id_;
+      o.reg_ = nullptr;
+      return *this;
+    }
+    CollectorHandle(const CollectorHandle&) = delete;
+    CollectorHandle& operator=(const CollectorHandle&) = delete;
+    ~CollectorHandle() { release(); }
+    void release();
+
+   private:
+    MetricsRegistry* reg_ = nullptr;
+    std::uint64_t id_ = 0;
+  };
+  CollectorHandle add_collector(Collector fn);
+
+  // Prometheus text exposition format, deterministic ordering.
+  std::string prometheus_text() const;
+  // JSON snapshot of the same data.
+  std::string json_snapshot() const;
+
+  std::size_t family_count() const { return families_.size(); }
+
+ private:
+  friend class CollectorHandle;
+  enum class Kind : std::uint8_t { kCounter, kGauge, kHistogram };
+  struct Series {
+    Labels labels;
+    Counter counter;
+    Gauge gauge;
+    Histogram histogram;
+  };
+  // Deques keep references returned by counter()/gauge()/histogram()
+  // stable while later registrations grow the registry.
+  struct Family {
+    std::string name;
+    Kind kind;
+    std::deque<Series> series;  // registration order
+  };
+  struct CollectorEntry {
+    std::uint64_t id;
+    Collector fn;
+  };
+
+  Family& family(std::string_view name, Kind kind);
+  Series& series(Family& fam, const Labels& labels);
+  void remove_collector(std::uint64_t id);
+
+  std::deque<Family> families_;  // registration order
+  std::vector<CollectorEntry> collectors_;
+  std::uint64_t next_collector_id_ = 1;
+};
+
+}  // namespace vpim::obs

@@ -1,0 +1,174 @@
+// Span model of the observability layer (DESIGN.md §"Observability").
+//
+// A Span is one timed segment of a vPIM request on the virtual-time axis,
+// attributed to a fixed *kind* (an enumerated category — never a free-form
+// string, so aggregation cannot alias across kinds the way the old
+// prefix-matched CSV tracer did) and through it to a *layer* of the stack:
+// frontend request -> wire (de)serialization -> virtio transport -> backend
+// op -> driver transfer -> rank/DPU compute.
+//
+// Spans carry request-scoped causal ids: every device-file operation opens
+// a request, and every span recorded while it is in flight — including the
+// backend/driver/rank spans on the far side of the virtio queue — shares
+// its request id. Span ids are derived from the request sequence number
+// (never from wall clock or addresses), so two runs of the same workload
+// produce bit-identical span streams at any VPIM_THREADS.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "common/units.h"
+
+namespace vpim::obs {
+
+// Every kind of span the stack records. Adding a kind requires updating
+// kSpanKindNames and (if it aggregates differently) layer_of/category_of.
+enum class SpanKind : std::uint8_t {
+  // Frontend device-file operations (roots of a request).
+  kWrite = 0,     // bulk write-to-rank
+  kWriteBatched,  // write absorbed by the batch buffer
+  kWriteFlush,    // batch-buffer flush message
+  kRead,          // uncached read-from-rank
+  kReadFill,      // prefetch-cache fill message
+  kReadCached,    // read served (at least partly) from the prefetch cache
+  kCiLoad,
+  kCiLaunch,
+  kCiStatus,
+  kCiSymbol,
+  kControl,  // open/close/migrate/suspend/resume control round trips
+  kPageMgmt,  // user pages -> kernel page lists (Fig 13 "Page")
+  // Wire format.
+  kSerialize,    // frontend matrix -> descriptor chain (Fig 13 "Ser")
+  kDeserialize,  // backend chain parse + GPA->HVA (Fig 13 "Deser")
+  // Virtio transport.
+  kVirtioRoundtrip,  // notify -> device handling -> completion IRQ
+  // Backend device model.
+  kBackendRequest,  // one popped descriptor chain, end to end
+  kTransferData,    // scatter/gather data movement (Fig 13 "T-data")
+  kBroadcast,       // detected same-payload broadcast
+  kBatchApply,      // replay of a batched-write flush
+  // Driver (performance-mode rank mapping).
+  kDriverXfer,
+  kDriverCi,
+  // Rank / DPU compute.
+  kRankLaunch,  // one ci_launch on one rank (duration = slowest DPU)
+  kDpuCompute,  // one DPU's kernel execution inside a launch
+};
+
+inline constexpr std::size_t kNumSpanKinds =
+    static_cast<std::size_t>(SpanKind::kDpuCompute) + 1;
+
+inline constexpr std::array<std::string_view, kNumSpanKinds> kSpanKindNames =
+    {"write",          "write.batched",    "write.flush",
+     "read",           "read.fill",        "read.cached",
+     "ci.load",        "ci.launch",        "ci.status",
+     "ci.symbol",      "control",          "frontend.page_mgmt",
+     "wire.serialize", "wire.deserialize", "virtio.roundtrip",
+     "backend.request", "backend.transfer", "backend.broadcast",
+     "backend.batch_apply", "driver.xfer", "driver.ci",
+     "rank.launch",    "dpu.compute"};
+
+inline constexpr std::string_view kind_name(SpanKind k) {
+  return kSpanKindNames[static_cast<std::size_t>(k)];
+}
+
+// The stack layer a kind belongs to; the Chrome exporter gives each layer
+// its own lane (and each rank its own lane within the rank layer).
+enum class Layer : std::uint8_t {
+  kFrontend = 0,
+  kWire,
+  kVirtio,
+  kBackend,
+  kDriver,
+  kRank,
+};
+
+inline constexpr std::array<std::string_view, 6> kLayerNames = {
+    "frontend", "wire", "virtio", "backend", "driver", "rank"};
+
+inline constexpr Layer layer_of(SpanKind k) {
+  switch (k) {
+    case SpanKind::kSerialize:
+    case SpanKind::kDeserialize:
+      return Layer::kWire;
+    case SpanKind::kVirtioRoundtrip:
+      return Layer::kVirtio;
+    case SpanKind::kBackendRequest:
+    case SpanKind::kTransferData:
+    case SpanKind::kBroadcast:
+    case SpanKind::kBatchApply:
+      return Layer::kBackend;
+    case SpanKind::kDriverXfer:
+    case SpanKind::kDriverCi:
+      return Layer::kDriver;
+    case SpanKind::kRankLaunch:
+    case SpanKind::kDpuCompute:
+      return Layer::kRank;
+    default:
+      return Layer::kFrontend;
+  }
+}
+
+// Aggregation buckets matching the paper's driver-centric op classes
+// (Fig 12): a root span is a CI, read or write *operation*; everything
+// nested under it is internal detail. This is the typed replacement for
+// the old Tracer::total_for("read") prefix match, which silently counted
+// "read.fill" (an internal fill message, already inside its parent's
+// duration) as a second read op.
+enum class Category : std::uint8_t {
+  kCi = 0,
+  kRead,
+  kWrite,
+  kControl,
+  kInternal,
+};
+
+inline constexpr std::array<std::string_view, 5> kCategoryNames = {
+    "CI", "R-rank", "W-rank", "control", "internal"};
+
+inline constexpr Category category_of(SpanKind k) {
+  switch (k) {
+    case SpanKind::kWrite:
+    case SpanKind::kWriteBatched:
+      return Category::kWrite;
+    case SpanKind::kRead:
+    case SpanKind::kReadCached:
+      return Category::kRead;
+    case SpanKind::kCiLoad:
+    case SpanKind::kCiLaunch:
+    case SpanKind::kCiStatus:
+    case SpanKind::kCiSymbol:
+      return Category::kCi;
+    case SpanKind::kControl:
+      return Category::kControl;
+    default:
+      return Category::kInternal;
+  }
+}
+
+using SpanId = std::uint64_t;
+
+inline constexpr std::uint32_t kNoRank = 0xFFFFFFFFu;
+inline constexpr std::uint32_t kNoTenant = 0xFFFFFFFFu;
+
+struct Span {
+  // (request << kRequestShift) | sequence-within-request: stable across
+  // thread counts because requests and span begins happen on the serial
+  // control path.
+  SpanId id = 0;
+  SpanId parent = 0;          // 0 = root span
+  std::uint64_t request = 0;  // causal request id (0 = outside a request)
+  SpanKind kind = SpanKind::kControl;
+  SimNs start = 0;     // virtual time
+  SimNs duration = 0;  // virtual time
+  std::uint64_t bytes = 0;
+  std::uint32_t entries = 0;        // DPUs touched
+  std::uint32_t rank = kNoRank;     // physical rank, when known
+  std::uint32_t tenant = kNoTenant;  // interned device/tenant tag
+};
+
+inline constexpr unsigned kRequestShift = 16;
+
+}  // namespace vpim::obs

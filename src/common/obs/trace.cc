@@ -1,0 +1,48 @@
+#include "common/obs/trace.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace vpim::obs {
+
+void Tracer::dump_csv(std::ostream& os) const {
+  os << "start_us,duration_us,kind,bytes,entries,id,parent,request,layer,"
+        "rank,tenant\n";
+  char buf[64];
+  for (const Span& s : spans_) {
+    std::snprintf(buf, sizeof(buf), "%.3f,%.3f",
+                  static_cast<double>(s.start) / 1000.0,
+                  static_cast<double>(s.duration) / 1000.0);
+    os << buf << ',' << kind_name(s.kind) << ',' << s.bytes << ','
+       << s.entries << ',' << s.id << ',' << s.parent << ',' << s.request
+       << ',' << kLayerNames[static_cast<std::size_t>(layer_of(s.kind))]
+       << ',';
+    if (s.rank != kNoRank) os << s.rank;
+    os << ',';
+    if (s.tenant != kNoTenant && s.tenant < tenants_.size()) {
+      os << tenants_[s.tenant];
+    }
+    os << '\n';
+  }
+}
+
+std::string Tracer::digest() const {
+  std::string out;
+  out.reserve(spans_.size() * 48);
+  char line[192];
+  for (const Span& s : spans_) {
+    std::snprintf(line, sizeof(line),
+                  "%" PRIu64 " %" PRIu64 " %" PRIu64
+                  " %s %" PRIu64 " %" PRIu64 " %" PRIu64 " %u %d %d\n",
+                  s.id, s.parent, s.request,
+                  std::string(kind_name(s.kind)).c_str(),
+                  static_cast<std::uint64_t>(s.start),
+                  static_cast<std::uint64_t>(s.duration), s.bytes, s.entries,
+                  s.rank == kNoRank ? -1 : static_cast<int>(s.rank),
+                  s.tenant == kNoTenant ? -1 : static_cast<int>(s.tenant));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace vpim::obs

@@ -7,6 +7,7 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "common/obs/obs.h"
 #include "common/thread_pool.h"
 #include "upmem/interleave.h"
 #include "upmem/layout.h"
@@ -14,6 +15,11 @@
 namespace vpim::driver {
 
 namespace {
+
+vpim::obs::Tracer* trace_of(upmem::PimMachine& machine) {
+  vpim::obs::Hub* hub = machine.obs();
+  return hub != nullptr ? hub->tracer : nullptr;
+}
 
 // Runs the physical interleave/deinterleave pair for one entry, exercising
 // the exact DDR wire format (only when DataPath::real_transform is set).
@@ -94,6 +100,11 @@ void RankMapping::transfer(const TransferMatrix& matrix) {
       throw FaultError(*fault);
     }
   }
+  obs::ScopedSpan span(trace_of(machine), machine.clock(),
+                       obs::SpanKind::kDriverXfer);
+  span.set_bytes(bytes);
+  span.set_entries(static_cast<std::uint32_t>(matrix.entries.size()));
+  span.set_rank(rank_index_);
   machine.clock().advance(cost.native_xfer_fixed_ns +
                           CostModel::bytes_time(bytes, copy_gbps()));
   // Group entries by target DPU, preserving request order within a group:
@@ -154,6 +165,11 @@ void RankMapping::broadcast(std::uint64_t mram_offset,
   }
 
   // The host physically streams the payload into every bank.
+  obs::ScopedSpan span(trace_of(machine), machine.clock(),
+                       obs::SpanKind::kDriverXfer);
+  span.set_bytes(data.size() * rank.nr_dpus());
+  span.set_entries(rank.nr_dpus());
+  span.set_rank(rank_index_);
   machine.clock().advance(
       cost.native_xfer_fixed_ns +
       CostModel::bytes_time(data.size() * rank.nr_dpus(), copy_gbps()));
@@ -183,6 +199,9 @@ void RankMapping::broadcast(std::uint64_t mram_offset,
 void RankMapping::ci_load(std::string_view kernel_name) {
   VPIM_CHECK(drv_ != nullptr, "use of unmapped rank");
   upmem::PimMachine& machine = drv_->machine();
+  obs::ScopedSpan span(trace_of(machine), machine.clock(),
+                       obs::SpanKind::kDriverCi);
+  span.set_rank(rank_index_);
   machine.clock().advance(machine.cost().ci_op_native_ns);
   machine.rank(rank_index_).ci_load(kernel_name);
 }
@@ -191,6 +210,9 @@ void RankMapping::ci_launch(std::uint64_t dpu_mask,
                             std::optional<std::uint32_t> nr_tasklets) {
   VPIM_CHECK(drv_ != nullptr, "use of unmapped rank");
   upmem::PimMachine& machine = drv_->machine();
+  obs::ScopedSpan span(trace_of(machine), machine.clock(),
+                       obs::SpanKind::kDriverCi);
+  span.set_rank(rank_index_);
   machine.clock().advance(machine.cost().ci_op_native_ns);
   machine.rank(rank_index_).ci_launch(dpu_mask, nr_tasklets);
 }

@@ -25,6 +25,11 @@ void PimMachine::set_fault_plan(FaultPlan* plan) {
   for (auto& rank : ranks_) rank->set_fault_plan(plan);
 }
 
+void PimMachine::set_obs(obs::Hub* hub) {
+  obs_ = hub;
+  for (auto& rank : ranks_) rank->set_obs(hub);
+}
+
 std::uint32_t PimMachine::total_dpus() const {
   std::uint32_t total = 0;
   for (const auto& rank : ranks_) total += rank->nr_dpus();

@@ -37,11 +37,17 @@ class PimMachine {
   void set_fault_plan(FaultPlan* plan);
   FaultPlan* fault_plan() const { return fault_plan_; }
 
+  // Installs the observability hub on the machine and all its ranks
+  // (same lifetime contract as the fault plan).
+  void set_obs(obs::Hub* hub);
+  obs::Hub* obs() const { return obs_; }
+
  private:
   SimClock& clock_;
   const CostModel& cost_;
   std::vector<std::unique_ptr<Rank>> ranks_;
   FaultPlan* fault_plan_ = nullptr;
+  obs::Hub* obs_ = nullptr;
 };
 
 }  // namespace vpim::upmem

@@ -59,16 +59,37 @@ void Rank::ci_launch(std::uint64_t dpu_mask,
   // index order below, so finish times and busy_until_ are bit-identical
   // to a serial walk at any VPIM_THREADS.
   std::vector<SimNs> durations(dpus_.size(), 0);
+  // Pool bodies must not touch the tracer directly; per-DPU spans land in
+  // per-index FanoutScope slots and merge in index order on this thread,
+  // nested under one rank.launch span whose duration is the slowest DPU.
+  obs::Tracer* tracer = obs_ != nullptr ? obs_->trace() : nullptr;
+  if (tracer != nullptr) {
+    tracer->begin_span(obs::SpanKind::kRankLaunch, start);
+  }
+  obs::Tracer::FanoutScope fan(tracer, dpus_.size());
   ThreadPool::instance().parallel_for(dpus_.size(), [&](std::size_t i) {
     if ((dpu_mask >> i) & 1) {
       durations[i] = dpus_[i].run(tasklets, cost_);
+      fan.record(i, obs::SpanKind::kDpuCompute, start, durations[i],
+                 /*bytes=*/0, /*entries=*/1, index_);
     }
   });
+  SimNs slowest = 0;
+  std::uint32_t launched = 0;
   for (std::uint32_t i = 0; i < dpus_.size(); ++i) {
     if ((dpu_mask >> i) & 1) {
       finish_time_[i] = start + durations[i];
       busy_until_ = std::max(busy_until_, finish_time_[i]);
+      slowest = std::max(slowest, durations[i]);
+      ++launched;
     }
+  }
+  fan.merge();
+  if (tracer != nullptr) {
+    obs::Span& launch = tracer->top();
+    launch.entries = launched;
+    launch.rank = index_;
+    tracer->end_span(start + slowest);
   }
 }
 

@@ -18,6 +18,7 @@
 
 #include "common/cost_model.h"
 #include "common/fault.h"
+#include "common/obs/obs.h"
 #include "common/sim_clock.h"
 #include "upmem/dpu.h"
 
@@ -96,6 +97,11 @@ class Rank {
   // ci_launch, so injected faults are thread-count invariant.
   void set_fault_plan(FaultPlan* plan) { fault_plan_ = plan; }
 
+  // Observability hub (installed by PimMachine, may stay null in unit
+  // tests). ci_launch records a rank.launch span plus one dpu.compute span
+  // per masked DPU when a tracer is attached.
+  void set_obs(obs::Hub* hub) { obs_ = hub; }
+
   // Permanent rank death: the control interface and DMA windows stop
   // responding. MRAM content stays recoverable via clone_state_from (the
   // chips hold data; only the rank-level pipeline is gone).
@@ -114,6 +120,7 @@ class Rank {
   std::vector<SimNs> finish_time_;
   SimNs busy_until_ = 0;
   FaultPlan* fault_plan_ = nullptr;
+  obs::Hub* obs_ = nullptr;
   bool failed_ = false;
 };
 

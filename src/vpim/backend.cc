@@ -37,7 +37,7 @@ void coalesce_into(
 Backend::Backend(vmm::Vmm& vmm, driver::UpmemDriver& drv, Manager& manager,
                  const VpimConfig& config, virtio::Virtqueue& transferq,
                  virtio::Virtqueue& controlq, virtio::DeviceState& state,
-                 DeviceStats& stats, std::string device_tag)
+                 DeviceStats& stats, std::string device_tag, obs::Hub& obs)
     : vmm_(vmm),
       drv_(drv),
       manager_(manager),
@@ -46,7 +46,8 @@ Backend::Backend(vmm::Vmm& vmm, driver::UpmemDriver& drv, Manager& manager,
       controlq_(controlq),
       state_(state),
       stats_(stats),
-      tag_(std::move(device_tag)) {}
+      tag_(std::move(device_tag)),
+      obs_(obs) {}
 
 std::uint32_t Backend::rank_index() const {
   VPIM_CHECK(mapping_.has_value(),
@@ -113,6 +114,9 @@ bool Backend::try_bind() {
   emulated_ = std::make_unique<EmulatedRank>(
       vmm_.cost(), vmm_.clock(),
       drv_.machine().rank(0).nr_dpus());
+  // The emulated rank is constructed outside the machine, so it must be
+  // wired into the observability hub explicitly to emit launch spans.
+  emulated_->rank.set_obs(drv_.machine().obs());
   ++stats_.emulated_binds;
   return true;
 }
@@ -289,8 +293,12 @@ void Backend::handle_controlq() {
   VPIM_CHECK(state_.driver_ok(),
              "queue notification before DRIVER_OK (virtio 1.x 3.1)");
   while (auto chain = controlq_.pop_avail()) {
+    obs::ScopedSpan span(tracer(), vmm_.clock(),
+                         obs::SpanKind::kBackendRequest);
     try {
-      handle_control(*chain, read_request(*chain));
+      const WireRequest req = read_request(*chain);
+      span.set_request(req.request_id);
+      handle_control(*chain, req);
     } catch (const VpimStatusError& e) {
       complete_with_status(controlq_, *chain, e.status());
     } catch (const FaultError& e) {
@@ -344,8 +352,12 @@ void Backend::handle_one(const virtio::DescChain& chain) {
     ++stats_.dropped_completions;
     return;
   }
+  obs::ScopedSpan span(tracer(), vmm_.clock(),
+                       obs::SpanKind::kBackendRequest);
   try {
     const WireRequest req = read_request(chain);
+    span.set_request(req.request_id);
+    if (mapping_.has_value()) span.set_rank(mapping_->rank_index());
     switch (static_cast<virtio::PimRequestType>(req.type)) {
       case virtio::PimRequestType::kWriteToRank:
       case virtio::PimRequestType::kReadFromRank:
@@ -402,6 +414,7 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
 
   // -- Deserialization + GPA->HVA translation (Fig 13 "Deser") ----------
   const SimNs deser_start = clock.now();
+  obs::ScopedSpan deser_span(tracer(), clock, obs::SpanKind::kDeserialize);
   DeserializeResult matrix = deserialize_matrix(chain, vmm_.memory());
   // Entries must fit the bound rank before anything touches MRAM.
   upmem::Rank& rank = bound_rank();
@@ -421,9 +434,18 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
   if (is_write) {
     stats_.wsteps.add(WrankStep::kDeserialize, clock.now() - deser_start);
   }
+  deser_span.set_bytes(matrix.total_bytes);
+  deser_span.set_entries(static_cast<std::uint32_t>(matrix.entries.size()));
+  deser_span.close();
 
   // -- Data movement (Fig 13 "T-data") -----------------------------------
   const SimNs data_start = clock.now();
+  // Covers scheduling, the movement itself, and any fault retries; the
+  // kind is refined to batch/broadcast once the shape is known. Driver
+  // xfer spans nest underneath.
+  obs::ScopedSpan data_span(tracer(), clock, obs::SpanKind::kTransferData);
+  data_span.set_bytes(matrix.total_bytes);
+  data_span.set_entries(static_cast<std::uint32_t>(matrix.entries.size()));
   // Per-chip operation workers walk the matrix 8 DPUs at a time.
   const auto entry_batches =
       (matrix.entries.size() + cost.backend_op_threads - 1) /
@@ -434,6 +456,7 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
   // re-runs the whole movement block so a migrated binding is re-resolved.
   run_with_recovery([&] {
     if ((req.flags & kWireFlagBatched) != 0) {
+      data_span.set_kind(obs::SpanKind::kBatchApply);
       apply_batched_writes(matrix);
       return;
     }
@@ -458,6 +481,7 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
       broadcast = broadcast && first.size() == 1;
     }
     if (broadcast) {
+      data_span.set_kind(obs::SpanKind::kBroadcast);
       data_broadcast(matrix.entries[0].mram_offset,
                      {first[0].first, first[0].second});
     } else {
@@ -477,6 +501,7 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
   if (is_write) {
     stats_.wsteps.add(WrankStep::kTransferData, clock.now() - data_start);
   }
+  data_span.close();
 
   WireResponse resp;
   resp.rank_index =

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/obs/obs.h"
 #include "driver/driver.h"
 #include "virtio/device_state.h"
 #include "virtio/pim_spec.h"
@@ -37,7 +38,7 @@ class Backend {
   Backend(vmm::Vmm& vmm, driver::UpmemDriver& drv, Manager& manager,
           const VpimConfig& config, virtio::Virtqueue& transferq,
           virtio::Virtqueue& controlq, virtio::DeviceState& state,
-          DeviceStats& stats, std::string device_tag);
+          DeviceStats& stats, std::string device_tag, obs::Hub& obs);
 
   // Event-loop entry points: drain all pending requests on the queue.
   void handle_transferq();
@@ -114,6 +115,8 @@ class Backend {
   // Injected kLostCompletion check at the per-request dispatch point.
   std::optional<FaultRecord> lost_completion();
 
+  obs::Tracer* tracer() const { return obs_.tracer; }
+
   vmm::Vmm& vmm_;
   driver::UpmemDriver& drv_;
   Manager& manager_;
@@ -123,6 +126,7 @@ class Backend {
   virtio::DeviceState& state_;
   DeviceStats& stats_;
   std::string tag_;
+  obs::Hub& obs_;
   std::optional<driver::RankMapping> mapping_;
   std::unique_ptr<EmulatedRank> emulated_;
   // Reused coalesce outputs (one allocation across requests instead of a

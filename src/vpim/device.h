@@ -5,6 +5,7 @@
 
 #include <string>
 
+#include "common/obs/obs.h"
 #include "virtio/device_state.h"
 #include "virtio/pim_spec.h"
 #include "virtio/virtqueue.h"
@@ -15,13 +16,15 @@ namespace vpim::core {
 
 struct VupmemDevice {
   VupmemDevice(vmm::Vmm& vmm, driver::UpmemDriver& drv, Manager& manager,
-               const VpimConfig& config, std::string tag)
+               const VpimConfig& config, std::string tag, obs::Hub& obs)
       : transferq(virtio::kTransferQueueSize),
         controlq(virtio::kControlQueueSize),
         backend(vmm, drv, manager, config, transferq, controlq, state,
-                stats, tag),
+                stats, tag, obs),
         frontend(vmm, backend, transferq, controlq, state, config, stats,
-                 tag) {}
+                 tag, obs),
+        stats_collector(obs.metrics.add_collector(
+            [this, tag](obs::Collection& out) { collect(out, tag); })) {}
 
   virtio::Virtqueue transferq;
   virtio::Virtqueue controlq;
@@ -31,6 +34,44 @@ struct VupmemDevice {
   DeviceStats stats;
   Backend backend;
   Frontend frontend;
+  // Publishes the live DeviceStats into the metrics registry on every
+  // export; unregisters itself when the device is destroyed.
+  obs::MetricsRegistry::CollectorHandle stats_collector;
+
+ private:
+  void collect(obs::Collection& out, const std::string& tag) const {
+    const obs::Labels dev = {{"device", tag}};
+    out.counter("vpim_device_notifies_total", dev, stats.notifies);
+    out.counter("vpim_device_irqs_total", dev, stats.irqs);
+    out.counter("vpim_device_cache_hits_total", dev, stats.cache_hits);
+    out.counter("vpim_device_cache_misses_total", dev, stats.cache_misses);
+    out.counter("vpim_device_cache_fills_total", dev, stats.cache_fills);
+    out.counter("vpim_device_batched_writes_total", dev,
+                stats.batched_writes);
+    out.counter("vpim_device_batch_flushes_total", dev,
+                stats.batch_flushes);
+    out.counter("vpim_device_emulated_binds_total", dev,
+                stats.emulated_binds);
+    out.counter("vpim_device_request_errors_total", dev,
+                stats.request_errors);
+    out.counter("vpim_device_fault_retries_total", dev,
+                stats.fault_retries);
+    out.counter("vpim_device_fault_migrations_total", dev,
+                stats.fault_migrations);
+    out.counter("vpim_device_fault_failures_total", dev,
+                stats.fault_failures);
+    out.counter("vpim_device_dropped_completions_total", dev,
+                stats.dropped_completions);
+    out.counter("vpim_device_poll_timeouts_total", dev,
+                stats.poll_timeouts);
+    for (std::size_t i = 0; i < kNumRankOps; ++i) {
+      const auto op = static_cast<RankOp>(i);
+      obs::Labels labels = dev;
+      labels.emplace_back("op", std::string(kRankOpNames[i]));
+      out.counter("vpim_device_op_time_ns_total", labels, stats.ops.time(op));
+      out.counter("vpim_device_ops_total", labels, stats.ops.count(op));
+    }
+  }
 };
 
 }  // namespace vpim::core

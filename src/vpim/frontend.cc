@@ -30,7 +30,7 @@ void throw_if_rejected(const WireResponse& resp, const char* what) {
 Frontend::Frontend(vmm::Vmm& vmm, Backend& backend,
                    virtio::Virtqueue& transferq, virtio::Virtqueue& controlq,
                    virtio::DeviceState& state, const VpimConfig& config,
-                   DeviceStats& stats, std::string tag)
+                   DeviceStats& stats, std::string tag, obs::Hub& obs)
     : vmm_(vmm),
       backend_(backend),
       transferq_(transferq),
@@ -38,7 +38,15 @@ Frontend::Frontend(vmm::Vmm& vmm, Backend& backend,
       state_(state),
       config_(config),
       stats_(stats),
-      tag_(std::move(tag)) {
+      tag_(std::move(tag)),
+      obs_(obs) {
+  // Per-device op-latency distributions (the registry hands back stable
+  // references, so the hot path is one array index + one observe()).
+  for (std::size_t i = 0; i < kNumRankOps; ++i) {
+    op_hist_[i] = &obs_.metrics.histogram(
+        "vpim_op_ns",
+        {{"device", tag_}, {"op", std::string(kRankOpNames[i])}});
+  }
   if (config_.vhost_transitions) {
     // A dedicated kernel worker handles this device's queues; requests
     // from different devices never share a serializing loop.
@@ -71,6 +79,8 @@ void Frontend::ensure_arenas() {
 
 bool Frontend::open() {
   if (open_) return true;
+  obs::RequestSpan span(tracer(), vmm_.clock(), obs::SpanKind::kControl,
+                        tenant_id());
   vmm_.clock().advance(vmm_.cost().ioctl_ns);
   // Virtio initialization dance (Appendix A.1 / virtio 1.x 3.1): status
   // walk and feature negotiation (the PIM device offers no features).
@@ -89,6 +99,7 @@ bool Frontend::open() {
 
   WireRequest req;
   req.ci_op = static_cast<std::uint32_t>(CiOp::kBindRank);
+  req.request_id = wire_request_id();
   std::memcpy(arena_.request.data(), &req, sizeof(req));
   const virtio::DescBuffer chain[] = {
       {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
@@ -112,6 +123,8 @@ bool Frontend::open() {
 
 void Frontend::close() {
   if (!open_) return;
+  obs::RequestSpan span(tracer(), vmm_.clock(), obs::SpanKind::kControl,
+                        tenant_id());
   vmm_.clock().advance(vmm_.cost().ioctl_ns);
   // Teardown must never wedge: if the device died (DEVICE_FAULT, UNBOUND,
   // TIMEOUT), pending batched writes are lost with it, but the guest still
@@ -126,6 +139,7 @@ void Frontend::close() {
 
   WireRequest req;
   req.ci_op = static_cast<std::uint32_t>(CiOp::kReleaseRank);
+  req.request_id = wire_request_id();
   std::memcpy(arena_.request.data(), &req, sizeof(req));
   const virtio::DescBuffer chain[] = {
       {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
@@ -147,12 +161,15 @@ void Frontend::close() {
 
 bool Frontend::migrate() {
   VPIM_CHECK(open_, "migration on an unlinked device");
+  obs::RequestSpan span(tracer(), vmm_.clock(), obs::SpanKind::kControl,
+                        tenant_id());
   vmm_.clock().advance(vmm_.cost().ioctl_ns);
   flush_batch();
   invalidate_cache();  // cached segments refer to the old rank
 
   WireRequest req;
   req.ci_op = static_cast<std::uint32_t>(CiOp::kMigrateRank);
+  req.request_id = wire_request_id();
   std::memcpy(arena_.request.data(), &req, sizeof(req));
   const virtio::DescBuffer chain[] = {
       {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
@@ -175,11 +192,14 @@ bool Frontend::migrate() {
 
 void Frontend::suspend() {
   VPIM_CHECK(open_, "suspend on an unlinked device");
+  obs::RequestSpan span(tracer(), vmm_.clock(), obs::SpanKind::kControl,
+                        tenant_id());
   vmm_.clock().advance(vmm_.cost().ioctl_ns);
   flush_batch();
   invalidate_cache();
   WireRequest req;
   req.ci_op = static_cast<std::uint32_t>(CiOp::kSuspendRank);
+  req.request_id = wire_request_id();
   std::memcpy(arena_.request.data(), &req, sizeof(req));
   const virtio::DescBuffer chain[] = {
       {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
@@ -196,9 +216,12 @@ void Frontend::suspend() {
 
 bool Frontend::resume() {
   VPIM_CHECK(!open_, "resume on a device that is already linked");
+  obs::RequestSpan span(tracer(), vmm_.clock(), obs::SpanKind::kControl,
+                        tenant_id());
   vmm_.clock().advance(vmm_.cost().ioctl_ns);
   WireRequest req;
   req.ci_op = static_cast<std::uint32_t>(CiOp::kResumeRank);
+  req.request_id = wire_request_id();
   std::memcpy(arena_.request.data(), &req, sizeof(req));
   const virtio::DescBuffer chain[] = {
       {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
@@ -238,20 +261,22 @@ void Frontend::write_to_rank(const driver::TransferMatrix& matrix) {
   check_dpus(matrix);
   SimClock& clock = vmm_.clock();
   const SimNs t0 = clock.now();
+  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kWrite, tenant_id());
+  span.set_bytes(matrix.total_bytes());
+  span.set_entries(static_cast<std::uint32_t>(matrix.entries.size()));
   clock.advance(vmm_.cost().ioctl_ns);
   // Any write makes cached MRAM contents stale.
   invalidate_cache();
   if (config_.request_batching && try_batch(matrix)) {
     stats_.ops.add(RankOp::kWriteToRank, clock.now() - t0);
-    trace("write.batched", t0, matrix.total_bytes(),
-          static_cast<std::uint32_t>(matrix.entries.size()));
+    observe_op(RankOp::kWriteToRank, clock.now() - t0);
+    span.set_kind(obs::SpanKind::kWriteBatched);
     return;
   }
   flush_batch();
   send_rank_op(matrix, /*is_write=*/true, /*flags=*/0);
   stats_.ops.add(RankOp::kWriteToRank, clock.now() - t0);
-  trace("write", t0, matrix.total_bytes(),
-        static_cast<std::uint32_t>(matrix.entries.size()));
+  observe_op(RankOp::kWriteToRank, clock.now() - t0);
 }
 
 void Frontend::read_from_rank(const driver::TransferMatrix& matrix) {
@@ -262,6 +287,9 @@ void Frontend::read_from_rank(const driver::TransferMatrix& matrix) {
   SimClock& clock = vmm_.clock();
   const CostModel& cost = vmm_.cost();
   const SimNs t0 = clock.now();
+  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kRead, tenant_id());
+  span.set_bytes(matrix.total_bytes());
+  span.set_entries(static_cast<std::uint32_t>(matrix.entries.size()));
   clock.advance(cost.ioctl_ns);
   flush_batch();  // non-write request; also required for coherence
 
@@ -274,8 +302,7 @@ void Frontend::read_from_rank(const driver::TransferMatrix& matrix) {
   if (!cacheable) {
     send_rank_op(matrix, /*is_write=*/false, /*flags=*/0);
     stats_.ops.add(RankOp::kReadFromRank, clock.now() - t0);
-    trace("read", t0, matrix.total_bytes(),
-          static_cast<std::uint32_t>(matrix.entries.size()));
+    observe_op(RankOp::kReadFromRank, clock.now() - t0);
     return;
   }
 
@@ -303,10 +330,10 @@ void Frontend::read_from_rank(const driver::TransferMatrix& matrix) {
     fill.entries.push_back({e.dpu, e.mram_offset, c.buf.data(), len});
   }
   if (!fill.entries.empty()) {
-    const SimNs fill_start = clock.now();
+    obs::ScopedSpan fill_span(tracer(), clock, obs::SpanKind::kReadFill);
+    fill_span.set_bytes(fill.total_bytes());
+    fill_span.set_entries(static_cast<std::uint32_t>(fill.entries.size()));
     send_rank_op(fill, /*is_write=*/false, /*flags=*/0);
-    trace("read.fill", fill_start, fill.total_bytes(),
-          static_cast<std::uint32_t>(fill.entries.size()));
     ++stats_.cache_fills;
     for (const driver::XferEntry& f : fill.entries) {
       caches_[f.dpu].valid = true;
@@ -330,8 +357,8 @@ void Frontend::read_from_rank(const driver::TransferMatrix& matrix) {
                   CostModel::bytes_time(e.size, cost.guest_memcpy_gbps));
   }
   stats_.ops.add(RankOp::kReadFromRank, clock.now() - t0);
-  trace("read.cached", t0, matrix.total_bytes(),
-        static_cast<std::uint32_t>(matrix.entries.size()));
+  observe_op(RankOp::kReadFromRank, clock.now() - t0);
+  span.set_kind(obs::SpanKind::kReadCached);
 }
 
 void Frontend::check_dpus(const driver::TransferMatrix& matrix) const {
@@ -383,7 +410,7 @@ bool Frontend::try_batch(const driver::TransferMatrix& matrix) {
 
 void Frontend::flush_batch() {
   if (batch_pending_ == 0) return;
-  const SimNs flush_start = vmm_.clock().now();
+  obs::ScopedSpan span(tracer(), vmm_.clock(), obs::SpanKind::kWriteFlush);
   driver::TransferMatrix matrix;
   matrix.direction = driver::XferDirection::kToRank;
   for (std::uint32_t d = 0; d < batches_.size(); ++d) {
@@ -391,9 +418,9 @@ void Frontend::flush_batch() {
     matrix.entries.push_back(
         {d, 0, batches_[d].buf.data(), batches_[d].cursor});
   }
+  span.set_bytes(matrix.total_bytes());
+  span.set_entries(static_cast<std::uint32_t>(matrix.entries.size()));
   send_rank_op(matrix, /*is_write=*/true, kWireFlagBatched);
-  trace("write.flush", flush_start, matrix.total_bytes(),
-        static_cast<std::uint32_t>(matrix.entries.size()));
   for (auto& b : batches_) b.cursor = 0;
   batch_pending_ = 0;
   ++stats_.batch_flushes;
@@ -421,6 +448,11 @@ void Frontend::send_rank_op(const driver::TransferMatrix& matrix,
   if (is_write) {
     stats_.wsteps.add(WrankStep::kPageMgmt, clock.now() - page_start);
   }
+  if (obs::Tracer* t = tracer()) {
+    t->record(obs::SpanKind::kPageMgmt, page_start,
+              clock.now() - page_start, 0,
+              static_cast<std::uint32_t>(pages));
+  }
 
   // -- Serialization (Fig 13 "Ser").
   const SimNs ser_start = clock.now();
@@ -429,11 +461,12 @@ void Frontend::send_rank_op(const driver::TransferMatrix& matrix,
       static_cast<std::uint32_t>(
           is_write ? virtio::PimRequestType::kWriteToRank
                    : virtio::PimRequestType::kReadFromRank));
-  // Patch the flags into the serialized request block.
-  if (flags != 0) {
+  // Patch the flags + causal request id into the serialized request block.
+  {
     WireRequest req;
     std::memcpy(&req, arena_.request.data(), sizeof(req));
     req.flags = flags;
+    req.request_id = wire_request_id();
     std::memcpy(arena_.request.data(), &req, sizeof(req));
   }
   clock.advance(cost.frontend_request_fixed_ns +
@@ -441,6 +474,11 @@ void Frontend::send_rank_op(const driver::TransferMatrix& matrix,
                 cost.per_dpu_metadata_ns * matrix.entries.size());
   if (is_write) {
     stats_.wsteps.add(WrankStep::kSerialize, clock.now() - ser_start);
+  }
+  if (obs::Tracer* t = tracer()) {
+    t->record(obs::SpanKind::kSerialize, ser_start, clock.now() - ser_start,
+              matrix.total_bytes(),
+              static_cast<std::uint32_t>(matrix.entries.size()));
   }
 
   roundtrip(transferq_, serialized.chain, is_write);
@@ -457,6 +495,11 @@ void Frontend::roundtrip(virtio::Virtqueue& queue,
   SimClock& clock = vmm_.clock();
   const CostModel& cost = vmm_.cost();
   queue.submit(chain);
+
+  // One span for the whole transport round trip: notify transition,
+  // backend handling (which nests its own spans), completion IRQ, and any
+  // completion polling. RAII also closes it if the poll deadline throws.
+  obs::ScopedSpan span(tracer(), clock, obs::SpanKind::kVirtioRoundtrip);
 
   // Guest -> host transition, device handling, completion back into the
   // guest (Fig 13 "Int" is the transition cost). With vhost transitions
@@ -510,7 +553,9 @@ void Frontend::roundtrip(virtio::Virtqueue& queue,
 WireResponse Frontend::ci_roundtrip(const WireRequest& req,
                                     std::span<std::uint8_t> payload,
                                     bool payload_writable) {
-  std::memcpy(arena_.request.data(), &req, sizeof(req));
+  WireRequest stamped = req;
+  stamped.request_id = wire_request_id();
+  std::memcpy(arena_.request.data(), &stamped, sizeof(stamped));
   std::vector<virtio::DescBuffer> chain;
   chain.push_back({vmm_.memory().gpa_of(arena_.request.data()),
                    sizeof(WireRequest), false});
@@ -533,6 +578,8 @@ void Frontend::ci_load(std::string_view kernel_name) {
   VPIM_CHECK(open_, "CI operation on an unlinked device");
   SimClock& clock = vmm_.clock();
   const SimNs t0 = clock.now();
+  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kCiLoad,
+                        tenant_id());
   clock.advance(vmm_.cost().ioctl_ns);
   flush_batch();
   WireRequest req;
@@ -541,7 +588,7 @@ void Frontend::ci_load(std::string_view kernel_name) {
   copy_name(req.name, kernel_name);
   ci_roundtrip(req, {}, false);
   stats_.ops.add(RankOp::kCi, clock.now() - t0);
-  trace("ci.load", t0);
+  observe_op(RankOp::kCi, clock.now() - t0);
 }
 
 void Frontend::ci_launch(std::uint64_t dpu_mask,
@@ -549,6 +596,8 @@ void Frontend::ci_launch(std::uint64_t dpu_mask,
   VPIM_CHECK(open_, "CI operation on an unlinked device");
   SimClock& clock = vmm_.clock();
   const SimNs t0 = clock.now();
+  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kCiLaunch,
+                        tenant_id());
   clock.advance(vmm_.cost().ioctl_ns);
   flush_batch();
   invalidate_cache();  // DPU programs may rewrite MRAM
@@ -559,13 +608,15 @@ void Frontend::ci_launch(std::uint64_t dpu_mask,
   req.arg1 = nr_tasklets ? *nr_tasklets + 1 : 0;
   ci_roundtrip(req, {}, false);
   stats_.ops.add(RankOp::kCi, clock.now() - t0);
-  trace("ci.launch", t0);
+  observe_op(RankOp::kCi, clock.now() - t0);
 }
 
 std::uint64_t Frontend::ci_running_mask() {
   VPIM_CHECK(open_, "CI operation on an unlinked device");
   SimClock& clock = vmm_.clock();
   const SimNs t0 = clock.now();
+  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kCiStatus,
+                        tenant_id());
   clock.advance(vmm_.cost().ioctl_ns);
   flush_batch();
   WireRequest req;
@@ -573,7 +624,7 @@ std::uint64_t Frontend::ci_running_mask() {
   req.ci_op = static_cast<std::uint32_t>(CiOp::kReadStatus);
   const WireResponse resp = ci_roundtrip(req, {}, false);
   stats_.ops.add(RankOp::kCi, clock.now() - t0);
-  trace("ci.status", t0);
+  observe_op(RankOp::kCi, clock.now() - t0);
   return resp.value;
 }
 
@@ -585,6 +636,9 @@ void Frontend::ci_copy_to_symbol(std::uint32_t dpu, std::string_view symbol,
              "symbol payload exceeds the staging buffer");
   SimClock& clock = vmm_.clock();
   const SimNs t0 = clock.now();
+  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kCiSymbol,
+                        tenant_id());
+  span.set_bytes(data.size());
   clock.advance(vmm_.cost().ioctl_ns);
   flush_batch();
   std::memcpy(arena_.payload.data(), data.data(), data.size());
@@ -596,6 +650,7 @@ void Frontend::ci_copy_to_symbol(std::uint32_t dpu, std::string_view symbol,
   copy_name(req.name, symbol);
   ci_roundtrip(req, arena_.payload.first(data.size()), false);
   stats_.ops.add(RankOp::kCi, clock.now() - t0);
+  observe_op(RankOp::kCi, clock.now() - t0);
 }
 
 void Frontend::ci_copy_from_symbol(std::uint32_t dpu,
@@ -607,6 +662,9 @@ void Frontend::ci_copy_from_symbol(std::uint32_t dpu,
              "symbol payload exceeds the staging buffer");
   SimClock& clock = vmm_.clock();
   const SimNs t0 = clock.now();
+  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kCiSymbol,
+                        tenant_id());
+  span.set_bytes(out.size());
   clock.advance(vmm_.cost().ioctl_ns);
   flush_batch();
   WireRequest req;
@@ -618,6 +676,7 @@ void Frontend::ci_copy_from_symbol(std::uint32_t dpu,
   ci_roundtrip(req, arena_.payload.first(out.size()), true);
   std::memcpy(out.data(), arena_.payload.data(), out.size());
   stats_.ops.add(RankOp::kCi, clock.now() - t0);
+  observe_op(RankOp::kCi, clock.now() - t0);
 }
 
 void Frontend::ci_push_symbols(driver::XferDirection dir,
@@ -630,6 +689,10 @@ void Frontend::ci_push_symbols(driver::XferDirection dir,
              "packed symbol buffer must hold whole per-DPU values");
   SimClock& clock = vmm_.clock();
   const SimNs t0 = clock.now();
+  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kCiSymbol,
+                        tenant_id());
+  span.set_bytes(packed.size());
+  span.set_entries(static_cast<std::uint32_t>(packed.size() / bytes_per_dpu));
   clock.advance(vmm_.cost().ioctl_ns);
   flush_batch();
   WireRequest req;
@@ -648,6 +711,7 @@ void Frontend::ci_push_symbols(driver::XferDirection dir,
   ci_roundtrip(req, packed,
                dir == driver::XferDirection::kFromRank);
   stats_.ops.add(RankOp::kCi, clock.now() - t0);
+  observe_op(RankOp::kCi, clock.now() - t0);
 }
 
 std::uint64_t Frontend::memory_overhead_bytes() const {

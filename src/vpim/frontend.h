@@ -20,6 +20,7 @@
 // VpimStatusError carrying the device's status code.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <optional>
 #include <span>
@@ -27,7 +28,7 @@
 #include <string_view>
 #include <vector>
 
-#include "common/trace.h"
+#include "common/obs/obs.h"
 #include "driver/xfer.h"
 #include "virtio/device_state.h"
 #include "virtio/pim_spec.h"
@@ -44,7 +45,8 @@ class Frontend {
  public:
   Frontend(vmm::Vmm& vmm, Backend& backend, virtio::Virtqueue& transferq,
            virtio::Virtqueue& controlq, virtio::DeviceState& state,
-           const VpimConfig& config, DeviceStats& stats, std::string tag);
+           const VpimConfig& config, DeviceStats& stats, std::string tag,
+           obs::Hub& obs);
 
   // Links the device to a physical rank through the manager (controlq).
   // Returns false if the manager abandoned the request.
@@ -91,10 +93,9 @@ class Frontend {
   const DeviceStats& stats() const { return stats_; }
   const VpimConfig& config() const { return config_; }
 
-  // Attaches an operation tracer (not owned; nullptr detaches). Every
-  // device-file operation records one event; internal messages (batch
-  // flushes, prefetch fills) record their own.
-  void set_tracer(Tracer* tracer) { tracer_ = tracer; }
+  // Spans record into the Host-level hub (Host::attach_tracer); every
+  // device-file operation opens a request-scoped root span, and internal
+  // messages (batch flushes, prefetch fills) nest under it.
 
  private:
   struct DpuCache {
@@ -130,15 +131,28 @@ class Frontend {
            guest::kGuestPageSize;
   }
 
-  void trace(std::string_view kind, SimNs start, std::uint64_t bytes = 0,
-             std::uint32_t entries = 0) {
-    if (tracer_ != nullptr) {
-      tracer_->record(kind, start, vmm_.clock().now() - start, bytes,
-                      entries);
+  obs::Tracer* tracer() const { return obs_.tracer; }
+  // Interned tenant tag for span attribution; re-interned when the
+  // attached tracer changes (indices are per-tracer).
+  std::uint32_t tenant_id() {
+    obs::Tracer* t = obs_.tracer;
+    if (t == nullptr) return obs::kNoTenant;
+    if (t != tenant_tracer_) {
+      tenant_ = t->intern(tag_);
+      tenant_tracer_ = t;
     }
+    return tenant_;
+  }
+  // Causal id stamped into outgoing WireRequests (0 when untraced).
+  std::uint32_t wire_request_id() const {
+    return obs_.tracer != nullptr
+               ? static_cast<std::uint32_t>(obs_.tracer->current_request())
+               : 0;
+  }
+  void observe_op(RankOp op, SimNs duration) {
+    op_hist_[static_cast<std::size_t>(op)]->observe(duration);
   }
 
-  Tracer* tracer_ = nullptr;
   vmm::Vmm& vmm_;
   Backend& backend_;
   virtio::Virtqueue& transferq_;
@@ -147,6 +161,12 @@ class Frontend {
   VpimConfig config_;
   DeviceStats& stats_;
   std::string tag_;
+  obs::Hub& obs_;
+  obs::Tracer* tenant_tracer_ = nullptr;
+  std::uint32_t tenant_ = obs::kNoTenant;
+  // Per-category op-latency histograms (virtual time, log2 buckets),
+  // registered once per device; indexed by RankOp.
+  std::array<obs::Histogram*, kNumRankOps> op_hist_{};
 
   // vhost mode: per-device kernel worker standing in for the VMM loop.
   std::optional<vmm::EventLoop> vhost_worker_;

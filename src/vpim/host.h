@@ -8,6 +8,7 @@
 
 #include "common/cost_model.h"
 #include "common/fault.h"
+#include "common/obs/obs.h"
 #include "common/sim_clock.h"
 #include "driver/driver.h"
 #include "upmem/machine.h"
@@ -22,7 +23,11 @@ struct Host {
       : cost(cost_model),
         machine(machine_config, clock, cost),
         drv(machine),
-        manager(drv, manager_config) {}
+        manager(drv, manager_config) {
+    machine.set_obs(&obs);
+    manager_collector = obs.metrics.add_collector(
+        [this](obs::Collection& out) { collect_manager_metrics(out); });
+  }
 
   // Installs a fault schedule on the machine (see common/fault.h). With no
   // plan installed the fault paths are dead code and the simulation is
@@ -32,12 +37,44 @@ struct Host {
     machine.set_fault_plan(fault_plan.get());
   }
 
+  // Attaches (or detaches, with nullptr) a span sink for the whole stack:
+  // frontend request roots through wire/virtio/backend/driver down to
+  // per-DPU compute segments all record into it. With no tracer attached
+  // every span site is a single pointer test.
+  void attach_tracer(obs::Tracer* tracer) { obs.tracer = tracer; }
+
   SimClock clock;
   CostModel cost;
+  obs::Hub obs;
   upmem::PimMachine machine;
   driver::UpmemDriver drv;
   Manager manager;
   std::unique_ptr<FaultPlan> fault_plan;
+  obs::MetricsRegistry::CollectorHandle manager_collector;
+
+ private:
+  void collect_manager_metrics(obs::Collection& out) {
+    const ManagerStats& ms = manager.stats();
+    out.counter("vpim_manager_allocations_total", {}, ms.allocations);
+    out.counter("vpim_manager_reuse_hits_total", {}, ms.reuse_hits);
+    out.counter("vpim_manager_resets_total", {}, ms.resets);
+    out.counter("vpim_manager_failed_requests_total", {},
+                ms.failed_requests);
+    out.counter("vpim_manager_releases_observed_total", {},
+                ms.releases_observed);
+    out.counter("vpim_manager_quarantined_total", {}, ms.quarantined);
+    out.counter("vpim_manager_quarantine_probes_total", {},
+                ms.quarantine_probes);
+    out.counter("vpim_manager_recoveries_total", {}, ms.recoveries);
+    out.counter("vpim_manager_seizures_observed_total", {},
+                ms.seizures_observed);
+    out.counter("vpim_manager_wrank_migrations_total", {},
+                ms.wrank_migrations);
+    out.counter("vpim_manager_fault_records_drained_total", {},
+                ms.fault_records_drained);
+    out.counter("vpim_manager_status_parse_errors_total", {},
+                ms.status_parse_errors);
+  }
 };
 
 }  // namespace vpim::core

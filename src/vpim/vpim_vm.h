@@ -27,7 +27,7 @@ class VpimVm {
     for (std::uint32_t i = 0; i < nr_vupmem_devices; ++i) {
       devices_.push_back(std::make_unique<VupmemDevice>(
           *vmm_, host.drv, host.manager, config,
-          params.name + "/vupmem" + std::to_string(i)));
+          params.name + "/vupmem" + std::to_string(i), host.obs));
     }
   }
 

@@ -56,7 +56,10 @@ struct WireRequest {
   std::uint32_t ci_op = 0;
   std::uint32_t symbol_offset = 0;
   std::uint32_t flags = 0;
-  std::uint32_t reserved = 0;
+  // Causal request id (obs spans): the frontend stamps the id of the
+  // device-file operation that produced this message, so host-side spans
+  // can be joined to the guest-side root across the queue. 0 = untraced.
+  std::uint32_t request_id = 0;
   std::uint64_t arg0 = 0;  // launch mask / payload size
   std::uint64_t arg1 = 0;  // nr_tasklets (+1, 0 = default)
   char name[64] = {};      // kernel or symbol name

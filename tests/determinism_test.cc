@@ -15,8 +15,8 @@
 #include <thread>
 #include <vector>
 
+#include "common/obs/trace.h"
 #include "common/thread_pool.h"
-#include "common/trace.h"
 #include "prim/app.h"
 #include "prim/micro.h"
 #include "tests/testutil.h"
@@ -50,7 +50,9 @@ struct Capture {
   std::array<std::uint64_t, 3> op_count{};
   std::array<SimNs, 5> step_time{};       // DeviceStats.wsteps
   SimNs clock_end = 0;
-  std::string trace_csv;                   // full device trace, in order
+  std::string trace_csv;      // full span stream, in completion order
+  std::string span_digest;    // one-line-per-span digest (ids, causality)
+  std::string metrics_text;   // full Prometheus snapshot
 };
 
 void expect_identical(const Capture& base, const Capture& got,
@@ -62,6 +64,8 @@ void expect_identical(const Capture& base, const Capture& got,
   EXPECT_EQ(base.step_time, got.step_time) << "threads=" << threads;
   EXPECT_EQ(base.clock_end, got.clock_end) << "threads=" << threads;
   EXPECT_EQ(base.trace_csv, got.trace_csv) << "threads=" << threads;
+  EXPECT_EQ(base.span_digest, got.span_digest) << "threads=" << threads;
+  EXPECT_EQ(base.metrics_text, got.metrics_text) << "threads=" << threads;
 }
 
 class DeterminismTest : public ::testing::Test {
@@ -76,8 +80,8 @@ Capture run_prim_app(const std::string& app, unsigned threads) {
   core::Host host(test::small_machine(), CostModel{}, fast_manager());
   core::VpimVm vm(host, {.name = "det-vm"}, 1);
   core::GuestPlatform platform(vm);
-  Tracer tracer;
-  vm.device(0).frontend.set_tracer(&tracer);
+  obs::Tracer tracer;
+  host.attach_tracer(&tracer);
 
   prim::AppParams prm;
   prm.nr_dpus = 8;
@@ -95,6 +99,8 @@ Capture run_prim_app(const std::string& app, unsigned threads) {
   std::ostringstream csv;
   tracer.dump_csv(csv);
   cap.trace_csv = csv.str();
+  cap.span_digest = tracer.digest();
+  cap.metrics_text = host.obs.metrics.prometheus_text();
   return cap;
 }
 
@@ -103,8 +109,8 @@ Capture run_checksum_app(unsigned threads) {
   core::Host host(test::small_machine(), CostModel{}, fast_manager());
   core::VpimVm vm(host, {.name = "det-cs"}, 1);
   core::GuestPlatform platform(vm);
-  Tracer tracer;
-  vm.device(0).frontend.set_tracer(&tracer);
+  obs::Tracer tracer;
+  host.attach_tracer(&tracer);
 
   prim::ChecksumParams prm;
   prm.nr_dpus = 8;
@@ -122,6 +128,8 @@ Capture run_checksum_app(unsigned threads) {
   std::ostringstream csv;
   tracer.dump_csv(csv);
   cap.trace_csv = csv.str();
+  cap.span_digest = tracer.digest();
+  cap.metrics_text = host.obs.metrics.prometheus_text();
   return cap;
 }
 
@@ -129,6 +137,8 @@ TEST_F(DeterminismTest, ChecksumIsThreadCountInvariant) {
   const Capture base = run_checksum_app(1);
   EXPECT_TRUE(base.correct);
   EXPECT_GT(base.trace_csv.size(), 0u);
+  EXPECT_GT(base.span_digest.size(), 0u);
+  EXPECT_GT(base.metrics_text.size(), 0u);
   for (unsigned t : thread_sweep()) {
     if (t == 1) continue;
     expect_identical(base, run_checksum_app(t), t);

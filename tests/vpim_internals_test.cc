@@ -208,8 +208,8 @@ TEST(Messages, MixedCacheHitAndMissIsOneFillMessage) {
 
 TEST(Trace, RecordsEveryDeviceOperation) {
   Rig rig;
-  Tracer tracer;
-  rig.fe().set_tracer(&tracer);
+  obs::Tracer tracer;
+  rig.host.attach_tracer(&tracer);
 
   auto buf = rig.vm.vmm().memory().alloc(128 * kKiB);
   driver::TransferMatrix w;
@@ -224,31 +224,73 @@ TEST(Trace, RecordsEveryDeviceOperation) {
   r.entries.push_back({0, 0, out.data(), 256});
   rig.fe().read_from_rank(r);  // flush + fill + cached read
 
-  std::map<std::string, int> kinds;
-  for (const auto& e : tracer.events()) kinds[e.kind]++;
-  EXPECT_EQ(kinds["write"], 1);
-  EXPECT_EQ(kinds["write.batched"], 1);
-  EXPECT_EQ(kinds["write.flush"], 1);
-  EXPECT_EQ(kinds["read.fill"], 1);
-  EXPECT_EQ(kinds["read.cached"], 1);
-  EXPECT_GT(tracer.total_for("write"), 0u);
+  std::map<obs::SpanKind, int> kinds;
+  for (const auto& s : tracer.spans()) kinds[s.kind]++;
+  EXPECT_EQ(kinds[obs::SpanKind::kWrite], 1);
+  EXPECT_EQ(kinds[obs::SpanKind::kWriteBatched], 1);
+  EXPECT_EQ(kinds[obs::SpanKind::kWriteFlush], 1);
+  EXPECT_EQ(kinds[obs::SpanKind::kReadFill], 1);
+  EXPECT_EQ(kinds[obs::SpanKind::kReadCached], 1);
+  EXPECT_GT(tracer.total_for(obs::SpanKind::kWrite), 0u);
 
-  // Nested events (a fill inside a cached read) may record before their
-  // enclosing operation, but every event ends no later than it was
-  // recorded; the CSV renders one row per event plus the header.
-  for (const auto& e : tracer.events()) {
-    EXPECT_LE(e.start + e.duration, rig.host.clock.now());
+  // Every span ends no later than the current clock, the parent stack is
+  // fully drained, and the CSV renders one row per span plus the header.
+  EXPECT_FALSE(tracer.has_open());
+  for (const auto& s : tracer.spans()) {
+    EXPECT_LE(s.start + s.duration, rig.host.clock.now());
   }
   std::ostringstream csv;
   tracer.dump_csv(csv);
   const std::string text = csv.str();
   EXPECT_EQ(static_cast<std::size_t>(
                 std::count(text.begin(), text.end(), '\n')),
-            tracer.events().size() + 1);
+            tracer.spans().size() + 1);
 
-  rig.fe().set_tracer(nullptr);  // detach: no further events
+  rig.host.attach_tracer(nullptr);  // detach: no further spans
+  const std::size_t before = tracer.spans().size();
   rig.fe().write_to_rank(small);
-  EXPECT_EQ(kinds.size(), 5u);
+  EXPECT_EQ(tracer.spans().size(), before);
+}
+
+TEST(Trace, CategoryTotalsMatchDeviceStatsExactly) {
+  // The typed replacement for the old prefix-matching total_for: "read"
+  // must not absorb "read.fill" (a nested internal span), and the root
+  // category totals must reproduce the Fig 12 per-op breakdown to the ns.
+  Rig rig;
+  obs::Tracer tracer;
+  rig.host.attach_tracer(&tracer);
+  const DeviceStats& stats = rig.fe().stats();
+
+  auto buf = rig.vm.vmm().memory().alloc(128 * kKiB);
+  driver::TransferMatrix w;
+  w.entries.push_back({0, 0, buf.data(), buf.size()});
+  rig.fe().write_to_rank(w);
+  auto out = rig.vm.vmm().memory().alloc(256);
+  driver::TransferMatrix r;
+  r.direction = driver::XferDirection::kFromRank;
+  r.entries.push_back({0, 0, out.data(), 256});
+  rig.fe().read_from_rank(r);  // miss -> nested fill
+  rig.fe().read_from_rank(r);  // hit
+  test::register_count_zeros();
+  rig.fe().ci_load("test_count_zeros");
+  rig.fe().ci_launch(0x1, std::nullopt);
+
+  EXPECT_EQ(tracer.total_for(obs::Category::kWrite),
+            stats.ops.time(RankOp::kWriteToRank));
+  EXPECT_EQ(tracer.total_for(obs::Category::kRead),
+            stats.ops.time(RankOp::kReadFromRank));
+  EXPECT_EQ(tracer.total_for(obs::Category::kCi),
+            stats.ops.time(RankOp::kCi));
+  EXPECT_EQ(tracer.count_for(obs::Category::kRead),
+            stats.ops.count(RankOp::kReadFromRank));
+
+  // The fill really recorded — and really is excluded from the read total
+  // (under the old prefix match it aliased into "read").
+  const SimNs fill = tracer.total_for(obs::SpanKind::kReadFill);
+  EXPECT_GT(fill, 0u);
+  EXPECT_GT(tracer.total_for(obs::SpanKind::kRead) +
+                tracer.total_for(obs::SpanKind::kReadCached) + fill,
+            tracer.total_for(obs::Category::kRead));
 }
 
 TEST(Config, Table2PresetsMatchTheirColumns) {

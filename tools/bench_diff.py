@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Compare BENCH_*.json simulated results against committed baselines.
+
+The figure benches report *virtual* (simulated) nanoseconds, which are a
+pure function of the cost model and the workload — independent of host
+speed, thread count, and load. Any drift therefore means the model or the
+code path changed, so the default tolerance is exact; --rel-tol exists
+only to loosen the gate deliberately.
+
+Usage:
+  tools/bench_diff.py --baseline bench/baselines/BENCH_fig12.json \
+                      --current build/bench/BENCH_fig12.json
+  tools/bench_diff.py --baseline-dir bench/baselines --current-dir build/bench
+
+Exit status: 0 when every point matches within tolerance, 1 on drift,
+missing points, or unreadable files.
+"""
+
+import argparse
+import json
+import pathlib
+import sys
+
+
+def load_points(path):
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    return {p["name"]: int(p["simulated_ns"]) for p in doc["points"]}
+
+
+def diff_one(baseline_path, current_path, rel_tol):
+    try:
+        base = load_points(baseline_path)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"FAIL {baseline_path}: unreadable baseline ({e})")
+        return False
+    try:
+        cur = load_points(current_path)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"FAIL {current_path}: unreadable result ({e})")
+        return False
+
+    ok = True
+    for name, expect in sorted(base.items()):
+        if name not in cur:
+            print(f"FAIL {name}: missing from {current_path}")
+            ok = False
+            continue
+        got = cur[name]
+        drift = abs(got - expect) / expect if expect else (0.0 if got == expect else 1.0)
+        if drift > rel_tol:
+            print(f"FAIL {name}: simulated_ns {got} vs baseline {expect} "
+                  f"({drift * 100:.3f}% > {rel_tol * 100:.3f}%)")
+            ok = False
+        elif got != expect:
+            # Within tolerance but not exact: surface it — virtual time
+            # should never drift at all.
+            print(f"WARN {name}: simulated_ns {got} vs baseline {expect} "
+                  f"({drift * 100:.4f}%)")
+        else:
+            print(f"ok   {name}: {got} ns")
+    for name in sorted(set(cur) - set(base)):
+        print(f"WARN {name}: not in baseline {baseline_path} "
+              f"(new point? refresh baselines)")
+    return ok
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--baseline", help="single baseline JSON")
+    ap.add_argument("--current", help="single result JSON")
+    ap.add_argument("--baseline-dir", help="directory of BENCH_*.json baselines")
+    ap.add_argument("--current-dir", help="directory holding fresh BENCH_*.json")
+    ap.add_argument("--rel-tol", type=float, default=0.005,
+                    help="max relative drift per point (default 0.005)")
+    args = ap.parse_args()
+
+    pairs = []
+    if args.baseline and args.current:
+        pairs.append((args.baseline, args.current))
+    elif args.baseline_dir and args.current_dir:
+        baselines = sorted(pathlib.Path(args.baseline_dir).glob("BENCH_*.json"))
+        if not baselines:
+            print(f"FAIL no BENCH_*.json baselines in {args.baseline_dir}")
+            return 1
+        for b in baselines:
+            pairs.append((str(b), str(pathlib.Path(args.current_dir) / b.name)))
+    else:
+        ap.error("need --baseline/--current or --baseline-dir/--current-dir")
+
+    ok = True
+    for baseline_path, current_path in pairs:
+        ok &= diff_one(baseline_path, current_path, args.rel_tol)
+    print("bench-diff:", "PASS" if ok else "FAIL")
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

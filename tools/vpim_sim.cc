@@ -15,7 +15,8 @@
 #include <fstream>
 #include <string>
 
-#include "common/trace.h"
+#include "common/obs/chrome_trace.h"
+#include "common/obs/trace.h"
 
 #include "prim/app.h"
 #include "prim/micro.h"
@@ -35,9 +36,15 @@ struct Options {
   double scale = 1.0;
   std::uint64_t mb = 20;  // checksum file size per DPU
   std::string config = "vPIM";
-  std::string trace_path;  // --trace FILE: CSV of the vPIM run's ops
+  std::string trace_path;   // --trace FILE: CSV of the vPIM run's spans
+  std::string chrome_path;  // --chrome-trace FILE: chrome://tracing JSON
+  std::string metrics_path;  // --metrics FILE: Prometheus text dump
   bool native_only = false;
   bool vpim_only = false;
+
+  bool tracing() const {
+    return !trace_path.empty() || !chrome_path.empty();
+  }
 };
 
 core::VpimConfig config_by_label(const std::string& label) {
@@ -60,8 +67,13 @@ int usage() {
   std::printf(
       "usage: vpim-sim [--app NAME] [--dpus N] [--tasklets N]\n"
       "                [--scale X] [--mb N] [--config LABEL]\n"
-      "                [--trace FILE] [--native-only | --vpim-only] [--list]\n"
-      "  NAME: a PrIM app (--list), 'checksum', or 'search'\n");
+      "                [--trace FILE] [--chrome-trace FILE]\n"
+      "                [--metrics FILE]\n"
+      "                [--native-only | --vpim-only] [--list]\n"
+      "  NAME: a PrIM app (--list), 'checksum', or 'search'\n"
+      "  --trace:        span stream as CSV\n"
+      "  --chrome-trace: span stream as chrome://tracing JSON\n"
+      "  --metrics:      Prometheus-style metrics snapshot\n");
   return 2;
 }
 
@@ -74,6 +86,29 @@ void print_breakdown(const char* who, const prim::AppResult& res) {
       ns_to_ms(res.breakdown[Segment::kInterDpu]),
       ns_to_ms(res.breakdown[Segment::kDpuCpu]), ns_to_ms(res.total()),
       res.correct ? "correct" : "WRONG RESULT");
+}
+
+void dump_observability(const Options& opt, core::Host& host,
+                        const obs::Tracer& tracer) {
+  if (!opt.trace_path.empty()) {
+    std::ofstream out(opt.trace_path);
+    tracer.dump_csv(out);
+    std::printf("trace: %zu spans -> %s\n", tracer.spans().size(),
+                opt.trace_path.c_str());
+  }
+  if (!opt.chrome_path.empty()) {
+    std::ofstream out(opt.chrome_path);
+    obs::export_chrome_trace(tracer, out);
+    std::printf("chrome trace: %zu spans -> %s (open in ui.perfetto.dev "
+                "or chrome://tracing)\n",
+                tracer.spans().size(), opt.chrome_path.c_str());
+  }
+  if (!opt.metrics_path.empty()) {
+    std::ofstream out(opt.metrics_path);
+    out << host.obs.metrics.prometheus_text();
+    std::printf("metrics: %zu families -> %s\n",
+                host.obs.metrics.family_count(), opt.metrics_path.c_str());
+  }
 }
 
 void print_device_stats(const core::DeviceStats& stats) {
@@ -115,6 +150,10 @@ int main(int argc, char** argv) {
       opt.config = value();
     } else if (arg == "--trace") {
       opt.trace_path = value();
+    } else if (arg == "--chrome-trace") {
+      opt.chrome_path = value();
+    } else if (arg == "--metrics") {
+      opt.metrics_path = value();
     } else if (arg == "--native-only") {
       opt.native_only = true;
     } else if (arg == "--vpim-only") {
@@ -175,21 +214,12 @@ int main(int argc, char** argv) {
       core::Host host;
       core::VpimVm vm(host, {.name = "vpim-sim"}, nr_devices, config);
       core::GuestPlatform guest(vm);
-      Tracer tracer;
-      if (!opt.trace_path.empty()) {
-        for (std::uint32_t d = 0; d < vm.nr_devices(); ++d) {
-          vm.device(d).frontend.set_tracer(&tracer);
-        }
-      }
+      obs::Tracer tracer;
+      if (opt.tracing()) host.attach_tracer(&tracer);
       std::printf("%s:\n", config.label.c_str());
       vpim_total = run_micro(guest);
       print_device_stats(vm.device(0).stats);
-      if (!opt.trace_path.empty()) {
-        std::ofstream out(opt.trace_path);
-        tracer.dump_csv(out);
-        std::printf("trace: %zu events -> %s\n", tracer.events().size(),
-                    opt.trace_path.c_str());
-      }
+      dump_observability(opt, host, tracer);
     }
   } else {
     prim::AppParams prm;
@@ -207,21 +237,12 @@ int main(int argc, char** argv) {
       core::Host host;
       core::VpimVm vm(host, {.name = "vpim-sim"}, nr_devices, config);
       core::GuestPlatform guest(vm);
-      Tracer tracer;
-      if (!opt.trace_path.empty()) {
-        for (std::uint32_t d = 0; d < vm.nr_devices(); ++d) {
-          vm.device(d).frontend.set_tracer(&tracer);
-        }
-      }
+      obs::Tracer tracer;
+      if (opt.tracing()) host.attach_tracer(&tracer);
       const auto res = prim::make_app(opt.app)->run(guest, prm);
       print_breakdown(config.label.c_str(), res);
       print_device_stats(vm.device(0).stats);
-      if (!opt.trace_path.empty()) {
-        std::ofstream out(opt.trace_path);
-        tracer.dump_csv(out);
-        std::printf("trace: %zu events -> %s\n", tracer.events().size(),
-                    opt.trace_path.c_str());
-      }
+      dump_observability(opt, host, tracer);
       vpim_total = res.total();
     }
   }
