@@ -40,19 +40,30 @@ void run_system(benchmark::State& state, const std::string& label,
       obs::Category cat;
       RankOp op;
     };
+    bool mismatch = false;
     for (const Check c : {Check{obs::Category::kCi, RankOp::kCi},
                           Check{obs::Category::kRead, RankOp::kReadFromRank},
                           Check{obs::Category::kWrite, RankOp::kWriteToRank}}) {
       const SimNs spans = tracer.total_for(c.cat);
       const SimNs ops = stats.ops.time(c.op);
       if (spans != ops) {
-        std::fprintf(stderr,
-                     "fig12/%s: span total %llu ns != stats %llu ns for %s\n",
-                     label.c_str(), static_cast<unsigned long long>(spans),
-                     static_cast<unsigned long long>(ops),
-                     obs::kCategoryNames[static_cast<int>(c.cat)].data());
-        std::exit(1);
+        mismatch = true;
+        std::fprintf(
+            stderr,
+            "fig12/%s: %s spans %llu ns != stats %llu ns (delta %+lld ns)\n",
+            label.c_str(),
+            obs::kCategoryNames[static_cast<int>(c.cat)].data(),
+            static_cast<unsigned long long>(spans),
+            static_cast<unsigned long long>(ops),
+            static_cast<long long>(spans) - static_cast<long long>(ops));
       }
+    }
+    if (mismatch) {
+      std::fprintf(stderr,
+                   "fig12/%s: span stream disagrees with DeviceStats; see "
+                   "per-category deltas above\n",
+                   label.c_str());
+      std::exit(1);
     }
     {
       const std::string path = "BENCH_fig12_" + label + ".trace.json";

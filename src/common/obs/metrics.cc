@@ -6,6 +6,45 @@ namespace vpim::obs {
 
 namespace {
 
+// Prometheus text exposition: label values escape backslash, double
+// quote, and newline (and \r, which would otherwise split the line).
+void append_prom_escaped(std::string& out, std::string_view v) {
+  for (char c : v) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      default: out += c; break;
+    }
+  }
+}
+
+// JSON string escaping per RFC 8259: quote, backslash, and all control
+// characters below 0x20.
+void append_json_escaped(std::string& out, std::string_view v) {
+  static constexpr char kHex[] = "0123456789abcdef";
+  for (char c : v) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (u < 0x20) {
+          out += "\\u00";
+          out += kHex[u >> 4];
+          out += kHex[u & 0xF];
+        } else {
+          out += c;
+        }
+        break;
+    }
+  }
+}
+
 void append_labels(std::string& out, const Labels& labels) {
   if (labels.empty()) return;
   out += '{';
@@ -15,7 +54,7 @@ void append_labels(std::string& out, const Labels& labels) {
     first = false;
     out += k;
     out += "=\"";
-    out += v;
+    append_prom_escaped(out, v);
     out += '"';
   }
   out += '}';
@@ -28,9 +67,9 @@ void append_labels_json(std::string& out, const Labels& labels) {
     if (!first) out += ',';
     first = false;
     out += '"';
-    out += k;
+    append_json_escaped(out, k);
     out += "\":\"";
-    out += v;
+    append_json_escaped(out, v);
     out += '"';
   }
   out += '}';

@@ -1,0 +1,81 @@
+#include "common/proptest/proptest.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <limits>
+
+namespace vpim::prop {
+
+std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+Params Params::from_env(std::uint64_t base_seed, int iterations) {
+  Params p;
+  p.base_seed = base_seed;
+  p.iterations = iterations;
+  if (const char* seed = std::getenv("VPIM_PROP_SEED");
+      seed != nullptr && *seed != '\0') {
+    char* end = nullptr;
+    const unsigned long long v = std::strtoull(seed, &end, 10);
+    if (end != nullptr && *end == '\0') {
+      p.replay_seed = static_cast<std::uint64_t>(v);
+    }
+  }
+  if (const char* iters = std::getenv("VPIM_PROP_ITERS");
+      iters != nullptr && *iters != '\0') {
+    char* end = nullptr;
+    const long mult = std::strtol(iters, &end, 10);
+    if (end != nullptr && *end == '\0' && mult > 0) {
+      p.iterations = static_cast<int>(
+          std::min<long long>(static_cast<long long>(iterations) * mult,
+                              1000000));
+    }
+  }
+  return p;
+}
+
+Gen<std::uint64_t> u64_range(std::uint64_t lo, std::uint64_t hi) {
+  Gen<std::uint64_t> gen;
+  gen.sample = [lo, hi](Rng& rng) -> std::uint64_t {
+    // uniform() works on int64; split the span so full-width ranges work.
+    const std::uint64_t span = hi - lo;
+    if (span <= static_cast<std::uint64_t>(
+                    std::numeric_limits<std::int64_t>::max())) {
+      return lo + static_cast<std::uint64_t>(
+                      rng.uniform(0, static_cast<std::int64_t>(span)));
+    }
+    std::uint64_t v;
+    do {
+      v = rng.next_u64();
+    } while (v < lo || v > hi);
+    return v;
+  };
+  gen.shrink = [lo](const std::uint64_t& v) {
+    std::vector<std::uint64_t> out;
+    if (v == lo) return out;
+    out.push_back(lo);
+    const std::uint64_t mid = lo + (v - lo) / 2;
+    if (mid != lo && mid != v) out.push_back(mid);
+    out.push_back(v - 1);
+    return out;
+  };
+  return gen;
+}
+
+namespace detail {
+
+std::string one_line(const std::string& s) {
+  std::string out = s;
+  for (char& c : out) {
+    if (c == '\n' || c == '\r') c = ' ';
+  }
+  return out;
+}
+
+}  // namespace detail
+
+}  // namespace vpim::prop

@@ -1,0 +1,265 @@
+// Deterministic, seeded property-based testing: generators, combinators,
+// and greedy shrinking, with no dependency beyond the standard library.
+//
+// A property is a callable that throws (PropViolation via require(), or any
+// std::exception out of the code under test) when it does not hold for a
+// generated value. run_property() draws `iterations` values from a Gen<T>,
+// each from an independently seeded Rng, and on the first failure greedily
+// shrinks the counterexample through Gen::shrink before reporting.
+//
+// Reproducibility contract:
+//   - Every case is generated from its own derived seed (splitmix64 over
+//     the base seed and the case index), so a failing case is identified by
+//     one 64-bit number regardless of how many iterations ran before it.
+//   - On failure the harness prints a one-line reproducer to stderr:
+//       [prop] FAIL <name>: VPIM_PROP_SEED=<n> ...
+//     Re-running the same test with that environment variable replays
+//     exactly that case (and only it). Generation uses only the case Rng —
+//     never wall-clock, thread count, or global state — so the replay is
+//     bit-identical at any VPIM_THREADS.
+//   - VPIM_PROP_ITERS=<k> multiplies the iteration budget (the nightly CI
+//     job runs at 50x).
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace vpim::prop {
+
+// SplitMix64 step: a cheap, well-mixed stream for deriving per-case seeds
+// from (base_seed, index) without correlating neighbouring cases.
+std::uint64_t splitmix64(std::uint64_t x);
+
+// Run parameters. from_env() applies the two environment knobs documented
+// above on top of a test's compiled-in defaults.
+struct Params {
+  std::uint64_t base_seed = 1;
+  int iterations = 100;
+  // Upper bound on shrink attempts (candidate evaluations), so a
+  // pathological shrink tree cannot hang a test.
+  int max_shrink_steps = 2000;
+  // When set, skip generation-by-index and run exactly one case from this
+  // seed (the replay path behind VPIM_PROP_SEED).
+  std::optional<std::uint64_t> replay_seed;
+  // Suppress the stderr FAIL reproducer line. Set by teeth tests whose
+  // failure is the expected outcome, so log harvesters (tools/prop_seeds.py)
+  // only surface genuine failures; the Outcome still carries the reproducer.
+  bool quiet = false;
+
+  static Params from_env(std::uint64_t base_seed, int iterations);
+};
+
+// Thrown by require(); any std::exception escaping a property counts as a
+// failure, so code under test may also throw VpimError etc. directly.
+class PropViolation : public std::exception {
+ public:
+  explicit PropViolation(std::string msg) : msg_(std::move(msg)) {}
+  const char* what() const noexcept override { return msg_.c_str(); }
+
+ private:
+  std::string msg_;
+};
+
+inline void require(bool ok, const std::string& msg) {
+  if (!ok) throw PropViolation(msg);
+}
+
+// A generator: samples a value from an Rng and (optionally) proposes
+// smaller candidate values for shrinking. Candidates must be "no larger"
+// by whatever ordering the test cares about; the harness only requires
+// that repeated shrinking terminates (guaranteed by max_shrink_steps).
+template <typename T>
+struct Gen {
+  std::function<T(Rng&)> sample;
+  std::function<std::vector<T>(const T&)> shrink =
+      [](const T&) { return std::vector<T>{}; };
+};
+
+// ---- combinators ---------------------------------------------------------
+
+// Uniform integer in [lo, hi], shrinking toward lo (halve the distance,
+// then single steps).
+Gen<std::uint64_t> u64_range(std::uint64_t lo, std::uint64_t hi);
+
+// One of the listed values, shrinking toward the first element.
+template <typename T>
+Gen<T> element_of(std::vector<T> values) {
+  auto shared = std::make_shared<std::vector<T>>(std::move(values));
+  Gen<T> gen;
+  gen.sample = [shared](Rng& rng) -> T {
+    return (*shared)[static_cast<std::size_t>(
+        rng.uniform(0, static_cast<std::int64_t>(shared->size()) - 1))];
+  };
+  gen.shrink = [shared](const T& v) {
+    std::vector<T> out;
+    for (const T& candidate : *shared) {
+      if (candidate == v) break;
+      out.push_back(candidate);
+    }
+    return out;
+  };
+  return gen;
+}
+
+// A vector of `elem` values with size in [min_size, max_size]. Shrinks by
+// dropping the back half, dropping single elements, and shrinking
+// individual elements in place.
+template <typename T>
+Gen<std::vector<T>> vector_of(Gen<T> elem, std::size_t min_size,
+                              std::size_t max_size) {
+  auto shared = std::make_shared<Gen<T>>(std::move(elem));
+  Gen<std::vector<T>> gen;
+  gen.sample = [shared, min_size, max_size](Rng& rng) {
+    const auto n = static_cast<std::size_t>(
+        rng.uniform(static_cast<std::int64_t>(min_size),
+                    static_cast<std::int64_t>(max_size)));
+    std::vector<T> out;
+    out.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) out.push_back(shared->sample(rng));
+    return out;
+  };
+  gen.shrink = [shared, min_size](const std::vector<T>& v) {
+    std::vector<std::vector<T>> out;
+    if (v.size() > min_size) {
+      // Keep only the front half (still >= min_size).
+      const std::size_t half = std::max(min_size, v.size() / 2);
+      if (half < v.size()) {
+        out.emplace_back(v.begin(),
+                         v.begin() + static_cast<std::ptrdiff_t>(half));
+      }
+      // Drop each single element.
+      for (std::size_t i = 0; i < v.size(); ++i) {
+        std::vector<T> smaller;
+        smaller.reserve(v.size() - 1);
+        for (std::size_t j = 0; j < v.size(); ++j) {
+          if (j != i) smaller.push_back(v[j]);
+        }
+        out.push_back(std::move(smaller));
+      }
+    }
+    // Shrink elements in place (first shrink candidate of each slot).
+    for (std::size_t i = 0; i < v.size(); ++i) {
+      for (const T& candidate : shared->shrink(v[i])) {
+        std::vector<T> replaced = v;
+        replaced[i] = candidate;
+        out.push_back(std::move(replaced));
+      }
+    }
+    return out;
+  };
+  return gen;
+}
+
+// ---- runner --------------------------------------------------------------
+
+template <typename T>
+struct Outcome {
+  bool ok = true;
+  std::uint64_t failing_seed = 0;  // case seed (the VPIM_PROP_SEED value)
+  int failing_iteration = -1;
+  int shrink_steps = 0;
+  std::string message;        // what() of the (shrunk) failure
+  T minimal{};                // shrunk counterexample
+  std::string minimal_repr;   // show(minimal), if a show fn was given
+  std::string reproducer;     // the one-line VPIM_PROP_SEED=... string
+};
+
+namespace detail {
+
+// Newlines would break the one-line reproducer contract.
+std::string one_line(const std::string& s);
+
+template <typename T>
+std::optional<std::string> run_one(
+    const std::function<void(const T&)>& property, const T& value) {
+  try {
+    property(value);
+    return std::nullopt;
+  } catch (const std::exception& e) {
+    return std::string(e.what());
+  } catch (...) {
+    return std::string("non-standard exception");
+  }
+}
+
+}  // namespace detail
+
+// Checks `property` against `iterations` values drawn from `gen`. `show`
+// renders the counterexample for the reproducer line (optional but
+// strongly recommended). The returned Outcome is also suitable for
+// asserting that a deliberately broken property *does* fail (teeth tests).
+template <typename T>
+Outcome<T> run_property(
+    const std::string& name, const Params& params, const Gen<T>& gen,
+    const std::function<void(const T&)>& property,
+    const std::function<std::string(const T&)>& show = {}) {
+  Outcome<T> out;
+  const int iters = params.replay_seed ? 1 : params.iterations;
+  // Seed log line: the nightly job harvests these so any run can be
+  // replayed later even if it passed.
+  std::fprintf(stderr, "[prop] %s: base_seed=%llu iterations=%d%s\n",
+               name.c_str(),
+               static_cast<unsigned long long>(params.base_seed), iters,
+               params.replay_seed ? " (replay)" : "");
+  for (int i = 0; i < iters; ++i) {
+    const std::uint64_t case_seed =
+        params.replay_seed
+            ? *params.replay_seed
+            : splitmix64(params.base_seed +
+                         0x9E3779B97F4A7C15ULL *
+                             (static_cast<std::uint64_t>(i) + 1));
+    Rng rng(case_seed);
+    T value = gen.sample(rng);
+    auto failure = detail::run_one(property, value);
+    if (!failure) continue;
+
+    // Greedy shrink: take the first shrink candidate that still fails,
+    // restart from it, stop when no candidate fails (local minimum).
+    int steps = 0;
+    bool progressed = true;
+    while (progressed && steps < params.max_shrink_steps) {
+      progressed = false;
+      for (const T& candidate : gen.shrink(value)) {
+        if (steps >= params.max_shrink_steps) break;
+        ++steps;
+        if (auto f = detail::run_one(property, candidate)) {
+          value = candidate;
+          failure = std::move(f);
+          progressed = true;
+          break;
+        }
+      }
+    }
+
+    out.ok = false;
+    out.failing_seed = case_seed;
+    out.failing_iteration = i;
+    out.shrink_steps = steps;
+    out.message = *failure;
+    out.minimal = value;
+    out.minimal_repr = show ? show(value) : std::string();
+    out.reproducer =
+        "VPIM_PROP_SEED=" + std::to_string(case_seed) + " replays " + name +
+        " | " + detail::one_line(out.message) +
+        (out.minimal_repr.empty()
+             ? std::string()
+             : " | minimal: " + detail::one_line(out.minimal_repr));
+    if (!params.quiet) {
+      std::fprintf(stderr, "[prop] FAIL %s: %s\n", name.c_str(),
+                   out.reproducer.c_str());
+    }
+    return out;
+  }
+  return out;
+}
+
+}  // namespace vpim::prop

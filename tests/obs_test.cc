@@ -317,5 +317,72 @@ TEST(Metrics, CollectorsRunAtExportAndUnregister) {
   EXPECT_EQ(text.find("vpim_live_total"), std::string::npos);
 }
 
+TEST(Metrics, PrometheusLabelValuesAreEscaped) {
+  // Hostile label values (tenant names flow into labels): quotes,
+  // backslashes, and newlines must not break the exposition format.
+  MetricsRegistry reg;
+  reg.counter("vpim_esc_total", {{"vm", "a\"b\\c\nd\re"}}).inc();
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("vpim_esc_total{vm=\"a\\\"b\\\\c\\nd\\re\"} 1\n"),
+            std::string::npos);
+  // The physical line count stays fixed: no raw newline leaked through.
+  std::size_t lines = 0;
+  for (char c : text) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);  // "# TYPE" line + one sample line
+}
+
+TEST(Metrics, JsonLabelValuesAreEscaped) {
+  MetricsRegistry reg;
+  reg.gauge("vpim_esc_gauge", {{"vm", "q\"b\\s\nn\tt\x01z"}}).set(4);
+  const std::string json = reg.json_snapshot();
+  EXPECT_NE(json.find("\"vm\":\"q\\\"b\\\\s\\nn\\tt\\u0001z\""),
+            std::string::npos);
+  // Raw control bytes must never reach the output.
+  for (char c : json) {
+    EXPECT_GE(static_cast<unsigned char>(c), 0x20u);
+  }
+  std::ptrdiff_t braces = 0;
+  for (char c : json) braces += c == '{' ? 1 : (c == '}' ? -1 : 0);
+  EXPECT_EQ(braces, 0);
+}
+
+TEST(Metrics, HistogramSnapshotAtExactFoldBoundary) {
+  // Fill a histogram family to exactly kMaxSeriesPerFamily, then one
+  // more: the boundary series must keep its own buckets while the
+  // 65th folds into the overflow series — in both exporters.
+  MetricsRegistry reg;
+  for (std::size_t i = 0; i < MetricsRegistry::kMaxSeriesPerFamily; ++i) {
+    reg.histogram("vpim_fold_ns", {{"i", std::to_string(i)}}).observe(i);
+  }
+  Histogram& over =
+      reg.histogram("vpim_fold_ns", {{"i", "one-past-the-cap"}});
+  over.observe(100);
+  over.observe(200);
+  // The folded series is shared by every subsequent new label set.
+  EXPECT_EQ(&reg.histogram("vpim_fold_ns", {{"i", "two-past-the-cap"}}),
+            &over);
+  // The last in-cap series (i=63) is intact and individually addressable.
+  const std::string last =
+      std::to_string(MetricsRegistry::kMaxSeriesPerFamily - 1);
+  EXPECT_EQ(reg.histogram("vpim_fold_ns", {{"i", last}}).count(), 1u);
+
+  const std::string text = reg.prometheus_text();
+  EXPECT_NE(text.find("vpim_fold_ns_count{i=\"" + last + "\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vpim_fold_ns_count{overflow=\"true\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(text.find("vpim_fold_ns_sum{overflow=\"true\"} 300\n"),
+            std::string::npos);
+  // No series for the folded label value leaks out under its own name.
+  EXPECT_EQ(text.find("one-past-the-cap"), std::string::npos);
+
+  const std::string json = reg.json_snapshot();
+  EXPECT_NE(json.find("\"overflow\":\"true\""), std::string::npos);
+  EXPECT_EQ(json.find("one-past-the-cap"), std::string::npos);
+  std::ptrdiff_t braces = 0;
+  for (char c : json) braces += c == '{' ? 1 : (c == '}' ? -1 : 0);
+  EXPECT_EQ(braces, 0);
+}
+
 }  // namespace
 }  // namespace vpim::obs

@@ -1,0 +1,428 @@
+// Cost-model invariants, checked differentially against the independent
+// transition-counting oracle in common/proptest/oracle.h:
+//
+//  - every write/read rank op charges exactly the oracle's recomputed
+//    total, and the Fig 13 write-step breakdown matches component by
+//    component (Page / Ser / Int / Deser / T-data);
+//  - costs are additive across a random sequence of transfer groups;
+//  - cost is monotone in transfer size;
+//  - results, breakdowns, and span digests are bit-invariant under
+//    VPIM_THREADS 1 / 4 / hardware_concurrency.
+//
+// Plus a teeth test: a rig whose CostModel is perturbed by 1% on one
+// constant must be caught against the unperturbed oracle.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/obs/trace.h"
+#include "common/proptest/oracle.h"
+#include "common/proptest/proptest.h"
+#include "common/thread_pool.h"
+#include "driver/xfer.h"
+#include "tests/testutil.h"
+#include "vpim/host.h"
+#include "vpim/vpim_vm.h"
+
+namespace vpim::prop {
+namespace {
+
+core::ManagerConfig fast_manager() {
+  core::ManagerConfig cfg;
+  cfg.retry_wait_ns = 1 * kMs;
+  cfg.max_attempts = 2;
+  return cfg;
+}
+
+// One transfer-matrix entry, described by shape only (data never affects
+// cost). page_off is realized exactly: the guest bump allocator is
+// page-granular, so buf.data() + page_off has that offset within its page.
+struct EntrySpec {
+  std::uint64_t dpu = 0;
+  std::uint64_t mram_offset = 0;
+  std::uint64_t page_off = 0;  // 0..4095
+  std::uint64_t size = 1;      // 1..32768
+};
+
+struct OpSpec {
+  bool is_write = true;
+  std::vector<EntrySpec> entries;
+};
+
+struct CostCase {
+  bool c_path = false;  // c_only() vs rust() data path
+  std::vector<OpSpec> ops;
+};
+
+std::string show_case(const CostCase& c) {
+  std::string s = c.c_path ? "C{" : "rust{";
+  for (const OpSpec& op : c.ops) {
+    s += op.is_write ? " W[" : " R[";
+    for (const EntrySpec& e : op.entries) {
+      s += "(d" + std::to_string(e.dpu) + " m" +
+           std::to_string(e.mram_offset) + " o" +
+           std::to_string(e.page_off) + " s" + std::to_string(e.size) + ")";
+    }
+    s += "]";
+  }
+  return s + " }";
+}
+
+EntrySpec sample_entry(Rng& rng) {
+  EntrySpec e;
+  e.dpu = static_cast<std::uint64_t>(rng.uniform(0, 7));
+  e.mram_offset = static_cast<std::uint64_t>(rng.uniform(0, 1 << 20));
+  e.page_off = static_cast<std::uint64_t>(rng.uniform(0, 4095));
+  switch (rng.uniform(0, 2)) {
+    case 0:  // sub-page
+      e.size = static_cast<std::uint64_t>(rng.uniform(1, 64));
+      break;
+    case 1:  // around the page boundary
+      e.size = static_cast<std::uint64_t>(rng.uniform(4000, 12288));
+      break;
+    default:
+      e.size = static_cast<std::uint64_t>(rng.uniform(1, 32768));
+      break;
+  }
+  return e;
+}
+
+Gen<CostCase> cost_case_gen(int max_ops) {
+  Gen<CostCase> gen;
+  gen.sample = [max_ops](Rng& rng) {
+    CostCase c;
+    c.c_path = rng.uniform(0, 1) == 1;
+    const int nr_ops = static_cast<int>(rng.uniform(1, max_ops));
+    for (int i = 0; i < nr_ops; ++i) {
+      OpSpec op;
+      op.is_write = rng.uniform(0, 1) == 1;
+      // Cap at 6 entries: 8 identical entries on the 8-DPU test rank
+      // would flip the backend onto the broadcast path, which the direct
+      // cost oracle deliberately does not model.
+      const int nr_entries = static_cast<int>(rng.uniform(1, 6));
+      for (int k = 0; k < nr_entries; ++k) {
+        op.entries.push_back(sample_entry(rng));
+      }
+      c.ops.push_back(std::move(op));
+    }
+    return c;
+  };
+  gen.shrink = [](const CostCase& c) {
+    std::vector<CostCase> out;
+    if (c.ops.size() > 1) {
+      for (std::size_t i = 0; i < c.ops.size(); ++i) {
+        CostCase fewer = c;
+        fewer.ops.erase(fewer.ops.begin() + static_cast<std::ptrdiff_t>(i));
+        out.push_back(std::move(fewer));
+      }
+    }
+    for (std::size_t i = 0; i < c.ops.size(); ++i) {
+      if (c.ops[i].entries.size() > 1) {
+        CostCase fewer = c;
+        fewer.ops[i].entries.pop_back();
+        out.push_back(std::move(fewer));
+      }
+    }
+    bool any_big = false, any_off = false;
+    for (const OpSpec& op : c.ops) {
+      for (const EntrySpec& e : op.entries) {
+        any_big |= e.size > 1;
+        any_off |= e.page_off != 0;
+      }
+    }
+    if (any_big) {
+      CostCase halved = c;
+      for (OpSpec& op : halved.ops) {
+        for (EntrySpec& e : op.entries) e.size = (e.size + 1) / 2;
+      }
+      out.push_back(std::move(halved));
+    }
+    if (any_off) {
+      CostCase aligned = c;
+      for (OpSpec& op : aligned.ops) {
+        for (EntrySpec& e : op.entries) e.page_off = 0;
+      }
+      out.push_back(std::move(aligned));
+    }
+    return out;
+  };
+  return gen;
+}
+
+struct CostRig {
+  CostRig(bool c_path, const CostModel& cost)
+      : host(test::small_machine(), cost, fast_manager()),
+        vm(host, {.name = "prop-cost"}, 1,
+           c_path ? core::VpimConfig::c_only() : core::VpimConfig::rust()) {
+    require(vm.device(0).frontend.open(), "device failed to open");
+  }
+
+  core::Host host;
+  core::VpimVm vm;
+};
+
+struct OpMeasure {
+  SimNs total = 0;
+  std::array<SimNs, 5> wsteps{};
+};
+
+// Replays the case's ops on the rig and returns per-op stat deltas.
+std::vector<OpMeasure> run_ops(CostRig& rig, const CostCase& c) {
+  core::Frontend& fe = rig.vm.device(0).frontend;
+  const core::DeviceStats& stats = rig.vm.device(0).stats;
+  std::vector<OpMeasure> out;
+  for (const OpSpec& op : c.ops) {
+    driver::TransferMatrix m;
+    m.direction = op.is_write ? driver::XferDirection::kToRank
+                              : driver::XferDirection::kFromRank;
+    for (const EntrySpec& e : op.entries) {
+      auto buf = rig.vm.vmm().memory().alloc(e.page_off + e.size);
+      if (op.is_write) std::memset(buf.data(), 0x5A, buf.size());
+      m.entries.push_back(
+          {static_cast<std::uint32_t>(e.dpu), e.mram_offset,
+           buf.data() + e.page_off, e.size});
+    }
+    const auto ops_before = stats.ops.op_time;
+    const auto steps_before = stats.wsteps.step_time;
+    if (op.is_write) {
+      fe.write_to_rank(m);
+    } else {
+      fe.read_from_rank(m);
+    }
+    const auto idx = static_cast<std::size_t>(
+        op.is_write ? RankOp::kWriteToRank : RankOp::kReadFromRank);
+    OpMeasure meas;
+    meas.total = stats.ops.op_time[idx] - ops_before[idx];
+    for (std::size_t i = 0; i < meas.wsteps.size(); ++i) {
+      meas.wsteps[i] = stats.wsteps.step_time[i] - steps_before[i];
+    }
+    out.push_back(meas);
+  }
+  return out;
+}
+
+std::vector<OracleXferShape> shapes_of(const OpSpec& op) {
+  std::vector<OracleXferShape> shapes;
+  for (const EntrySpec& e : op.entries) {
+    shapes.push_back({e.page_off, e.size});
+  }
+  return shapes;
+}
+
+void check_case_against_oracle(const CostCase& c, const CostModel& rig_cost,
+                               const CostModel& oracle_cost) {
+  CostRig rig(c.c_path, rig_cost);
+  const std::vector<OpMeasure> meas = run_ops(rig, c);
+  SimNs oracle_sum = 0;
+  std::uint64_t writes = 0, reads = 0;
+  for (std::size_t i = 0; i < c.ops.size(); ++i) {
+    const OracleXferCost oc =
+        oracle_direct_xfer_cost(oracle_cost, shapes_of(c.ops[i]), c.c_path);
+    oracle_sum += oc.total;
+    require(meas[i].total == oc.total,
+            "op " + std::to_string(i) + " total " +
+                std::to_string(meas[i].total) + " != oracle " +
+                std::to_string(oc.total));
+    if (c.ops[i].is_write) {
+      ++writes;
+      // The frontend ioctl charge lands inside the op total but outside
+      // every write step; the remaining five components map one-to-one.
+      const std::array<SimNs, 5> want = {oc.page_mgmt, oc.serialize,
+                                         oc.interrupt, oc.deserialize,
+                                         oc.transfer};
+      for (std::size_t s = 0; s < want.size(); ++s) {
+        require(meas[i].wsteps[s] == want[s],
+                "op " + std::to_string(i) + " wstep " +
+                    std::string(kWrankStepNames[s]) + " " +
+                    std::to_string(meas[i].wsteps[s]) + " != oracle " +
+                    std::to_string(want[s]));
+      }
+    } else {
+      ++reads;
+      for (SimNs s : meas[i].wsteps) {
+        require(s == 0, "read op moved the write-step breakdown");
+      }
+    }
+  }
+  // Additivity: the device's cumulative W+R op time is exactly the sum of
+  // the per-op oracle totals — nothing hidden charges those buckets.
+  const core::DeviceStats& stats = rig.vm.device(0).stats;
+  const SimNs op_total = stats.ops.time(RankOp::kWriteToRank) +
+                         stats.ops.time(RankOp::kReadFromRank);
+  require(op_total == oracle_sum, "sequence total is not additive");
+  require(stats.ops.count(RankOp::kWriteToRank) == writes &&
+              stats.ops.count(RankOp::kReadFromRank) == reads,
+          "op counts disagree");
+}
+
+TEST(PropCost, OpTotalsAndWriteStepsMatchOracle) {
+  const Params params = Params::from_env(0xC057001u, 40);
+  const auto out = run_property<CostCase>(
+      "cost.vs_oracle", params, cost_case_gen(4),
+      [](const CostCase& c) {
+        check_case_against_oracle(c, CostModel{}, CostModel{});
+      },
+      show_case);
+  EXPECT_TRUE(out.ok) << out.reproducer;
+}
+
+// Monotonicity: growing any single transfer's size never makes the
+// operation cheaper — in the measured rig and in the oracle.
+struct GrowCase {
+  bool c_path = false;
+  bool is_write = true;
+  EntrySpec entry;
+  std::uint64_t grow = 1;
+};
+
+std::string show_grow(const GrowCase& g) {
+  CostCase c;
+  c.c_path = g.c_path;
+  c.ops.push_back({g.is_write, {g.entry}});
+  return show_case(c) + " grow=" + std::to_string(g.grow);
+}
+
+TEST(PropCost, CostIsMonotoneInSize) {
+  Gen<GrowCase> gen;
+  gen.sample = [](Rng& rng) {
+    GrowCase g;
+    g.c_path = rng.uniform(0, 1) == 1;
+    g.is_write = rng.uniform(0, 1) == 1;
+    g.entry = sample_entry(rng);
+    g.grow = static_cast<std::uint64_t>(rng.uniform(1, 16384));
+    return g;
+  };
+  gen.shrink = [](const GrowCase& g) {
+    std::vector<GrowCase> out;
+    if (g.grow > 1) {
+      GrowCase less = g;
+      less.grow = g.grow / 2;
+      out.push_back(less);
+    }
+    if (g.entry.size > 1) {
+      GrowCase less = g;
+      less.entry.size = (g.entry.size + 1) / 2;
+      out.push_back(less);
+    }
+    return out;
+  };
+  const Params params = Params::from_env(0x600D51Eu, 25);
+  const auto out = run_property<GrowCase>(
+      "cost.monotone_in_size", params, gen,
+      [](const GrowCase& g) {
+        CostCase small;
+        small.c_path = g.c_path;
+        small.ops.push_back({g.is_write, {g.entry}});
+        CostCase big = small;
+        big.ops[0].entries[0].size += g.grow;
+
+        CostRig rig_small(small.c_path, CostModel{});
+        CostRig rig_big(big.c_path, CostModel{});
+        const SimNs t_small = run_ops(rig_small, small)[0].total;
+        const SimNs t_big = run_ops(rig_big, big)[0].total;
+        require(t_big >= t_small, "measured cost shrank as size grew");
+
+        const SimNs o_small =
+            oracle_direct_xfer_cost(CostModel{}, shapes_of(small.ops[0]),
+                                    small.c_path)
+                .total;
+        const SimNs o_big = oracle_direct_xfer_cost(
+                                CostModel{}, shapes_of(big.ops[0]), big.c_path)
+                                .total;
+        require(o_big >= o_small, "oracle cost shrank as size grew");
+      },
+      show_grow);
+  EXPECT_TRUE(out.ok) << out.reproducer;
+}
+
+// VPIM_THREADS bit-invariance: the same random op sequence at pool sizes
+// 1 / 4 / hw must produce identical breakdowns, clock, span digests, and
+// metrics snapshots.
+struct ThreadCap {
+  std::array<SimNs, 3> op_time{};
+  std::array<std::uint64_t, 3> op_count{};
+  std::array<SimNs, 5> step_time{};
+  SimNs clock_end = 0;
+  std::string span_digest;
+  std::string metrics_text;
+};
+
+ThreadCap run_at(unsigned threads, const CostCase& c) {
+  ThreadPool::instance().resize(threads);
+  CostRig rig(c.c_path, CostModel{});
+  obs::Tracer tracer;
+  rig.host.attach_tracer(&tracer);
+  run_ops(rig, c);
+  const core::DeviceStats& stats = rig.vm.device(0).stats;
+  ThreadCap cap;
+  cap.op_time = stats.ops.op_time;
+  cap.op_count = stats.ops.op_count;
+  cap.step_time = stats.wsteps.step_time;
+  cap.clock_end = rig.host.clock.now();
+  cap.span_digest = tracer.digest();
+  cap.metrics_text = rig.host.obs.metrics.prometheus_text();
+  return cap;
+}
+
+class PropCostThreads : public ::testing::Test {
+ protected:
+  void SetUp() override { original_ = ThreadPool::instance().size(); }
+  void TearDown() override { ThreadPool::instance().resize(original_); }
+  unsigned original_ = 1;
+};
+
+TEST_F(PropCostThreads, BreakdownsAreThreadCountInvariant) {
+  std::vector<unsigned> sweep = {1, 4};
+  const unsigned hw = std::max(1u, std::thread::hardware_concurrency());
+  if (hw != 1 && hw != 4) sweep.push_back(hw);
+
+  const Params params = Params::from_env(0x7412EAD5u, 15);
+  const auto out = run_property<CostCase>(
+      "cost.thread_invariance", params, cost_case_gen(3),
+      [&sweep](const CostCase& c) {
+        const ThreadCap base = run_at(sweep[0], c);
+        for (std::size_t i = 1; i < sweep.size(); ++i) {
+          const ThreadCap got = run_at(sweep[i], c);
+          const std::string at = " differs at threads=" +
+                                 std::to_string(sweep[i]);
+          require(got.op_time == base.op_time, "op_time" + at);
+          require(got.op_count == base.op_count, "op_count" + at);
+          require(got.step_time == base.step_time, "step_time" + at);
+          require(got.clock_end == base.clock_end, "clock" + at);
+          require(got.span_digest == base.span_digest, "span digest" + at);
+          require(got.metrics_text == base.metrics_text, "metrics" + at);
+        }
+      },
+      show_case);
+  EXPECT_TRUE(out.ok) << out.reproducer;
+}
+
+// Teeth: a rig whose vmexit cost is off by 1% must be caught against the
+// unperturbed oracle, shrink to a single op, and print the reproducer.
+TEST(PropCost, PerturbedCostModelIsCaught) {
+  CostModel skewed;
+  skewed.vmexit_notify_ns += skewed.vmexit_notify_ns / 100;
+  Params params;
+  params.base_seed = 0x0FF8Ea7;
+  params.iterations = 10;
+  params.quiet = true;  // the FAIL here is the expected outcome
+  const auto out = run_property<CostCase>(
+      "cost.teeth", params, cost_case_gen(3),
+      [&skewed](const CostCase& c) {
+        check_case_against_oracle(c, skewed, CostModel{});
+      },
+      show_case);
+  ASSERT_FALSE(out.ok) << "the harness failed to catch a skewed cost model";
+  EXPECT_NE(out.reproducer.find("VPIM_PROP_SEED="), std::string::npos);
+  // Every op is mispriced, so shrinking must reach one op with one entry.
+  ASSERT_EQ(out.minimal.ops.size(), 1u) << show_case(out.minimal);
+  EXPECT_EQ(out.minimal.ops[0].entries.size(), 1u) << show_case(out.minimal);
+}
+
+}  // namespace
+}  // namespace vpim::prop

@@ -1,0 +1,446 @@
+// Wire-format differential properties: serialize_matrix ->
+// deserialize_matrix must round-trip every random transfer matrix, the
+// production deserializer must agree accept-for-accept (and byte-for-byte)
+// with the independent oracle parser, and hostile mutations of valid
+// chains must complete on the device with a typed PimStatus — never an
+// abort, never a wedged queue.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/proptest/oracle.h"
+#include "common/proptest/proptest.h"
+#include "common/rng.h"
+#include "tests/testutil.h"
+#include "upmem/layout.h"
+#include "vpim/host.h"
+#include "vpim/vpim_vm.h"
+
+namespace vpim::prop {
+namespace {
+
+using core::VpimVm;
+using core::WireArena;
+using core::WireEntryMeta;
+using core::WireMatrixMeta;
+using core::WireRequest;
+using core::WireResponse;
+
+core::ManagerConfig fast_manager() {
+  core::ManagerConfig cfg;
+  cfg.retry_wait_ns = 1 * kMs;
+  cfg.max_attempts = 2;
+  return cfg;
+}
+
+constexpr std::uint64_t kSlabBytes = 256 * kKiB;
+constexpr std::uint64_t kMaxEntrySize = 16 * kKiB;
+
+struct EntryShape {
+  std::uint32_t dpu = 0;
+  std::uint64_t mram_offset = 0;
+  std::uint64_t slab_off = 0;  // buffer start inside the data slab
+  std::uint64_t size = 1;
+};
+
+struct MatrixCase {
+  std::uint32_t direction = 0;  // 0 = kToRank, 1 = kFromRank
+  std::vector<EntryShape> entries;
+};
+
+std::string show_matrix(const MatrixCase& c) {
+  std::string s = "dir=" + std::to_string(c.direction) + " entries=[";
+  for (const EntryShape& e : c.entries) {
+    s += "{dpu=" + std::to_string(e.dpu) +
+         " mram=" + std::to_string(e.mram_offset) +
+         " off=" + std::to_string(e.slab_off) +
+         " size=" + std::to_string(e.size) + "}";
+  }
+  return s + "]";
+}
+
+Gen<MatrixCase> matrix_gen() {
+  Gen<MatrixCase> gen;
+  gen.sample = [](Rng& rng) {
+    MatrixCase c;
+    c.direction = static_cast<std::uint32_t>(rng.uniform(0, 1));
+    const auto n = rng.uniform(1, 6);
+    for (std::int64_t k = 0; k < n; ++k) {
+      EntryShape e;
+      e.dpu = static_cast<std::uint32_t>(rng.uniform(0, 7));
+      e.size = static_cast<std::uint64_t>(
+          rng.uniform(1, static_cast<std::int64_t>(kMaxEntrySize)));
+      e.slab_off = static_cast<std::uint64_t>(
+          rng.uniform(0, static_cast<std::int64_t>(kSlabBytes - e.size)));
+      e.mram_offset = static_cast<std::uint64_t>(rng.uniform(
+          0, static_cast<std::int64_t>(upmem::kMramSize - e.size)));
+      c.entries.push_back(e);
+    }
+    return c;
+  };
+  gen.shrink = [](const MatrixCase& c) {
+    std::vector<MatrixCase> out;
+    for (std::size_t i = 0; c.entries.size() > 1 && i < c.entries.size();
+         ++i) {
+      MatrixCase fewer = c;
+      fewer.entries.erase(fewer.entries.begin() +
+                          static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(fewer));
+    }
+    for (std::size_t i = 0; i < c.entries.size(); ++i) {
+      if (c.entries[i].size > 1) {
+        MatrixCase smaller = c;
+        smaller.entries[i].size = c.entries[i].size / 2 + 1;
+        out.push_back(std::move(smaller));
+      }
+      if (c.entries[i].slab_off != 0) {
+        MatrixCase moved = c;
+        moved.entries[i].slab_off = 0;
+        out.push_back(std::move(moved));
+      }
+    }
+    return out;
+  };
+  return gen;
+}
+
+// One VM rig shared across all cases of a test: a data slab (filled once
+// with a fixed pseudo-random image) plus the serialize arena, all inside
+// guest RAM so chains can also be submitted to the real device.
+struct WireRig {
+  WireRig()
+      : host(test::small_machine(), CostModel{}, fast_manager()),
+        vm(host, {.name = "prop-wire"}, 1) {
+    EXPECT_TRUE(vm.device(0).frontend.open());
+    slab = mem().alloc(kSlabBytes);
+    Rng data(0x51AB);
+    data.fill_bytes(slab.data(), slab.size());
+    arena.request = mem().alloc(sizeof(WireRequest));
+    arena.matrix_meta = mem().alloc(sizeof(WireMatrixMeta));
+    arena.entry_meta = mem().alloc(64 * sizeof(WireEntryMeta));
+    arena.page_lists = mem().alloc(64 * kKiB);
+    arena.response = mem().alloc(sizeof(WireResponse));
+  }
+
+  guest::GuestMemory& mem() { return vm.vmm().memory(); }
+  core::VupmemDevice& dev() { return vm.device(0); }
+
+  core::SerializeResult serialize(const MatrixCase& c) {
+    driver::TransferMatrix m;
+    m.direction = static_cast<driver::XferDirection>(c.direction);
+    for (const EntryShape& e : c.entries) {
+      m.entries.push_back(
+          {e.dpu, e.mram_offset, slab.data() + e.slab_off, e.size});
+    }
+    return core::serialize_matrix(
+        m, mem(), arena,
+        static_cast<std::uint32_t>(
+            c.direction == 0 ? virtio::PimRequestType::kWriteToRank
+                             : virtio::PimRequestType::kReadFromRank));
+  }
+
+  OracleMemReader oracle_reader() {
+    return [this](std::uint64_t gpa,
+                  std::uint64_t len) -> const std::uint8_t* {
+      try {
+        return mem().hva_range(gpa, len);
+      } catch (const VpimError&) {
+        return nullptr;
+      }
+    };
+  }
+
+  core::Host host;
+  VpimVm vm;
+  std::span<std::uint8_t> slab;
+  WireArena arena;
+};
+
+std::vector<OracleDesc> to_oracle_descs(
+    const std::vector<virtio::DescBuffer>& chain) {
+  std::vector<OracleDesc> out;
+  out.reserve(chain.size());
+  for (const virtio::DescBuffer& b : chain) out.push_back({b.gpa, b.len});
+  return out;
+}
+
+virtio::DescChain to_desc_chain(
+    const std::vector<virtio::DescBuffer>& chain) {
+  virtio::DescChain out;
+  for (const virtio::DescBuffer& b : chain) {
+    out.descs.push_back(
+        {b.gpa, b.len,
+         static_cast<std::uint16_t>(b.device_writable ? virtio::kDescFlagWrite
+                                                      : 0),
+         0});
+  }
+  return out;
+}
+
+std::optional<core::DeserializeResult> production_deserialize(
+    const std::vector<virtio::DescBuffer>& chain, guest::GuestMemory& mem) {
+  try {
+    return core::deserialize_matrix(to_desc_chain(chain), mem);
+  } catch (const VpimError&) {
+    // VpimStatusError(kBadRequest) for validation failures, plain
+    // VpimError for GPAs outside guest RAM — both are typed rejections.
+    return std::nullopt;
+  }
+}
+
+std::vector<std::uint8_t> flatten_segments(
+    const core::DeserializedEntry& entry) {
+  std::vector<std::uint8_t> out;
+  out.reserve(entry.size);
+  for (const auto& [ptr, len] : entry.segments) {
+    out.insert(out.end(), ptr, ptr + len);
+  }
+  return out;
+}
+
+// ---- property 1: serialize -> deserialize round-trip vs oracle ----------
+
+TEST(PropWire, SerializeDeserializeRoundTripsAndMatchesOracle) {
+  WireRig rig;
+  const Params params = Params::from_env(0x3172E, 120);
+  const auto out = run_property<MatrixCase>(
+      "wire.roundtrip_vs_oracle", params, matrix_gen(),
+      [&](const MatrixCase& c) {
+        const core::SerializeResult ser = rig.serialize(c);
+        const auto prod = production_deserialize(ser.chain, rig.mem());
+        require(prod.has_value(),
+                "production rejected a well-formed serialized chain");
+        const auto oracle =
+            oracle_deserialize(to_oracle_descs(ser.chain),
+                               rig.oracle_reader());
+        require(oracle.has_value(),
+                "oracle rejected a well-formed serialized chain");
+
+        require(static_cast<std::uint32_t>(prod->direction) ==
+                    oracle->direction,
+                "direction disagrees");
+        require(prod->direction ==
+                    static_cast<driver::XferDirection>(c.direction),
+                "direction does not round-trip");
+        require(prod->nr_pages == oracle->nr_pages,
+                "page count disagrees with oracle");
+        require(prod->nr_pages == ser.nr_pages,
+                "page count does not round-trip");
+        require(prod->total_bytes == oracle->total_bytes,
+                "total bytes disagree with oracle");
+        require(prod->entries.size() == c.entries.size() &&
+                    oracle->entries.size() == c.entries.size(),
+                "entry count does not round-trip");
+        for (std::size_t k = 0; k < c.entries.size(); ++k) {
+          const EntryShape& e = c.entries[k];
+          require(prod->entries[k].dpu == e.dpu &&
+                      oracle->entries[k].dpu == e.dpu,
+                  "dpu does not round-trip");
+          require(prod->entries[k].mram_offset == e.mram_offset &&
+                      oracle->entries[k].mram_offset == e.mram_offset,
+                  "mram offset does not round-trip");
+          const auto prod_bytes = flatten_segments(prod->entries[k]);
+          require(prod_bytes == oracle->entries[k].bytes,
+                  "gathered bytes disagree with oracle");
+          require(prod_bytes.size() == e.size &&
+                      std::memcmp(prod_bytes.data(),
+                                  rig.slab.data() + e.slab_off,
+                                  e.size) == 0,
+                  "gathered bytes do not round-trip");
+        }
+      },
+      show_matrix);
+  EXPECT_TRUE(out.ok) << out.reproducer;
+}
+
+// ---- property 2: mutated chains — parser agreement ----------------------
+
+struct MutationCase {
+  MatrixCase matrix;
+  std::uint64_t mut_seed = 1;
+};
+
+std::string show_mutation(const MutationCase& c) {
+  return "mut_seed=" + std::to_string(c.mut_seed) + " " +
+         show_matrix(c.matrix);
+}
+
+Gen<MutationCase> mutation_gen() {
+  auto matrices = matrix_gen();
+  auto shared = std::make_shared<Gen<MatrixCase>>(std::move(matrices));
+  Gen<MutationCase> gen;
+  gen.sample = [shared](Rng& rng) {
+    MutationCase c;
+    c.matrix = shared->sample(rng);
+    c.mut_seed = rng.next_u64();
+    return c;
+  };
+  gen.shrink = [shared](const MutationCase& c) {
+    std::vector<MutationCase> out;
+    for (MatrixCase& m : shared->shrink(c.matrix)) {
+      out.push_back({std::move(m), c.mut_seed});
+    }
+    return out;
+  };
+  return gen;
+}
+
+// Applies one seeded corruption to a freshly serialized chain. Mutates the
+// descriptor list and/or the staged control blocks in guest memory.
+std::vector<virtio::DescBuffer> mutate_chain(
+    WireRig& rig, std::vector<virtio::DescBuffer> chain, Rng& rng) {
+  switch (rng.uniform(0, 5)) {
+    case 0: {  // flip one bit in a staged control block
+      std::span<std::uint8_t> regions[] = {
+          rig.arena.request.first(sizeof(WireRequest)),
+          rig.arena.matrix_meta.first(sizeof(WireMatrixMeta)),
+          rig.arena.entry_meta, rig.arena.page_lists};
+      auto& region = regions[rng.uniform(0, 3)];
+      const auto byte = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(region.size()) - 1));
+      region[byte] ^= static_cast<std::uint8_t>(1 << rng.uniform(0, 7));
+      break;
+    }
+    case 1: {  // truncate (keep at least the request descriptor)
+      const auto keep = static_cast<std::size_t>(
+          rng.uniform(1, static_cast<std::int64_t>(chain.size()) - 1));
+      chain.resize(keep);
+      break;
+    }
+    case 2: {  // rewrite one descriptor length
+      auto& d = chain[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(chain.size()) - 1))];
+      d.len = static_cast<std::uint32_t>(rng.uniform(0, 64 * 1024));
+      break;
+    }
+    case 3: {  // point one descriptor at a random GPA
+      auto& d = chain[static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(chain.size()) - 1))];
+      d.gpa = rng.uniform(0, 1) ? rng.next_u64()
+                                : static_cast<std::uint64_t>(
+                                      rng.uniform(0, 1 << 24));
+      break;
+    }
+    case 4: {  // duplicate a descriptor (breaks the odd-count invariant)
+      const auto i = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(chain.size()) - 1));
+      chain.insert(chain.begin() + static_cast<std::ptrdiff_t>(i),
+                   chain[i]);
+      break;
+    }
+    default: {  // swap two descriptors
+      const auto i = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(chain.size()) - 1));
+      const auto j = static_cast<std::size_t>(
+          rng.uniform(0, static_cast<std::int64_t>(chain.size()) - 1));
+      std::swap(chain[i], chain[j]);
+      break;
+    }
+  }
+  return chain;
+}
+
+TEST(PropWire, MutatedChainsParseIdenticallyInBothParsers) {
+  WireRig rig;
+  const Params params = Params::from_env(0x4D07DEAD, 200);
+  const auto out = run_property<MutationCase>(
+      "wire.mutation_differential", params, mutation_gen(),
+      [&](const MutationCase& c) {
+        const core::SerializeResult ser = rig.serialize(c.matrix);
+        Rng rng(c.mut_seed);
+        const auto mutated = mutate_chain(rig, ser.chain, rng);
+        const auto prod = production_deserialize(mutated, rig.mem());
+        const auto oracle = oracle_deserialize(to_oracle_descs(mutated),
+                                               rig.oracle_reader());
+        require(prod.has_value() == oracle.has_value(),
+                prod.has_value()
+                    ? "production accepted a chain the oracle rejects"
+                    : "oracle accepted a chain production rejects");
+        if (!prod.has_value()) return;
+        require(static_cast<std::uint32_t>(prod->direction) ==
+                        oracle->direction &&
+                    prod->nr_pages == oracle->nr_pages &&
+                    prod->total_bytes == oracle->total_bytes &&
+                    prod->entries.size() == oracle->entries.size(),
+                "accepted mutated chain decodes differently");
+        for (std::size_t k = 0; k < prod->entries.size(); ++k) {
+          require(prod->entries[k].dpu == oracle->entries[k].dpu &&
+                      prod->entries[k].mram_offset ==
+                          oracle->entries[k].mram_offset &&
+                      flatten_segments(prod->entries[k]) ==
+                          oracle->entries[k].bytes,
+                  "accepted mutated chain gathers different bytes");
+        }
+      },
+      show_mutation);
+  EXPECT_TRUE(out.ok) << out.reproducer;
+}
+
+// ---- property 3: mutated chains on the live device ----------------------
+//
+// Submitting any mutated chain through the real virtqueue must complete
+// via push_used with a typed status: the backend never throws out of
+// handle_transferq, never leaks descriptors, and the device keeps serving
+// well-formed traffic afterwards.
+
+TEST(PropWire, MutatedChainsCompleteWithTypedStatusOnDevice) {
+  WireRig rig;
+  const Params params = Params::from_env(0x7E57DE7, 150);
+  const auto out = run_property<MutationCase>(
+      "wire.mutation_device_survival", params, mutation_gen(),
+      [&](const MutationCase& c) {
+        const core::SerializeResult ser = rig.serialize(c.matrix);
+        Rng rng(c.mut_seed);
+        const auto mutated = mutate_chain(rig, ser.chain, rng);
+
+        std::memset(rig.arena.response.data(), 0, sizeof(WireResponse));
+        const std::uint16_t free_before =
+            rig.dev().transferq.free_descriptors();
+        const std::uint64_t errs_before = rig.dev().stats.request_errors;
+        rig.dev().transferq.submit(mutated);
+        try {
+          rig.dev().backend.handle_transferq();
+        } catch (const std::exception& e) {
+          require(false, std::string("backend threw out of the queue "
+                                     "handler: ") +
+                             e.what());
+        }
+        require(rig.dev().transferq.poll_used().has_value(),
+                "mutated chain never completed (queue wedged)");
+        require(rig.dev().transferq.free_descriptors() == free_before,
+                "descriptors leaked");
+        // Typed outcome: either the device accepted a still-valid chain
+        // (kOk response) or it counted exactly this request as an error.
+        WireResponse resp;
+        std::memcpy(&resp, rig.arena.response.data(), sizeof(resp));
+        const bool rejected =
+            rig.dev().stats.request_errors == errs_before + 1;
+        const bool accepted =
+            rig.dev().stats.request_errors == errs_before &&
+            resp.status == 0;
+        require(rejected || accepted,
+                "completion was neither kOk nor a counted request error");
+      },
+      show_mutation);
+  EXPECT_TRUE(out.ok) << out.reproducer;
+
+  // The device still serves well-formed traffic after the barrage.
+  auto data = rig.mem().alloc(8 * kKiB);
+  auto back = rig.mem().alloc(8 * kKiB);
+  Rng rng(0xAF7E);
+  rng.fill_bytes(data.data(), data.size());
+  driver::TransferMatrix w;
+  w.entries.push_back({0, 4096, data.data(), data.size()});
+  rig.dev().frontend.write_to_rank(w);
+  driver::TransferMatrix r;
+  r.direction = driver::XferDirection::kFromRank;
+  r.entries.push_back({0, 4096, back.data(), back.size()});
+  rig.dev().frontend.read_from_rank(r);
+  EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
+}
+
+}  // namespace
+}  // namespace vpim::prop

@@ -1,0 +1,185 @@
+// Self-tests of the property harness itself: shrinking converges to the
+// known minimal counterexample, failures print the one-line
+// VPIM_PROP_SEED reproducer, the reproducer replays deterministically,
+// and the two environment knobs behave as documented in TESTING.md.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "common/proptest/proptest.h"
+
+namespace vpim::prop {
+namespace {
+
+// RAII environment override so env-behaviour tests cannot leak into the
+// rest of the binary.
+class ScopedEnv {
+ public:
+  ScopedEnv(const char* name, const std::string& value) : name_(name) {
+    const char* old = std::getenv(name);
+    if (old != nullptr) saved_ = old;
+    ::setenv(name, value.c_str(), 1);
+  }
+  ~ScopedEnv() {
+    if (saved_) {
+      ::setenv(name_, saved_->c_str(), 1);
+    } else {
+      ::unsetenv(name_);
+    }
+  }
+
+ private:
+  const char* name_;
+  std::optional<std::string> saved_;
+};
+
+TEST(PropSelftest, PassingPropertyIsOk) {
+  Params params;
+  params.iterations = 50;
+  const auto out = run_property<std::uint64_t>(
+      "selftest.pass", params, u64_range(0, 1000),
+      [](const std::uint64_t& v) { require(v <= 1000, "in range"); });
+  EXPECT_TRUE(out.ok);
+  EXPECT_TRUE(out.reproducer.empty());
+}
+
+TEST(PropSelftest, ShrinkConvergesToBoundary) {
+  // Property "v < 100" over [0, 10^6]: the minimal counterexample is
+  // exactly 100, and greedy shrinking must find it from wherever the
+  // random failure landed.
+  Params params;
+  params.iterations = 200;
+  params.quiet = true;
+  const auto out = run_property<std::uint64_t>(
+      "selftest.boundary", params, u64_range(0, 1000000),
+      [](const std::uint64_t& v) { require(v < 100, "v must stay small"); },
+      [](const std::uint64_t& v) { return "v=" + std::to_string(v); });
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.minimal, 100u);
+  EXPECT_GT(out.shrink_steps, 0);
+}
+
+TEST(PropSelftest, ReproducerIsOneLineWithSeed) {
+  Params params;
+  params.iterations = 50;
+  params.quiet = true;
+  const auto out = run_property<std::uint64_t>(
+      "selftest.repro", params, u64_range(0, 1000),
+      [](const std::uint64_t& v) {
+        require(v < 5, "multi\nline\nmessage");
+      },
+      [](const std::uint64_t& v) { return "v=" + std::to_string(v); });
+  ASSERT_FALSE(out.ok);
+  EXPECT_NE(out.reproducer.find("VPIM_PROP_SEED="), std::string::npos);
+  EXPECT_NE(out.reproducer.find("selftest.repro"), std::string::npos);
+  EXPECT_EQ(out.reproducer.find('\n'), std::string::npos)
+      << "reproducer must be a single line";
+}
+
+TEST(PropSelftest, ReplaySeedReproducesTheSameCase) {
+  Params params;
+  params.iterations = 100;
+  params.quiet = true;
+  const auto first = run_property<std::uint64_t>(
+      "selftest.replay", params, u64_range(0, 1000000),
+      [](const std::uint64_t& v) { require(v < 100, "small"); });
+  ASSERT_FALSE(first.ok);
+
+  // Re-running from just the failing case seed must regenerate the same
+  // shrunk counterexample, independent of the original iteration index.
+  Params replay;
+  replay.replay_seed = first.failing_seed;
+  replay.quiet = true;
+  const auto again = run_property<std::uint64_t>(
+      "selftest.replay", replay, u64_range(0, 1000000),
+      [](const std::uint64_t& v) { require(v < 100, "small"); });
+  ASSERT_FALSE(again.ok);
+  EXPECT_EQ(again.failing_seed, first.failing_seed);
+  EXPECT_EQ(again.minimal, first.minimal);
+  EXPECT_EQ(again.failing_iteration, 0);
+}
+
+TEST(PropSelftest, VectorShrinkDropsIrrelevantElements) {
+  // Property "no element > 50": the minimal counterexample is the
+  // single-element vector {51}.
+  Params params;
+  params.iterations = 200;
+  params.quiet = true;
+  const auto out = run_property<std::vector<std::uint64_t>>(
+      "selftest.vector", params, vector_of(u64_range(0, 1000), 1, 8),
+      [](const std::vector<std::uint64_t>& v) {
+        for (std::uint64_t x : v) require(x <= 50, "element too large");
+      });
+  ASSERT_FALSE(out.ok);
+  ASSERT_EQ(out.minimal.size(), 1u);
+  EXPECT_EQ(out.minimal[0], 51u);
+}
+
+TEST(PropSelftest, ElementOfShrinksTowardFirst) {
+  Params params;
+  params.iterations = 100;
+  params.quiet = true;
+  const auto out = run_property<std::uint64_t>(
+      "selftest.element", params,
+      element_of<std::uint64_t>({2, 4, 8, 16, 32}),
+      [](const std::uint64_t& v) { require(v < 8, "small power"); });
+  ASSERT_FALSE(out.ok);
+  EXPECT_EQ(out.minimal, 8u);
+}
+
+TEST(PropSelftest, QuietSuppressesFailLineButKeepsSeedLine) {
+  // Teeth tests set quiet so their expected failures do not look like real
+  // ones to log harvesters (tools/prop_seeds.py); the seed log line and the
+  // Outcome reproducer must survive.
+  Params params;
+  params.iterations = 50;
+  params.quiet = true;
+  testing::internal::CaptureStderr();
+  const auto out = run_property<std::uint64_t>(
+      "selftest.quiet", params, u64_range(0, 1000),
+      [](const std::uint64_t& v) { require(v < 5, "boom"); });
+  const std::string err = testing::internal::GetCapturedStderr();
+  ASSERT_FALSE(out.ok);
+  EXPECT_NE(out.reproducer.find("VPIM_PROP_SEED="), std::string::npos);
+  EXPECT_NE(err.find("[prop] selftest.quiet: base_seed="), std::string::npos);
+  EXPECT_EQ(err.find("[prop] FAIL"), std::string::npos) << err;
+}
+
+TEST(PropSelftest, EnvSeedForcesSingleCaseReplay) {
+  ScopedEnv env("VPIM_PROP_SEED", "424242");
+  const Params params = Params::from_env(7, 100);
+  ASSERT_TRUE(params.replay_seed.has_value());
+  EXPECT_EQ(*params.replay_seed, 424242u);
+
+  int runs = 0;
+  const auto out = run_property<std::uint64_t>(
+      "selftest.envseed", params, u64_range(0, 1000),
+      [&runs](const std::uint64_t&) { ++runs; });
+  EXPECT_TRUE(out.ok);
+  EXPECT_EQ(runs, 1) << "replay mode must run exactly one case";
+}
+
+TEST(PropSelftest, EnvItersMultipliesBudget) {
+  ScopedEnv env("VPIM_PROP_ITERS", "50");
+  const Params params = Params::from_env(7, 20);
+  EXPECT_EQ(params.iterations, 1000);
+  EXPECT_FALSE(params.replay_seed.has_value());
+}
+
+TEST(PropSelftest, GarbageEnvValuesAreIgnored) {
+  ScopedEnv seed("VPIM_PROP_SEED", "not-a-number");
+  ScopedEnv iters("VPIM_PROP_ITERS", "-3");
+  const Params params = Params::from_env(7, 20);
+  EXPECT_FALSE(params.replay_seed.has_value());
+  EXPECT_EQ(params.iterations, 20);
+}
+
+TEST(PropSelftest, DerivedCaseSeedsDiffer) {
+  // Neighbouring iterations must not see correlated streams.
+  EXPECT_NE(splitmix64(1), splitmix64(2));
+  EXPECT_NE(splitmix64(0), 0u);
+}
+
+}  // namespace
+}  // namespace vpim::prop

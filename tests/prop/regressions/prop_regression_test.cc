@@ -1,0 +1,282 @@
+// Regression corpus: minimal deterministic counterexamples promoted from
+// the randomized fuzz suites (frontend_fuzz_test.cc HostileChains,
+// driver_fuzz_test.cc) after shrinking. Each case pins one hostile shape
+// that a fuzz run first surfaced, so the exact bytes keep being exercised
+// on every run even if the fuzzers' RNG streams drift.
+//
+// Every case notes the corpus + seed it was promoted from.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <span>
+#include <vector>
+
+#include "common/fault.h"
+#include "driver/sysfs.h"
+#include "tests/testutil.h"
+#include "upmem/layout.h"
+#include "vpim/host.h"
+#include "vpim/vpim_vm.h"
+#include "vpim/wire.h"
+
+namespace vpim::core {
+namespace {
+
+constexpr std::int32_t kBadRequest =
+    static_cast<std::int32_t>(virtio::PimStatus::kBadRequest);
+
+ManagerConfig fast_manager() {
+  ManagerConfig cfg;
+  cfg.retry_wait_ns = 1 * kMs;
+  cfg.max_attempts = 2;
+  return cfg;
+}
+
+// Minimal hostile-chain rig (mirrors frontend_fuzz_test.cc's HostileRig):
+// stages crafted wire blocks in guest RAM, submits them on the transferq,
+// and requires a typed completion with descriptors reclaimed.
+struct RegressionRig {
+  RegressionRig()
+      : host(test::small_machine(), CostModel{}, fast_manager()),
+        vm(host, {.name = "prop-regress"}, 1) {
+    EXPECT_TRUE(vm.device(0).frontend.open());
+    scratch = vm.vmm().memory().alloc(512 * kKiB);
+    resp_buf = vm.vmm().memory().alloc(4 * kKiB);
+  }
+
+  guest::GuestMemory& mem() { return vm.vmm().memory(); }
+  VupmemDevice& dev() { return vm.device(0); }
+
+  template <typename T>
+  virtio::DescBuffer stage(std::uint64_t off, const T& pod,
+                           std::uint32_t len = sizeof(T)) {
+    std::memcpy(scratch.data() + off, &pod, sizeof(T));
+    return {mem().gpa_of(scratch.data() + off), len, false};
+  }
+
+  std::int32_t run(std::span<const virtio::DescBuffer> chain) {
+    std::memset(resp_buf.data(), 0, sizeof(WireResponse));
+    const std::uint16_t free_before = dev().transferq.free_descriptors();
+    const std::uint64_t errs_before = dev().stats.request_errors;
+    dev().transferq.submit(chain);
+    EXPECT_NO_THROW(dev().backend.handle_transferq());
+    EXPECT_TRUE(dev().transferq.poll_used().has_value())
+        << "request never completed";
+    EXPECT_EQ(dev().transferq.free_descriptors(), free_before);
+    EXPECT_EQ(dev().stats.request_errors, errs_before + 1)
+        << "hostile chain was not rejected";
+    WireResponse resp;
+    std::memcpy(&resp, resp_buf.data(), sizeof(resp));
+    return resp.status;
+  }
+
+  // A structurally-valid one-entry write chain the cases then corrupt.
+  struct WriteChain {
+    WireRequest req;
+    WireMatrixMeta meta{1, 8192};
+    WireEntryMeta em;
+    std::uint64_t pages[2];
+    std::uint32_t pages_len = 16;
+    bool with_body = true;
+  };
+
+  WriteChain base_chain() {
+    WriteChain c;
+    c.req.type =
+        static_cast<std::uint32_t>(virtio::PimRequestType::kWriteToRank);
+    c.req.direction =
+        static_cast<std::uint32_t>(driver::XferDirection::kToRank);
+    c.req.nr_entries = 1;
+    c.em.dpu = 0;
+    c.em.mram_offset = 0;
+    c.em.size = 8192;
+    c.em.first_page_offset = 0;
+    c.em.nr_pages = 2;
+    const std::uint64_t gpa = mem().gpa_of(scratch.data());
+    c.pages[0] = gpa + 16 * 4096;
+    c.pages[1] = gpa + 17 * 4096;
+    return c;
+  }
+
+  std::int32_t run(const WriteChain& c) {
+    std::vector<virtio::DescBuffer> chain;
+    chain.push_back(stage(0, c.req));
+    if (c.with_body) {
+      chain.push_back(stage(512, c.meta));
+      chain.push_back(stage(1024, c.em));
+      std::memcpy(scratch.data() + 2048, c.pages, sizeof(c.pages));
+      chain.push_back(
+          {mem().gpa_of(scratch.data() + 2048), c.pages_len, false});
+    }
+    chain.push_back(virtio::DescBuffer{
+        mem().gpa_of(resp_buf.data()),
+        static_cast<std::uint32_t>(sizeof(WireResponse)), true});
+    return run(std::span<const virtio::DescBuffer>(chain));
+  }
+
+  Host host;
+  VpimVm vm;
+  std::span<std::uint8_t> scratch;
+  std::span<std::uint8_t> resp_buf;
+};
+
+TEST(PropRegression, HostileTransferChains) {
+  RegressionRig rig;
+
+  {
+    // HostileChains seed 0xF00D mode 0: a write request truncated to
+    // [request][response] — nr_entries promises a body the chain lacks.
+    auto c = rig.base_chain();
+    c.with_body = false;
+    EXPECT_EQ(rig.run(c), kBadRequest);
+  }
+  {
+    // HostileChains seed 0xF00D mode 1: page-list descriptor shorter than
+    // entry metadata claims (8 bytes for nr_pages=2). Caught by the
+    // pages_desc.len == nr_pages * 8 cross-check.
+    auto c = rig.base_chain();
+    c.pages_len = 8;
+    EXPECT_EQ(rig.run(c), kBadRequest);
+  }
+  {
+    // HostileChains seed 0xF00D mode 2: absurd page count (2^40) — a
+    // naive `nr_pages * 8` in 32 bits would wrap to a small page list.
+    auto c = rig.base_chain();
+    c.em.nr_pages = 1ULL << 40;
+    EXPECT_EQ(rig.run(c), kBadRequest);
+  }
+  {
+    // HostileChains seed 0xF00D mode 3: size near ~0ULL overflows the
+    // naive (first_off + size + kPage - 1) page formula.
+    auto c = rig.base_chain();
+    c.em.size = ~0ULL - 1234;
+    EXPECT_EQ(rig.run(c), kBadRequest);
+  }
+  {
+    // HostileChains seed 0xF00D mode 4: matrix metadata disagreeing with
+    // the chain length (meta says 7 entries, chain carries 1).
+    auto c = rig.base_chain();
+    c.meta.nr_entries = 7;
+    EXPECT_EQ(rig.run(c), kBadRequest);
+  }
+  {
+    // HostileChains seed 0xF00D mode 5: page GPA far outside guest RAM;
+    // hva_range must reject the whole page, aligned or not.
+    auto c = rig.base_chain();
+    c.pages[0] = 1ULL << 40;
+    EXPECT_EQ(rig.run(c), kBadRequest);
+    c.pages[0] = (1ULL << 40) + 123;  // also unaligned
+    EXPECT_EQ(rig.run(c), kBadRequest);
+  }
+  {
+    // HostileChains seed 0xF00D mode 6: entry targets DPU 8 on an 8-DPU
+    // rank (first index past the end).
+    auto c = rig.base_chain();
+    c.em.dpu = 8;
+    EXPECT_EQ(rig.run(c), kBadRequest);
+  }
+  {
+    // HostileChains seed 0xF00D mode 7: 8 KiB entry starting 4 KiB before
+    // the end of the MRAM bank overruns it by one page.
+    auto c = rig.base_chain();
+    c.em.mram_offset = upmem::kMramSize - 4096;
+    EXPECT_EQ(rig.run(c), kBadRequest);
+  }
+  {
+    // HostileChains seed 0xF00D mode 8: first_page_offset >= 4096 would
+    // underflow the `kPage - off` remaining-bytes computation.
+    auto c = rig.base_chain();
+    c.em.first_page_offset = 4096;
+    EXPECT_EQ(rig.run(c), kBadRequest);
+  }
+
+  // The barrage must leave the device fully functional.
+  Frontend& fe = rig.dev().frontend;
+  auto data = rig.mem().alloc(8 * kKiB);
+  auto out = rig.mem().alloc(8 * kKiB);
+  std::memset(data.data(), 0xC4, data.size());
+  driver::TransferMatrix w;
+  w.entries.push_back({0, 4096, data.data(), data.size()});
+  fe.write_to_rank(w);
+  driver::TransferMatrix r;
+  r.direction = driver::XferDirection::kFromRank;
+  r.entries.push_back({0, 4096, out.data(), out.size()});
+  fe.read_from_rank(r);
+  EXPECT_EQ(std::memcmp(out.data(), data.data(), data.size()), 0);
+}
+
+TEST(PropRegression, PackedSymbolThirtyTwoBitWrap) {
+  // HostileRequests corpus: 2^24 entries x 2^8 bytes per DPU = 2^32,
+  // which wraps to 0 in a 32-bit `nr_entries * bytes` length check and
+  // used to match a zero-length payload.
+  RegressionRig rig;
+  WireRequest req;
+  req.type = static_cast<std::uint32_t>(virtio::PimRequestType::kCiWrite);
+  req.ci_op = static_cast<std::uint32_t>(CiOp::kCopyToSymbolAll);
+  std::memcpy(req.name, "sym", 3);
+  req.nr_entries = 1u << 24;
+  req.arg0 = 1u << 8;
+  const virtio::DescBuffer chain[] = {
+      rig.stage(0, req),
+      {rig.mem().gpa_of(rig.scratch.data() + 4096), 0, false},
+      {rig.mem().gpa_of(rig.resp_buf.data()),
+       static_cast<std::uint32_t>(sizeof(WireResponse)), true}};
+  EXPECT_EQ(rig.run(chain), kBadRequest);
+}
+
+TEST(PropRegression, UnknownRequestTypeCompletes) {
+  // HostileRequests corpus: an unrecognized request type once fell
+  // through the dispatch switch without push_used, wedging the guest.
+  RegressionRig rig;
+  WireRequest req;
+  req.type = 0xDEADBEEF;
+  const virtio::DescBuffer chain[] = {
+      rig.stage(0, req),
+      {rig.mem().gpa_of(rig.resp_buf.data()),
+       static_cast<std::uint32_t>(sizeof(WireResponse)), true}};
+  EXPECT_EQ(rig.run(chain), kBadRequest);
+}
+
+TEST(PropRegression, HostileSysfsLines) {
+  // SysfsParseFuzz seed 0xF022, shrunk: the three smallest mutations of a
+  // valid status line that ever parsed ambiguously in development — field
+  // order, a single trailing byte, and a counter overflow.
+  EXPECT_FALSE(
+      driver::Sysfs::parse("owner=vm health=ok faults=0 in_use=1")
+          .has_value());
+  EXPECT_FALSE(
+      driver::Sysfs::parse("in_use=1 owner=vm health=ok faults=0 ")
+          .has_value());
+  EXPECT_FALSE(
+      driver::Sysfs::parse(
+          "in_use=1 owner=vm health=ok faults=99999999999")
+          .has_value());
+}
+
+TEST(PropRegression, CorruptFaultRecords) {
+  // FaultMailboxFuzz seed 0xFA17, shrunk: the four smallest corruptions
+  // of a valid 24-byte record — truncated by one byte, one magic bit
+  // flipped, an unknown kind byte, and a rank index past nr_ranks.
+  const FaultRecord rec{FaultKind::kMramEcc, 1, 5, 99};
+  const auto bytes = serialize_fault_record(rec);
+  ASSERT_EQ(bytes.size(), kFaultRecordBytes);
+
+  EXPECT_FALSE(
+      parse_fault_record(std::span(bytes).first(kFaultRecordBytes - 1), 8)
+          .has_value());
+
+  auto magic = bytes;
+  magic[1] ^= 0x40;
+  EXPECT_FALSE(parse_fault_record(magic, 8).has_value());
+
+  auto kind = bytes;
+  kind[4] = 0xEE;  // FaultKind is serialized at offset 4
+  EXPECT_FALSE(parse_fault_record(kind, 8).has_value());
+
+  const FaultRecord far_rank{FaultKind::kMramEcc, 200, 5, 99};
+  EXPECT_FALSE(
+      parse_fault_record(serialize_fault_record(far_rank), 8).has_value());
+}
+
+}  // namespace
+}  // namespace vpim::core

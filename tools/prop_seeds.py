@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Harvest property-test seeds and failure reproducers from a test log.
+
+Every property run prints a seed line, and every failure prints a
+one-line reproducer (see src/common/proptest/proptest.h):
+
+    [prop] <name>: base_seed=<n> iterations=<k>
+    [prop] FAIL <name>: VPIM_PROP_SEED=<n> replays <name> | <msg> | minimal: <repr>
+
+The nightly workflow runs the prop-labeled suites at 50x iterations and
+feeds the captured log through this script, so the exact seed budget of
+every run is recorded in the job output and any failure surfaces its
+copy-pasteable `VPIM_PROP_SEED=<n> ctest -R <suite>` reproducer even if
+the gtest output scrolled away.
+
+Usage:  tools/prop_seeds.py <logfile> [<logfile>...]
+Exit status: 0 when no FAIL reproducers were found, 1 otherwise.
+"""
+
+import re
+import sys
+
+SEED_RE = re.compile(r"\[prop\] (?P<name>[\w.\-]+): base_seed=(?P<seed>\d+) "
+                     r"iterations=(?P<iters>\d+)")
+FAIL_RE = re.compile(r"\[prop\] FAIL (?P<name>[\w.\-]+): (?P<repro>.*)")
+
+
+def main(paths):
+    runs = {}
+    failures = []
+    for path in paths:
+        try:
+            with open(path, errors="replace") as f:
+                for line in f:
+                    if m := SEED_RE.search(line):
+                        key = (m["name"], int(m["seed"]), int(m["iters"]))
+                        runs[key] = runs.get(key, 0) + 1
+                    if m := FAIL_RE.search(line):
+                        failures.append((m["name"], m["repro"].strip()))
+        except OSError as e:
+            print(f"prop_seeds: cannot read {path}: {e}", file=sys.stderr)
+            return 1
+
+    print(f"prop_seeds: {len(runs)} distinct property runs")
+    for (name, seed, iters), count in sorted(runs.items()):
+        rep = f" x{count}" if count > 1 else ""
+        print(f"  {name}: base_seed={seed} iterations={iters}{rep}")
+
+    if failures:
+        print(f"\nprop_seeds: {len(failures)} FAILURE(S) — reproduce with:")
+        for name, repro in failures:
+            print(f"  {name}: {repro}")
+        return 1
+    print("prop_seeds: no failures")
+    return 0
+
+
+if __name__ == "__main__":
+    if len(sys.argv) < 2:
+        print(__doc__)
+        sys.exit(2)
+    sys.exit(main(sys.argv[1:]))
