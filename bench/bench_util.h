@@ -171,9 +171,31 @@ struct BenchPoint {
   double wall_ms = 0.0;    // host wall-clock for the measured iteration
 };
 
+// Where BENCH_*.json (and other bench artifacts) land. Historically the
+// benches wrote to whatever CWD they were launched from, which silently
+// scattered results when CI ran them from the build tree; now the output
+// directory is pinned at configure time (the repo root) and can be
+// redirected per run with VPIM_BENCH_OUT.
+inline std::string bench_out_dir() {
+  if (const char* s = std::getenv("VPIM_BENCH_OUT")) {
+    if (*s != '\0') return s;
+  }
+#ifdef VPIM_BENCH_DEFAULT_OUT
+  return VPIM_BENCH_DEFAULT_OUT;
+#else
+  return ".";
+#endif
+}
+
+inline std::string bench_out_path(const std::string& filename) {
+  std::string dir = bench_out_dir();
+  if (!dir.empty() && dir.back() != '/') dir += '/';
+  return dir + filename;
+}
+
 inline void write_bench_json(const std::string& target,
                              std::span<const BenchPoint> points) {
-  const std::string path = "BENCH_" + target + ".json";
+  const std::string path = bench_out_path("BENCH_" + target + ".json");
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "bench: cannot write %s\n", path.c_str());

@@ -66,7 +66,8 @@ void run_system(benchmark::State& state, const std::string& label,
       std::exit(1);
     }
     {
-      const std::string path = "BENCH_fig12_" + label + ".trace.json";
+      const std::string path =
+          bench_out_path("BENCH_fig12_" + label + ".trace.json");
       std::ofstream out(path);
       obs::export_chrome_trace(tracer, out);
       std::printf("chrome trace: %zu spans -> %s\n", tracer.spans().size(),

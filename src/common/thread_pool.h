@@ -61,7 +61,8 @@ class ThreadPool {
   // across the workers; the calling thread executes the first chunk.
   // Blocks until every index completed; rethrows the lowest failing
   // index's exception.
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& body);
+  void parallel_for(std::size_t n,
+                    const std::function<void(std::size_t)>& body);
 
   // Chunk granularity floor: fan-out is skipped (inline loop) when n is
   // below this, so tiny transfers don't pay wakeup latency.

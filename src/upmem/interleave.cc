@@ -7,6 +7,7 @@
 
 #if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
 #define VPIM_INTERLEAVE_AVX2 1
+#define VPIM_INTERLEAVE_AVX512 1
 #include <immintrin.h>
 #endif
 
@@ -175,21 +176,132 @@ __attribute__((target("avx2"))) void deinterleave_wide_avx2(
 
 #endif  // VPIM_INTERLEAVE_AVX2
 
-using WideKernel = void (*)(std::span<const std::uint8_t>,
-                            std::span<std::uint8_t>);
+#ifdef VPIM_INTERLEAVE_AVX512
+
+// AVX-512 path: eight independent 8x8 blocks per iteration, one block per
+// 64-bit lane, the same delta-swap transpose running 8-wide. Per-chip
+// outputs of eight consecutive blocks are contiguous, so each chip's
+// store (interleave) / load (deinterleave) is one full 64-byte zmm op —
+// exactly one cache line per chip per group.
+
+__attribute__((target("avx512f"))) inline __m512i gather8_u64(
+    const std::uint8_t* base, std::size_t stride) {
+  return _mm512_set_epi64(
+      static_cast<long long>(load_u64(base + 7 * stride)),
+      static_cast<long long>(load_u64(base + 6 * stride)),
+      static_cast<long long>(load_u64(base + 5 * stride)),
+      static_cast<long long>(load_u64(base + 4 * stride)),
+      static_cast<long long>(load_u64(base + 3 * stride)),
+      static_cast<long long>(load_u64(base + 2 * stride)),
+      static_cast<long long>(load_u64(base + stride)),
+      static_cast<long long>(load_u64(base)));
+}
+
+__attribute__((target("avx512f"))) inline void scatter8_u64(
+    std::uint8_t* base, std::size_t stride, __m512i v) {
+  alignas(64) std::uint64_t lanes[8];
+  _mm512_store_si512(lanes, v);
+  for (std::size_t i = 0; i < 8; ++i) {
+    store_u64(base + i * stride, lanes[i]);
+  }
+}
+
+__attribute__((target("avx512f"))) inline void transpose8x8x8(__m512i x[8]) {
+  const __m512i m8 = _mm512_set1_epi64(0x00FF00FF00FF00FFLL);
+  const __m512i m16 = _mm512_set1_epi64(0x0000FFFF0000FFFFLL);
+  const __m512i m32 = _mm512_set1_epi64(0x00000000FFFFFFFFLL);
+  __m512i t;
+  for (int i = 0; i < 8; i += 2) {
+    t = _mm512_and_si512(
+        _mm512_xor_si512(_mm512_srli_epi64(x[i], 8), x[i + 1]), m8);
+    x[i + 1] = _mm512_xor_si512(x[i + 1], t);
+    x[i] = _mm512_xor_si512(x[i], _mm512_slli_epi64(t, 8));
+  }
+  for (int i = 0; i < 8; i += 4) {
+    for (int j = 0; j < 2; ++j) {
+      t = _mm512_and_si512(
+          _mm512_xor_si512(_mm512_srli_epi64(x[i + j], 16), x[i + j + 2]),
+          m16);
+      x[i + j + 2] = _mm512_xor_si512(x[i + j + 2], t);
+      x[i + j] = _mm512_xor_si512(x[i + j], _mm512_slli_epi64(t, 16));
+    }
+  }
+  for (int j = 0; j < 4; ++j) {
+    t = _mm512_and_si512(
+        _mm512_xor_si512(_mm512_srli_epi64(x[j], 32), x[j + 4]), m32);
+    x[j + 4] = _mm512_xor_si512(x[j + 4], t);
+    x[j] = _mm512_xor_si512(x[j], _mm512_slli_epi64(t, 32));
+  }
+}
+
+__attribute__((target("avx512f"))) void interleave_wide_avx512(
+    std::span<const std::uint8_t> src, std::span<std::uint8_t> dst) {
+  check_args(src, dst);
+  const std::size_t per_chip = src.size() / kChips;
+  const std::size_t groups = per_chip / 64;  // 8 blocks = 512 bytes each
+  for (std::size_t g = 0; g < groups; ++g) {
+    const std::uint8_t* base = src.data() + g * 512;
+    __m512i x[8];
+    for (std::size_t i = 0; i < 8; ++i) {
+      x[i] = gather8_u64(base + i * 8, 64);
+    }
+    transpose8x8x8(x);
+    for (std::size_t c = 0; c < kChips; ++c) {
+      _mm512_storeu_si512(dst.data() + c * per_chip + g * 64, x[c]);
+    }
+  }
+  interleave_tail(src, dst, per_chip, groups * 64);
+}
+
+__attribute__((target("avx512f"))) void deinterleave_wide_avx512(
+    std::span<const std::uint8_t> src, std::span<std::uint8_t> dst) {
+  check_args(src, dst);
+  const std::size_t per_chip = src.size() / kChips;
+  const std::size_t groups = per_chip / 64;
+  for (std::size_t g = 0; g < groups; ++g) {
+    __m512i x[8];
+    for (std::size_t c = 0; c < kChips; ++c) {
+      x[c] = _mm512_loadu_si512(src.data() + c * per_chip + g * 64);
+    }
+    transpose8x8x8(x);
+    std::uint8_t* base = dst.data() + g * 512;
+    for (std::size_t i = 0; i < 8; ++i) {
+      scatter8_u64(base + i * 8, 64, x[i]);
+    }
+  }
+  deinterleave_tail(src, dst, per_chip, groups * 64);
+}
+
+#endif  // VPIM_INTERLEAVE_AVX512
 
 struct WideDispatch {
-  WideKernel inter;
-  WideKernel deinter;
+  InterleaveKernel inter;
+  InterleaveKernel deinter;
   std::string_view name;
 };
 
+bool env_set(const char* name) {
+  const char* v = std::getenv(name);
+  return v != nullptr && v[0] != '\0' && v[0] != '0';
+}
+
 const WideDispatch& wide_dispatch() {
+  // Tier priority: AVX-512 > AVX2 > portable scalar. VPIM_NO_AVX512=1
+  // drops only the 512-bit tier (A/B testing the paper's C/AVX512 claim);
+  // VPIM_NO_AVX2=1 forces the scalar path outright.
   static const WideDispatch d = [] {
+#if defined(VPIM_INTERLEAVE_AVX2) || defined(VPIM_INTERLEAVE_AVX512)
+    const bool no_vector = env_set("VPIM_NO_AVX2");
+#endif
+#ifdef VPIM_INTERLEAVE_AVX512
+    if (!no_vector && !env_set("VPIM_NO_AVX512") &&
+        __builtin_cpu_supports("avx512f")) {
+      return WideDispatch{interleave_wide_avx512, deinterleave_wide_avx512,
+                          "avx512"};
+    }
+#endif
 #ifdef VPIM_INTERLEAVE_AVX2
-    const char* off = std::getenv("VPIM_NO_AVX2");
-    const bool disabled = off != nullptr && off[0] != '\0' && off[0] != '0';
-    if (!disabled && __builtin_cpu_supports("avx2")) {
+    if (!no_vector && __builtin_cpu_supports("avx2")) {
       return WideDispatch{interleave_wide_avx2, deinterleave_wide_avx2,
                           "avx2"};
     }
@@ -271,5 +383,33 @@ void deinterleave_wide(std::span<const std::uint8_t> src,
 }
 
 std::string_view wide_kernel_name() { return wide_dispatch().name; }
+
+InterleaveKernel interleave_avx512_kernel() {
+#ifdef VPIM_INTERLEAVE_AVX512
+  if (__builtin_cpu_supports("avx512f")) return interleave_wide_avx512;
+#endif
+  return nullptr;
+}
+
+InterleaveKernel deinterleave_avx512_kernel() {
+#ifdef VPIM_INTERLEAVE_AVX512
+  if (__builtin_cpu_supports("avx512f")) return deinterleave_wide_avx512;
+#endif
+  return nullptr;
+}
+
+InterleaveKernel interleave_avx2_kernel() {
+#ifdef VPIM_INTERLEAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) return interleave_wide_avx2;
+#endif
+  return nullptr;
+}
+
+InterleaveKernel deinterleave_avx2_kernel() {
+#ifdef VPIM_INTERLEAVE_AVX2
+  if (__builtin_cpu_supports("avx2")) return deinterleave_wide_avx2;
+#endif
+  return nullptr;
+}
 
 }  // namespace vpim::upmem

@@ -8,11 +8,13 @@
 //
 //   - *_naive: byte-at-a-time loop (the slow-path stand-in, kept intact
 //     for the Fig 11/12 ablations);
-//   - *_wide : the fast path, dispatched at runtime to an AVX2
-//     implementation (four 8x8 blocks per iteration, delta swaps on ymm
-//     registers) when the CPU supports it, with the portable transpose8x8
-//     64-bit-word path as the fallback. VPIM_NO_AVX2=1 forces the
-//     portable path for A/B testing.
+//   - *_wide : the fast path, dispatched at runtime across three tiers:
+//     AVX-512 (eight 8x8 blocks per iteration, delta swaps on zmm
+//     registers, one full 64-byte cache line per chip per group), then
+//     AVX2 (four 8x8 blocks on ymm registers), then the portable
+//     transpose8x8 64-bit-word path. VPIM_NO_AVX512=1 drops only the
+//     512-bit tier; VPIM_NO_AVX2=1 forces the portable path. Both are
+//     read once at first dispatch, for A/B testing.
 //
 // All variants are bit-exact inverses of each other and are property-tested
 // against each other; the cost model charges their calibrated bandwidths.
@@ -32,11 +34,24 @@ void interleave_naive(std::span<const std::uint8_t> src,
 void deinterleave_naive(std::span<const std::uint8_t> src,
                         std::span<std::uint8_t> dst);
 
-// Runtime-dispatched fast path (AVX2 when available, scalar otherwise).
+// Runtime-dispatched fast path (AVX-512 > AVX2 > scalar).
 void interleave_wide(std::span<const std::uint8_t> src,
                      std::span<std::uint8_t> dst);
 void deinterleave_wide(std::span<const std::uint8_t> src,
                        std::span<std::uint8_t> dst);
+
+// Signature shared by every (de)interleave kernel.
+using InterleaveKernel = void (*)(std::span<const std::uint8_t>,
+                                  std::span<std::uint8_t>);
+
+// Direct handles to the vector tiers, bypassing the env-var dispatch, so
+// property tests can pin a specific implementation against the oracle.
+// Return nullptr when the binary or the CPU lacks the instruction set
+// (callers GTEST_SKIP cleanly on such hosts).
+InterleaveKernel interleave_avx512_kernel();
+InterleaveKernel deinterleave_avx512_kernel();
+InterleaveKernel interleave_avx2_kernel();
+InterleaveKernel deinterleave_avx2_kernel();
 
 // The portable transpose8x8 implementation, callable directly so tests can
 // compare it against whatever interleave_wide dispatched to.
@@ -45,7 +60,7 @@ void interleave_wide_scalar(std::span<const std::uint8_t> src,
 void deinterleave_wide_scalar(std::span<const std::uint8_t> src,
                               std::span<std::uint8_t> dst);
 
-// "avx2" or "scalar": which implementation interleave_wide dispatches to.
+// "avx512", "avx2", or "scalar": which tier interleave_wide dispatches to.
 std::string_view wide_kernel_name();
 
 }  // namespace vpim::upmem

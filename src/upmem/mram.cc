@@ -22,7 +22,7 @@ void MramBank::read(std::uint64_t offset, std::span<std::uint8_t> out) const {
     const std::uint64_t page = src / kMramPageSize;
     const std::uint64_t in_page = src % kMramPageSize;
     const std::uint64_t n = std::min(remaining, kMramPageSize - in_page);
-    if (pages_[page]) {
+    if (page < pages_.size() && pages_[page]) {
       std::memcpy(dst, pages_[page]->bytes.data() + in_page, n);
     } else {
       std::memset(dst, 0, n);
@@ -56,6 +56,7 @@ void MramBank::adopt_pages(std::uint64_t offset,
   const std::uint64_t first = offset / kMramPageSize;
   VPIM_CHECK(first + pages.size() <= kMramPages,
              "shared-page adoption out of bounds");
+  ensure_table();
   for (std::size_t i = 0; i < pages.size(); ++i) {
     pages_[first + i] = pages[i];
   }
@@ -94,6 +95,7 @@ std::vector<std::pair<std::uint32_t, MramPageRef>> MramBank::export_pages()
 void MramBank::import_pages(
     const std::vector<std::pair<std::uint32_t, MramPageRef>>& pages) {
   clear();
+  if (!pages.empty()) ensure_table();
   for (const auto& [index, page] : pages) {
     VPIM_CHECK(index < kMramPages, "imported page out of bounds");
     pages_[index] = page;
@@ -108,7 +110,12 @@ std::size_t MramBank::resident_pages() const {
   return n;
 }
 
+void MramBank::ensure_table() {
+  if (pages_.empty()) pages_.resize(kMramPages);
+}
+
 MramPage& MramBank::page_for_write(std::uint64_t page_index) {
+  ensure_table();
   MramPageRef& ref = pages_[page_index];
   if (!ref) {
     ref = std::make_shared<MramPage>();

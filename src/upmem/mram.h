@@ -23,7 +23,12 @@ using MramPageRef = std::shared_ptr<MramPage>;
 
 class MramBank {
  public:
-  MramBank() : pages_(kMramPages) {}
+  // The page table itself is lazy too: a fresh bank holds an empty vector
+  // and grows it to kMramPages on the first write/adopt/import. Machines
+  // construct 8 ranks x 64 banks up front, and a 16384-slot table per bank
+  // is real memory and construction time for banks most workloads never
+  // touch.
+  MramBank() = default;
 
   // Reads `out.size()` bytes starting at `offset`; absent pages read as 0.
   void read(std::uint64_t offset, std::span<std::uint8_t> out) const;
@@ -58,8 +63,9 @@ class MramBank {
 
  private:
   MramPage& page_for_write(std::uint64_t page_index);
+  void ensure_table();
 
-  std::vector<MramPageRef> pages_;
+  std::vector<MramPageRef> pages_;  // empty until the first write
 };
 
 }  // namespace vpim::upmem

@@ -64,19 +64,25 @@ std::uint16_t Virtqueue::submit(std::span<const DescBuffer> buffers) {
 }
 
 std::optional<DescChain> Virtqueue::pop_avail() {
-  if (avail_seen_ == avail_idx_) return std::nullopt;
+  DescChain chain;
+  if (!pop_avail_into(chain)) return std::nullopt;
+  return chain;
+}
+
+bool Virtqueue::pop_avail_into(DescChain& out) {
+  if (avail_seen_ == avail_idx_) return false;
   const std::uint16_t head = avail_ring_[avail_seen_ % size_];
   ++avail_seen_;
-  DescChain chain;
-  chain.head = head;
+  out.head = head;
+  out.descs.clear();
   std::uint16_t i = head;
   while (true) {
-    chain.descs.push_back(desc_[i]);
+    out.descs.push_back(desc_[i]);
     if ((desc_[i].flags & kDescFlagNext) == 0) break;
     i = desc_[i].next;
-    VPIM_CHECK(chain.descs.size() <= size_, "descriptor chain loop");
+    VPIM_CHECK(out.descs.size() <= size_, "descriptor chain loop");
   }
-  return chain;
+  return true;
 }
 
 void Virtqueue::push_used(std::uint16_t head, std::uint32_t written) {

@@ -63,6 +63,11 @@ class Virtqueue {
   // --- device side -------------------------------------------------------
   // Pops the next available chain (walking next pointers).
   std::optional<DescChain> pop_avail();
+  // Allocation-reusing form: fills `out` (clearing, not freeing, its
+  // descriptor storage) and returns false when the ring is empty. Device
+  // drain loops keep one chain as member scratch and pay no per-request
+  // vector churn.
+  bool pop_avail_into(DescChain& out);
   // Marks a chain as consumed.
   void push_used(std::uint16_t head, std::uint32_t written);
 

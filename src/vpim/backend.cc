@@ -17,21 +17,6 @@ T read_pod(const std::uint8_t* src) {
   std::memcpy(&value, src, sizeof(T));
   return value;
 }
-
-// Merges adjacent HVA segments so bulk copies stream contiguously. Writes
-// into a caller-owned vector so the per-entry loops reuse one allocation.
-void coalesce_into(
-    const std::vector<std::pair<std::uint8_t*, std::uint64_t>>& segments,
-    std::vector<std::pair<std::uint8_t*, std::uint64_t>>& out) {
-  out.clear();
-  for (const auto& [ptr, len] : segments) {
-    if (!out.empty() && out.back().first + out.back().second == ptr) {
-      out.back().second += len;
-    } else {
-      out.emplace_back(ptr, len);
-    }
-  }
-}
 }  // namespace
 
 Backend::Backend(vmm::Vmm& vmm, driver::UpmemDriver& drv, Manager& manager,
@@ -284,34 +269,35 @@ bool Backend::recover_rank_death() {
 void Backend::handle_transferq() {
   VPIM_CHECK(state_.driver_ok(),
              "queue notification before DRIVER_OK (virtio 1.x 3.1)");
-  while (auto chain = transferq_.pop_avail()) {
-    handle_one(*chain);
+  while (transferq_.pop_avail_into(chain_scratch_)) {
+    handle_one(chain_scratch_);
   }
 }
 
 void Backend::handle_controlq() {
   VPIM_CHECK(state_.driver_ok(),
              "queue notification before DRIVER_OK (virtio 1.x 3.1)");
-  while (auto chain = controlq_.pop_avail()) {
+  while (controlq_.pop_avail_into(chain_scratch_)) {
+    const virtio::DescChain& chain = chain_scratch_;
     obs::ScopedSpan span(tracer(), vmm_.clock(),
                          obs::SpanKind::kBackendRequest);
     try {
-      const WireRequest req = read_request(*chain);
+      const WireRequest req = read_request(chain);
       span.set_request(req.request_id);
-      handle_control(*chain, req);
+      handle_control(chain, req);
     } catch (const VpimStatusError& e) {
-      complete_with_status(controlq_, *chain, e.status());
+      complete_with_status(controlq_, chain, e.status());
     } catch (const FaultError& e) {
       // Control-path faults (e.g. kMigrateRank touching a dead rank) have
       // no retry wrapper; surface them typed instead of as BAD_REQUEST.
       drv_.log_fault(e.record());
       ++stats_.fault_failures;
       complete_with_status(
-          controlq_, *chain,
+          controlq_, chain,
           static_cast<std::int32_t>(virtio::PimStatus::kDeviceFault));
     } catch (const VpimError&) {
       complete_with_status(
-          controlq_, *chain,
+          controlq_, chain,
           static_cast<std::int32_t>(virtio::PimStatus::kBadRequest));
     }
   }
@@ -415,7 +401,8 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
   // -- Deserialization + GPA->HVA translation (Fig 13 "Deser") ----------
   const SimNs deser_start = clock.now();
   obs::ScopedSpan deser_span(tracer(), clock, obs::SpanKind::kDeserialize);
-  DeserializeResult matrix = deserialize_matrix(chain, vmm_.memory());
+  deserialize_matrix(chain, vmm_.memory(), deser_result_, deser_scratch_);
+  const DeserializeResult& matrix = deser_result_;
   // Entries must fit the bound rank before anything touches MRAM.
   upmem::Rank& rank = bound_rank();
   for (const DeserializedEntry& e : matrix.entries) {
@@ -461,36 +448,34 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
       return;
     }
     // Detect broadcast: every entry targets the same offset/size through
-    // the same (coalesced) guest segment. The two coalesce outputs live in
-    // member scratch so per-request loops reuse one allocation.
+    // the same guest segment. Translation already merged contiguous pages,
+    // so a broadcast shows up as one identical single-segment entry per
+    // DPU — straight span comparisons, no per-request scratch.
     bool broadcast = matrix.direction == driver::XferDirection::kToRank &&
                      matrix.entries.size() == bound_rank().nr_dpus() &&
-                     matrix.entries.size() > 1;
-    auto& first = coalesce_first_;
-    auto& cur = coalesce_scratch_;
+                     matrix.entries.size() > 1 &&
+                     matrix.entries[0].segments.size() == 1;
     if (broadcast) {
-      coalesce_into(matrix.entries[0].segments, first);
+      const DeserializedEntry& head = matrix.entries[0];
       for (const auto& e : matrix.entries) {
-        coalesce_into(e.segments, cur);
-        if (e.mram_offset != matrix.entries[0].mram_offset ||
-            e.size != matrix.entries[0].size || cur != first) {
+        if (e.mram_offset != head.mram_offset || e.size != head.size ||
+            e.segments.size() != 1 || e.segments[0] != head.segments[0]) {
           broadcast = false;
           break;
         }
       }
-      broadcast = broadcast && first.size() == 1;
     }
     if (broadcast) {
       data_span.set_kind(obs::SpanKind::kBroadcast);
-      data_broadcast(matrix.entries[0].mram_offset,
-                     {first[0].first, first[0].second});
+      const HvaSegment& seg = matrix.entries[0].segments[0];
+      data_broadcast(matrix.entries[0].mram_offset, {seg.first, seg.second});
     } else {
-      driver::TransferMatrix xfer;
+      driver::TransferMatrix& xfer = xfer_scratch_;
+      xfer.entries.clear();
       xfer.direction = matrix.direction;
       for (const auto& e : matrix.entries) {
         std::uint64_t mram = e.mram_offset;
-        coalesce_into(e.segments, cur);
-        for (const auto& [ptr, len] : cur) {
+        for (const auto& [ptr, len] : e.segments) {
           xfer.entries.push_back({e.dpu, mram, ptr, len});
           mram += len;
         }

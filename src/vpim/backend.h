@@ -6,8 +6,9 @@
 //   - zero-copy request handling: payload pages are reached through
 //     GPA->HVA translation (spread across translation worker threads),
 //     never copied through the ring;
-//   - segment coalescing + broadcast detection so bulk copies stream at
-//     full bandwidth (and broadcast storage stays copy-on-write);
+//   - contiguous guest pages merge into one segment during translation,
+//     plus broadcast detection, so bulk copies stream at full bandwidth
+//     (and broadcast storage stays copy-on-write);
 //   - the wide-word ("C/AVX512") or naive ("Rust") data path per the
 //     active VpimConfig;
 //   - per-chip operation workers (8 DPUs at a time).
@@ -129,10 +130,13 @@ class Backend {
   obs::Hub& obs_;
   std::optional<driver::RankMapping> mapping_;
   std::unique_ptr<EmulatedRank> emulated_;
-  // Reused coalesce outputs (one allocation across requests instead of a
-  // fresh vector per matrix entry).
-  std::vector<std::pair<std::uint8_t*, std::uint64_t>> coalesce_first_;
-  std::vector<std::pair<std::uint8_t*, std::uint64_t>> coalesce_scratch_;
+  // Pooled request-path working set: deserialize output/scratch and the
+  // driver transfer matrix are reused across requests, so the steady-state
+  // hot path performs no heap allocation once high-water marks are reached.
+  DeserializeResult deser_result_;
+  DeserializeScratch deser_scratch_;
+  driver::TransferMatrix xfer_scratch_;
+  virtio::DescChain chain_scratch_;
   // Parked state between kSuspendRank and kResumeRank (§7 pause/resume).
   std::optional<upmem::Rank::Snapshot> suspended_;
 };

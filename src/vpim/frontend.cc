@@ -70,6 +70,7 @@ void Frontend::ensure_arenas() {
 
   caches_.resize(kDpus);
   batches_.resize(kDpus);
+  filling_.resize(kDpus);
   for (std::uint32_t d = 0; d < kDpus; ++d) {
     if (config_.prefetch_cache) caches_[d].buf = mem.alloc(cache_bytes());
     if (config_.request_batching) batches_[d].buf = mem.alloc(batch_bytes());
@@ -312,17 +313,18 @@ void Frontend::read_from_rank(const driver::TransferMatrix& matrix) {
     return c.valid && e.mram_offset >= c.base &&
            e.mram_offset + e.size <= c.base + c.len;
   };
-  driver::TransferMatrix fill;
+  driver::TransferMatrix& fill = fill_scratch_;
   fill.direction = driver::XferDirection::kFromRank;
-  std::vector<bool> filling(caches_.size(), false);
+  fill.entries.clear();
+  std::fill(filling_.begin(), filling_.end(), std::uint8_t{0});
   for (const driver::XferEntry& e : matrix.entries) {
     if (in_cache(e)) {
       ++stats_.cache_hits;
       continue;
     }
     ++stats_.cache_misses;
-    if (filling[e.dpu]) continue;  // one fill per DPU per request
-    filling[e.dpu] = true;
+    if (filling_[e.dpu]) continue;  // one fill per DPU per request
+    filling_[e.dpu] = 1;
     DpuCache& c = caches_[e.dpu];
     const std::uint64_t len =
         std::min<std::uint64_t>(cache_bytes(),
@@ -341,20 +343,25 @@ void Frontend::read_from_rank(const driver::TransferMatrix& matrix) {
       caches_[f.dpu].len = f.size;
     }
   }
-  // Serve every entry from the cache (fallback: direct read for ranges
-  // that still miss, e.g. two disjoint ranges on one DPU in one call).
+  // Serve every entry from the cache. Ranges that still miss (e.g. two
+  // disjoint ranges on one DPU in one call) are collected into a single
+  // direct read, so the residue costs one doorbell instead of one
+  // notify/IRQ round trip per entry.
+  driver::TransferMatrix& direct = direct_scratch_;
+  direct.direction = driver::XferDirection::kFromRank;
+  direct.entries.clear();
   for (const driver::XferEntry& e : matrix.entries) {
     if (!in_cache(e)) {
-      driver::TransferMatrix direct;
-      direct.direction = driver::XferDirection::kFromRank;
       direct.entries.push_back(e);
-      send_rank_op(direct, /*is_write=*/false, /*flags=*/0);
       continue;
     }
     const DpuCache& c = caches_[e.dpu];
     std::memcpy(e.host, c.buf.data() + (e.mram_offset - c.base), e.size);
     clock.advance(cost.cache_hit_fixed_ns +
                   CostModel::bytes_time(e.size, cost.guest_memcpy_gbps));
+  }
+  if (!direct.entries.empty()) {
+    send_rank_op(direct, /*is_write=*/false, /*flags=*/0);
   }
   stats_.ops.add(RankOp::kReadFromRank, clock.now() - t0);
   observe_op(RankOp::kReadFromRank, clock.now() - t0);
@@ -411,8 +418,9 @@ bool Frontend::try_batch(const driver::TransferMatrix& matrix) {
 void Frontend::flush_batch() {
   if (batch_pending_ == 0) return;
   obs::ScopedSpan span(tracer(), vmm_.clock(), obs::SpanKind::kWriteFlush);
-  driver::TransferMatrix matrix;
+  driver::TransferMatrix& matrix = flush_scratch_;
   matrix.direction = driver::XferDirection::kToRank;
+  matrix.entries.clear();
   for (std::uint32_t d = 0; d < batches_.size(); ++d) {
     if (batches_[d].cursor == 0) continue;
     matrix.entries.push_back(
@@ -456,11 +464,12 @@ void Frontend::send_rank_op(const driver::TransferMatrix& matrix,
 
   // -- Serialization (Fig 13 "Ser").
   const SimNs ser_start = clock.now();
-  auto serialized = serialize_matrix(
-      matrix, vmm_.memory(), arena_,
-      static_cast<std::uint32_t>(
-          is_write ? virtio::PimRequestType::kWriteToRank
-                   : virtio::PimRequestType::kReadFromRank));
+  serialize_matrix(matrix, vmm_.memory(), arena_,
+                   static_cast<std::uint32_t>(
+                       is_write ? virtio::PimRequestType::kWriteToRank
+                                : virtio::PimRequestType::kReadFromRank),
+                   ser_scratch_);
+  const SerializeResult& serialized = ser_scratch_;
   // Patch the flags + causal request id into the serialized request block.
   {
     WireRequest req;
@@ -556,17 +565,21 @@ WireResponse Frontend::ci_roundtrip(const WireRequest& req,
   WireRequest stamped = req;
   stamped.request_id = wire_request_id();
   std::memcpy(arena_.request.data(), &stamped, sizeof(stamped));
-  std::vector<virtio::DescBuffer> chain;
-  chain.push_back({vmm_.memory().gpa_of(arena_.request.data()),
-                   sizeof(WireRequest), false});
+  // A CI chain is at most [request, payload, response]; build it in a
+  // fixed array instead of a heap vector.
+  std::array<virtio::DescBuffer, 3> chain;
+  std::size_t n = 0;
+  chain[n++] = {vmm_.memory().gpa_of(arena_.request.data()),
+                sizeof(WireRequest), false};
   if (!payload.empty()) {
-    chain.push_back({vmm_.memory().gpa_of(payload.data()),
-                     static_cast<std::uint32_t>(payload.size()),
-                     payload_writable});
+    chain[n++] = {vmm_.memory().gpa_of(payload.data()),
+                  static_cast<std::uint32_t>(payload.size()),
+                  payload_writable};
   }
-  chain.push_back({vmm_.memory().gpa_of(arena_.response.data()),
-                   sizeof(WireResponse), true});
-  roundtrip(transferq_, chain, /*record_wsteps=*/false);
+  chain[n++] = {vmm_.memory().gpa_of(arena_.response.data()),
+                sizeof(WireResponse), true};
+  roundtrip(transferq_, std::span(chain.data(), n),
+            /*record_wsteps=*/false);
 
   WireResponse resp;
   std::memcpy(&resp, arena_.response.data(), sizeof(resp));

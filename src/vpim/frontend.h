@@ -178,6 +178,15 @@ class Frontend {
   std::vector<DpuCache> caches_;
   std::vector<DpuBatch> batches_;
   std::uint64_t batch_pending_ = 0;  // total records pending
+  // Pooled request-path working set, reused across device-file calls so
+  // the steady-state hot path performs no heap allocation: serialization
+  // output and the transfer matrices assembled for prefetch fills,
+  // residual direct reads, and batch flushes.
+  SerializeResult ser_scratch_;
+  driver::TransferMatrix fill_scratch_;
+  driver::TransferMatrix direct_scratch_;
+  driver::TransferMatrix flush_scratch_;
+  std::vector<std::uint8_t> filling_;  // per-DPU "fill queued" flags
 };
 
 }  // namespace vpim::core

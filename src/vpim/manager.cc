@@ -49,7 +49,8 @@ std::optional<std::uint32_t> Manager::try_allocate_locked(
       table_[r].state = RankState::kAllo;
       table_[r].owner = owner;
       table_[r].activated = false;
-      table_[r].missed = 0;
+      table_[r].alloc_map_gen = drv_.map_generation(r);
+      table_[r].miss_pending = false;
       ++stats_.reuse_hits;
       return r;
     }
@@ -63,7 +64,8 @@ std::optional<std::uint32_t> Manager::try_allocate_locked(
       table_[r].state = RankState::kAllo;
       table_[r].owner = owner;
       table_[r].activated = false;
-      table_[r].missed = 0;
+      table_[r].alloc_map_gen = drv_.map_generation(r);
+      table_[r].miss_pending = false;
       return r;
     }
   }
@@ -75,7 +77,8 @@ std::optional<std::uint32_t> Manager::try_allocate_locked(
       table_[r].state = RankState::kAllo;
       table_[r].owner = owner;
       table_[r].activated = false;
-      table_[r].missed = 0;
+      table_[r].alloc_map_gen = drv_.map_generation(r);
+      table_[r].miss_pending = false;
       return r;
     }
   }
@@ -127,12 +130,16 @@ void Manager::observe(bool do_resets) {
           ++stats_.seizures_observed;
           e.owner = status->owner;
           e.activated = true;
-          e.missed = 0;
+          e.miss_pending = false;
           e.quarantine_on_release = true;
         } else if (in_use) {
           e.activated = true;
-          e.missed = 0;
-        } else if (e.activated || ++e.missed >= 2) {
+          e.miss_pending = false;
+        } else if (e.activated ||
+                   drv_.map_generation(r) != e.alloc_map_gen ||
+                   (e.miss_pending &&
+                    std::chrono::steady_clock::now() - e.unmapped_since >=
+                        config_.unactivated_release_grace)) {
           // The holder released the rank without telling us (by design,
           // §3.5): its mapping vanished from sysfs.
           ++stats_.releases_observed;
@@ -143,8 +150,13 @@ void Manager::observe(bool do_resets) {
             e.last_owner = e.owner;
             e.owner.clear();
             e.activated = false;
-            e.missed = 0;
+            e.miss_pending = false;
           }
+        } else if (!e.miss_pending) {
+          // First unmapped observation of a never-mapped allocation: arm
+          // the real-time grace instead of reclaiming outright.
+          e.miss_pending = true;
+          e.unmapped_since = std::chrono::steady_clock::now();
         }
         break;
       case RankState::kNaav:
@@ -165,7 +177,7 @@ void Manager::observe(bool do_resets) {
           e.owner = status->owner;
           e.last_owner.clear();
           e.activated = true;
-          e.missed = 0;
+          e.miss_pending = false;
           e.quarantine_on_release = true;
         }
         break;
@@ -212,7 +224,7 @@ void Manager::quarantine_locked(std::uint32_t rank, SimNs now) {
   e.owner.clear();
   e.last_owner.clear();
   e.activated = false;
-  e.missed = 0;
+  e.miss_pending = false;
   e.quarantine_on_release = false;
   e.probe_backoff = config_.quarantine_backoff_ns;
   e.next_probe = now;  // first probe as soon as the rank is unmapped
@@ -229,7 +241,7 @@ void Manager::note_seized(std::uint32_t rank) {
   e.owner = drv_.sysfs().read(rank).owner;
   e.last_owner.clear();
   e.activated = true;
-  e.missed = 0;
+  e.miss_pending = false;
   e.quarantine_on_release = true;
 }
 

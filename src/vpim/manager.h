@@ -20,6 +20,7 @@
 // charge virtual time.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <mutex>
 #include <optional>
@@ -53,6 +54,13 @@ struct ManagerConfig {
   // failed probe, doubling per failure up to the cap.
   SimNs quarantine_backoff_ns = 100 * kMs;
   SimNs quarantine_backoff_max_ns = 1600 * kMs;
+  // An ALLO rank whose mapping was never witnessed in sysfs is declared
+  // released only after staying unmapped for this long in *real* time.
+  // Pass counting alone is racy: concurrent requesters spin observe(), so
+  // two "unmapped" observations can land microseconds after allocation,
+  // recycling a rank whose holder is still on its way to map_rank.
+  std::chrono::nanoseconds unactivated_release_grace =
+      std::chrono::milliseconds(50);
 };
 
 struct ManagerStats {
@@ -66,7 +74,7 @@ struct ManagerStats {
   std::uint64_t quarantine_probes = 0;   // reset-verify attempts on kFail
   std::uint64_t recoveries = 0;          // kFail -> kNaav probe successes
   std::uint64_t seizures_observed = 0;   // ranks grabbed out from under us
-  std::uint64_t wrank_migrations = 0;    // backend moved a wrank off a dead rank
+  std::uint64_t wrank_migrations = 0;  // backend moved wrank off dead rank
   std::uint64_t fault_records_drained = 0;
   std::uint64_t status_parse_errors = 0;  // hostile/corrupt sysfs lines
 };
@@ -107,12 +115,16 @@ class Manager {
     std::string last_owner;  // for NANA-affinity reuse
     // Release detection: `activated` is set once the observer has seen the
     // holder's mapping in sysfs; a release is then the mapping vanishing.
-    // If the mapping was never witnessed (it appeared and disappeared
-    // between polls), two consecutive unmapped observations count as a
-    // release — without this grace, a rank allocated but not yet mapped
-    // would be reclaimed immediately.
+    // If the mapping appeared and disappeared entirely between polls, the
+    // driver's map-generation counter (recorded at allocation) still
+    // advances, so the release is detected on the next pass. A rank that
+    // was *never* mapped since allocation is reclaimed only after staying
+    // unmapped past the real-time unactivated_release_grace — its holder
+    // may still be on its way to map_rank.
     bool activated = false;
-    std::uint32_t missed = 0;
+    std::uint64_t alloc_map_gen = 0;
+    bool miss_pending = false;
+    std::chrono::steady_clock::time_point unmapped_since{};
     // Fault bookkeeping: a seized rank must be reset-verified (not merely
     // reset) once its squatter lets go; kFail ranks are probed with
     // exponential backoff.

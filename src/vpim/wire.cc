@@ -26,15 +26,16 @@ T read_pod(const std::uint8_t* src) {
 }
 }  // namespace
 
-SerializeResult serialize_matrix(const driver::TransferMatrix& matrix,
-                                 guest::GuestMemory& mem, WireArena& arena,
-                                 std::uint32_t request_type) {
+void serialize_matrix(const driver::TransferMatrix& matrix,
+                      guest::GuestMemory& mem, WireArena& arena,
+                      std::uint32_t request_type, SerializeResult& result) {
   VPIM_CHECK(matrix.entries.size() <= upmem::kDpuSlotsPerRank,
              "matrix has more entries than DPUs in a rank");
   VPIM_CHECK(matrix.total_bytes() <= upmem::kMaxXferBytes,
              "rank operations move at most 4 GiB");
 
-  SerializeResult result;
+  result.chain.clear();
+  result.nr_pages = 0;
   // [req][meta] + 2 per entry + [response].
   result.chain.reserve(3 + 2 * matrix.entries.size());
 
@@ -102,11 +103,19 @@ SerializeResult serialize_matrix(const driver::TransferMatrix& matrix,
 
   VPIM_CHECK(result.chain.size() <= virtio::kMaxMatrixBuffers,
              "serialized matrix exceeds 131 buffers");
+}
+
+SerializeResult serialize_matrix(const driver::TransferMatrix& matrix,
+                                 guest::GuestMemory& mem, WireArena& arena,
+                                 std::uint32_t request_type) {
+  SerializeResult result;
+  serialize_matrix(matrix, mem, arena, request_type, result);
   return result;
 }
 
-DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
-                                     guest::GuestMemory& mem) {
+void deserialize_matrix(const virtio::DescChain& chain,
+                        guest::GuestMemory& mem, DeserializeResult& result,
+                        DeserializeScratch& scratch) {
   using virtio::PimStatus;
   // [req][meta][2 per entry...][response] => odd count, at least 3.
   VPIM_REQUEST_CHECK(chain.descs.size() >= 3 && chain.descs.size() % 2 == 1,
@@ -134,16 +143,25 @@ DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
                      PimStatus::kBadRequest,
                      "rank operations move at most 4 GiB");
 
-  DeserializeResult result;
   result.direction = static_cast<driver::XferDirection>(req.direction);
+  result.entries.clear();
+  result.segment_pool.clear();
+  result.nr_pages = 0;
+  result.total_bytes = 0;
   result.entries.reserve(meta.nr_entries);
 
   // Pass 1 (serial, in entry order): validate every guest-controlled
   // metadata field and build the entry skeletons.
-  std::vector<WireEntryMeta> entry_metas;
-  std::vector<const std::uint8_t*> page_lists;
+  std::vector<WireEntryMeta>& entry_metas = scratch.entry_metas;
+  std::vector<const std::uint8_t*>& page_lists = scratch.page_lists;
+  std::vector<std::uint64_t>& seg_base = scratch.seg_base;
+  std::vector<std::uint32_t>& seg_count = scratch.seg_count;
+  entry_metas.clear();
+  page_lists.clear();
+  seg_base.clear();
   entry_metas.reserve(meta.nr_entries);
   page_lists.reserve(meta.nr_entries);
+  seg_base.reserve(meta.nr_entries);
   for (std::uint64_t k = 0; k < meta.nr_entries; ++k) {
     const virtio::VirtqDesc& meta_desc = chain.descs[2 + 2 * k];
     VPIM_REQUEST_CHECK(meta_desc.len >= sizeof(WireEntryMeta),
@@ -169,6 +187,7 @@ DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
                        "page buffer length disagrees with entry metadata");
     page_lists.push_back(mem.hva_range(pages_desc.addr, pages_desc.len));
     entry_metas.push_back(em);
+    seg_base.push_back(result.nr_pages);  // worst case: one seg per page
 
     DeserializedEntry entry;
     entry.dpu = static_cast<std::uint32_t>(em.dpu);
@@ -178,18 +197,37 @@ DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
     result.total_bytes += em.size;
     result.entries.push_back(std::move(entry));
   }
+  // Carve disjoint per-entry extents out of the flat pool so the parallel
+  // pass below writes without coordination; merged runs leave tail gaps.
+  result.segment_pool.resize(result.nr_pages);
+  seg_count.assign(meta.nr_entries, 0);
 
   // Pass 2: GPA -> HVA translation — the step vPIM spreads over worker
   // threads (translate_threads in the cost model); here the entries fan
   // out over the host pool for real. Each entry fills only its own
-  // segment list; a hostile page address throws and the pool rethrows the
-  // lowest failing entry's error, exactly what a serial walk reports.
+  // extent of the segment pool; a hostile page address throws and the pool
+  // rethrows the lowest failing entry's error, exactly what a serial walk
+  // reports. Runs of guest-contiguous pages collapse into one segment as
+  // they are translated (guest RAM is flat, so GPA-contiguous means
+  // HVA-contiguous): bulk copies downstream stream over whole runs and no
+  // post-hoc coalescing pass is needed.
   ThreadPool::instance().parallel_for(
       result.entries.size(), [&](std::size_t k) {
         const WireEntryMeta& em = entry_metas[k];
         const std::uint8_t* list = page_lists[k];
-        DeserializedEntry& entry = result.entries[k];
-        entry.segments.reserve(em.nr_pages);
+        HvaSegment* out = result.segment_pool.data() + seg_base[k];
+        std::uint32_t nseg = 0;
+        // Current run of contiguous pages: [run_gpa, run_gpa + run_pages *
+        // kPage) covering run_len data bytes starting run_off into it.
+        std::uint64_t run_gpa = 0, run_pages = 0, run_off = 0, run_len = 0;
+        const auto flush_run = [&] {
+          if (run_pages == 0) return;
+          // Whole-page range check over the run: a page straddling the end
+          // of guest RAM must not hand out a pointer past the backing
+          // allocation (same granularity as a per-page hva_range walk).
+          out[nseg++] = {mem.hva_range(run_gpa, run_pages * kPage) + run_off,
+                         run_len};
+        };
         std::uint64_t remaining = em.size;
         for (std::uint64_t p = 0; p < em.nr_pages; ++p) {
           const auto page_gpa = read_pod<std::uint64_t>(list + p * 8);
@@ -197,18 +235,38 @@ DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
                              "page address not page-aligned");
           const std::uint64_t off = (p == 0) ? em.first_page_offset : 0;
           const std::uint64_t len = std::min(remaining, kPage - off);
-          // Whole-page range check: a page straddling the end of guest RAM
-          // must not hand out a pointer past the backing allocation.
-          entry.segments.emplace_back(mem.hva_range(page_gpa, kPage) + off,
-                                      len);
+          if (run_pages > 0 && page_gpa == run_gpa + run_pages * kPage &&
+              run_off + run_len == run_pages * kPage) {
+            ++run_pages;
+            run_len += len;
+          } else {
+            flush_run();
+            run_gpa = page_gpa;
+            run_pages = 1;
+            run_off = off;
+            run_len = len;
+          }
           remaining -= len;
         }
+        flush_run();
         VPIM_REQUEST_CHECK(remaining == 0, PimStatus::kBadRequest,
                            "pages do not cover the entry");
+        seg_count[k] = nseg;
       });
+  for (std::uint64_t k = 0; k < meta.nr_entries; ++k) {
+    result.entries[k].segments = {result.segment_pool.data() + seg_base[k],
+                                  seg_count[k]};
+  }
   VPIM_REQUEST_CHECK(result.total_bytes == meta.total_bytes,
                      PimStatus::kBadRequest,
                      "matrix metadata disagrees with entry sizes");
+}
+
+DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
+                                     guest::GuestMemory& mem) {
+  DeserializeResult result;
+  DeserializeScratch scratch;
+  deserialize_matrix(chain, mem, result, scratch);
   return result;
 }
 

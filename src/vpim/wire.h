@@ -113,16 +113,30 @@ struct SerializeResult {
 // Serializes `matrix` (host pointers must be inside `mem`) into `arena`,
 // producing the descriptor chain. Throws on malformed matrices (too many
 // entries, oversized transfer, buffers outside guest RAM).
+//
+// The out-parameter form reuses `out`'s chain storage across requests
+// (clear, not free) so a long-lived caller pays no per-request allocation
+// once the high-water mark is reached; the value form allocates fresh.
+// Both produce byte-identical chains (property-tested in tests/prop/).
+void serialize_matrix(const driver::TransferMatrix& matrix,
+                      guest::GuestMemory& mem, WireArena& arena,
+                      std::uint32_t request_type, SerializeResult& out);
 SerializeResult serialize_matrix(const driver::TransferMatrix& matrix,
                                  guest::GuestMemory& mem, WireArena& arena,
                                  std::uint32_t request_type);
+
+// One contiguous host-virtual piece of a translated entry.
+using HvaSegment = std::pair<std::uint8_t*, std::uint64_t>;
 
 struct DeserializedEntry {
   std::uint32_t dpu = 0;
   std::uint64_t mram_offset = 0;
   std::uint64_t size = 0;
-  // Host-virtual scatter segments after GPA->HVA translation.
-  std::vector<std::pair<std::uint8_t*, std::uint64_t>> segments;
+  // Host-virtual scatter segments after GPA->HVA translation. Contiguous
+  // guest pages are merged during translation, so these are maximally
+  // coalesced already — views into DeserializeResult::segment_pool, valid
+  // for the lifetime (and moves, but not copies) of the owning result.
+  std::span<const HvaSegment> segments;
 };
 
 struct DeserializeResult {
@@ -130,6 +144,19 @@ struct DeserializeResult {
   std::vector<DeserializedEntry> entries;
   std::uint64_t nr_pages = 0;
   std::uint64_t total_bytes = 0;
+  // Backing store for every entry's segment span (flat, per-entry extents
+  // carved out before the parallel translation pass).
+  std::vector<HvaSegment> segment_pool;
+};
+
+// Reusable working set for deserialize_matrix: per-entry metadata and
+// page-list views captured by the validation pass. Owned by the caller so
+// the backend's steady state performs no allocation per request.
+struct DeserializeScratch {
+  std::vector<WireEntryMeta> entry_metas;
+  std::vector<const std::uint8_t*> page_lists;
+  std::vector<std::uint64_t> seg_base;    // per-entry offset into the pool
+  std::vector<std::uint32_t> seg_count;   // per-entry segments written
 };
 
 // Backend-side parse + GPA->HVA translation of a rank-operation chain.
@@ -138,6 +165,12 @@ struct DeserializeResult {
 // the serialize-side checks protect well-behaved guests, not the host.
 // Throws VpimStatusError (kBadRequest) on hostile or malformed chains;
 // the backend completes the request with that status.
+//
+// The out-parameter form reuses `out`/`scratch` storage across requests;
+// the value form allocates fresh. Identical results either way.
+void deserialize_matrix(const virtio::DescChain& chain,
+                        guest::GuestMemory& mem, DeserializeResult& out,
+                        DeserializeScratch& scratch);
 DeserializeResult deserialize_matrix(const virtio::DescChain& chain,
                                      guest::GuestMemory& mem);
 

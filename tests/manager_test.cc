@@ -239,11 +239,15 @@ TEST(Manager, RetriedRequestThatSucceedsIsNotCountedFailed) {
   auto r0 = mgr.request_rank("vm-a");
   auto r1 = mgr.request_rank("vm-b");
   ASSERT_TRUE(r0 && r1);
-  // vm-a releases without telling anyone; the mapping was never witnessed,
-  // so the retry loop's own observer passes need two sightings to reclaim
-  // it. vm-c's request succeeds on a later attempt.
+  // vm-a maps, works, and releases without telling anyone — entirely
+  // between observer passes, so the mapping is never witnessed. The
+  // driver's map-generation counter still exposes the release, and vm-c's
+  // request succeeds on a retry attempt. vm-b has not mapped yet, so its
+  // rank must NOT be reclaimed (it is inside the release grace).
+  { auto mapping = rig.drv.map_rank(*r0, "vm-a"); }
   auto rc = mgr.request_rank("vm-c");
   ASSERT_TRUE(rc.has_value());
+  EXPECT_EQ(*rc, *r0);
   EXPECT_EQ(mgr.stats().failed_requests, 0u);
 }
 

@@ -442,5 +442,92 @@ TEST(PropWire, MutatedChainsCompleteWithTypedStatusOnDevice) {
   EXPECT_EQ(std::memcmp(back.data(), data.data(), data.size()), 0);
 }
 
+// ---- property 4: pooled scratch reuse is invisible on the wire ----------
+//
+// The request path reuses SerializeResult / DeserializeResult /
+// DeserializeScratch buffers across requests (arena allocation, PR 6).
+// Reuse must be unobservable: serializing into a dirty pooled result must
+// produce the same descriptor chain and the same staged arena bytes as the
+// fresh value-returning path, and deserializing into dirty pooled scratch
+// must gather the same bytes as a fresh deserialize of the same chain.
+
+TEST(PropWire, PooledScratchMatchesFreshAllocation) {
+  WireRig rig;
+  // One pooled set reused across every case, so each case sees scratch
+  // dirtied by the previous one — exactly how the backend drives it.
+  core::SerializeResult pooled_ser;
+  core::DeserializeResult pooled_deser;
+  core::DeserializeScratch scratch;
+  const Params params = Params::from_env(0x9001EDu, 120);
+  const auto out = run_property<MatrixCase>(
+      "wire.pooled_vs_fresh", params, matrix_gen(),
+      [&](const MatrixCase& c) {
+        driver::TransferMatrix m;
+        m.direction = static_cast<driver::XferDirection>(c.direction);
+        for (const EntryShape& e : c.entries) {
+          m.entries.push_back(
+              {e.dpu, e.mram_offset, rig.slab.data() + e.slab_off, e.size});
+        }
+        const auto request_type = static_cast<std::uint32_t>(
+            c.direction == 0 ? virtio::PimRequestType::kWriteToRank
+                             : virtio::PimRequestType::kReadFromRank);
+
+        // Pooled serialize, then snapshot what landed in the guest arena.
+        core::serialize_matrix(m, rig.mem(), rig.arena, request_type,
+                               pooled_ser);
+        auto snap = [](std::span<std::uint8_t> region) {
+          return std::vector<std::uint8_t>(region.begin(), region.end());
+        };
+        const auto req_a = snap(rig.arena.request);
+        const auto meta_a = snap(rig.arena.matrix_meta);
+        const auto entries_a = snap(rig.arena.entry_meta);
+        const auto pages_a = snap(rig.arena.page_lists);
+        const std::vector<virtio::DescBuffer> chain_a = pooled_ser.chain;
+
+        // Fresh value-returning serialize of the same matrix.
+        const core::SerializeResult fresh =
+            core::serialize_matrix(m, rig.mem(), rig.arena, request_type);
+        require(fresh.nr_pages == pooled_ser.nr_pages,
+                "pooled serialize page count diverges from fresh");
+        require(fresh.chain.size() == chain_a.size(),
+                "pooled serialize chain length diverges from fresh");
+        for (std::size_t k = 0; k < fresh.chain.size(); ++k) {
+          require(fresh.chain[k].gpa == chain_a[k].gpa &&
+                      fresh.chain[k].len == chain_a[k].len &&
+                      fresh.chain[k].device_writable ==
+                          chain_a[k].device_writable,
+                  "pooled serialize chain diverges from fresh");
+        }
+        require(snap(rig.arena.request) == req_a &&
+                    snap(rig.arena.matrix_meta) == meta_a &&
+                    snap(rig.arena.entry_meta) == entries_a &&
+                    snap(rig.arena.page_lists) == pages_a,
+                "pooled serialize staged different arena bytes");
+
+        // Pooled deserialize with carried-over dirty scratch vs fresh.
+        core::deserialize_matrix(to_desc_chain(chain_a), rig.mem(),
+                                 pooled_deser, scratch);
+        const core::DeserializeResult plain =
+            core::deserialize_matrix(to_desc_chain(chain_a), rig.mem());
+        require(pooled_deser.direction == plain.direction &&
+                    pooled_deser.nr_pages == plain.nr_pages &&
+                    pooled_deser.total_bytes == plain.total_bytes &&
+                    pooled_deser.entries.size() == plain.entries.size(),
+                "pooled deserialize header diverges from fresh");
+        for (std::size_t k = 0; k < plain.entries.size(); ++k) {
+          require(pooled_deser.entries[k].dpu == plain.entries[k].dpu &&
+                      pooled_deser.entries[k].mram_offset ==
+                          plain.entries[k].mram_offset &&
+                      pooled_deser.entries[k].size == plain.entries[k].size,
+                  "pooled deserialize entry header diverges from fresh");
+          require(flatten_segments(pooled_deser.entries[k]) ==
+                      flatten_segments(plain.entries[k]),
+                  "pooled deserialize gathers different bytes");
+        }
+      },
+      show_matrix);
+  EXPECT_TRUE(out.ok) << out.reproducer;
+}
+
 }  // namespace
 }  // namespace vpim::prop

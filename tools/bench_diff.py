@@ -1,16 +1,24 @@
 #!/usr/bin/env python3
-"""Compare BENCH_*.json simulated results against committed baselines.
+"""Compare BENCH_*.json results against committed baselines.
 
-The figure benches report *virtual* (simulated) nanoseconds, which are a
-pure function of the cost model and the workload — independent of host
-speed, thread count, and load. Any drift therefore means the model or the
-code path changed, so the default tolerance is exact; --rel-tol exists
-only to loosen the gate deliberately.
+Two gates, one file:
+
+* simulated_ns — virtual time is a pure function of the cost model and the
+  workload, independent of host speed, thread count, and load. Any drift
+  means the model or the code path changed, so the default tolerance is
+  exact; --rel-tol exists only to loosen the gate deliberately.
+* wall_ms — host wall-clock, gated only when --wall-tol is given (CI runs
+  each bench several times and passes every run via repeated --current /
+  --current-dir; the median per point absorbs scheduler noise). The gate is
+  one-sided: only a slowdown beyond the tolerance fails, a speedup prints a
+  reminder to refresh the baselines.
 
 Usage:
   tools/bench_diff.py --baseline bench/baselines/BENCH_fig12.json \
                       --current build/bench/BENCH_fig12.json
-  tools/bench_diff.py --baseline-dir bench/baselines --current-dir build/bench
+  tools/bench_diff.py --baseline-dir bench/baselines \
+                      --current-dir run1 --current-dir run2 \
+                      --current-dir run3 --wall-tol 0.10
 
 Exit status: 0 when every point matches within tolerance, 1 on drift,
 missing points, or unreadable files.
@@ -19,34 +27,25 @@ missing points, or unreadable files.
 import argparse
 import json
 import pathlib
+import statistics
 import sys
 
 
 def load_points(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    return {p["name"]: int(p["simulated_ns"]) for p in doc["points"]}
+    return {p["name"]: (int(p["simulated_ns"]), float(p.get("wall_ms", 0.0)))
+            for p in doc["points"]}
 
 
-def diff_one(baseline_path, current_path, rel_tol):
-    try:
-        base = load_points(baseline_path)
-    except (OSError, ValueError, KeyError) as e:
-        print(f"FAIL {baseline_path}: unreadable baseline ({e})")
-        return False
-    try:
-        cur = load_points(current_path)
-    except (OSError, ValueError, KeyError) as e:
-        print(f"FAIL {current_path}: unreadable result ({e})")
-        return False
-
+def diff_simulated(baseline_path, base, current_path, cur, rel_tol):
     ok = True
-    for name, expect in sorted(base.items()):
+    for name, (expect, _) in sorted(base.items()):
         if name not in cur:
             print(f"FAIL {name}: missing from {current_path}")
             ok = False
             continue
-        got = cur[name]
+        got = cur[name][0]
         drift = abs(got - expect) / expect if expect else (0.0 if got == expect else 1.0)
         if drift > rel_tol:
             print(f"FAIL {name}: simulated_ns {got} vs baseline {expect} "
@@ -65,14 +64,71 @@ def diff_one(baseline_path, current_path, rel_tol):
     return ok
 
 
+def diff_wall(base, runs, wall_tol):
+    ok = True
+    for name, (_, expect) in sorted(base.items()):
+        walls = [run[name][1] for run in runs if name in run]
+        if not walls or expect <= 0.0:
+            continue
+        median = statistics.median(walls)
+        drift = (median - expect) / expect
+        if drift > wall_tol:
+            print(f"FAIL {name}: wall_ms median {median:.3f} vs baseline "
+                  f"{expect:.3f} (+{drift * 100:.1f}% > {wall_tol * 100:.0f}%, "
+                  f"{len(walls)} runs)")
+            ok = False
+        elif drift < -wall_tol:
+            print(f"WARN {name}: wall_ms median {median:.3f} vs baseline "
+                  f"{expect:.3f} ({drift * 100:.1f}% — refresh baselines to "
+                  f"lock the speedup in)")
+        else:
+            print(f"ok   {name}: wall {median:.3f} ms "
+                  f"({drift * +100:+.1f}%, {len(walls)} runs)")
+    return ok
+
+
+def diff_one(baseline_path, current_paths, rel_tol, wall_tol):
+    try:
+        base = load_points(baseline_path)
+    except (OSError, ValueError, KeyError) as e:
+        print(f"FAIL {baseline_path}: unreadable baseline ({e})")
+        return False
+    runs = []
+    ok = True
+    for current_path in current_paths:
+        try:
+            cur = load_points(current_path)
+        except (OSError, ValueError, KeyError) as e:
+            print(f"FAIL {current_path}: unreadable result ({e})")
+            ok = False
+            continue
+        runs.append(cur)
+        # Every run must hold the simulated line, not just the first: a run
+        # that drifts only sometimes is a determinism bug.
+        ok &= diff_simulated(baseline_path, base, current_path, cur, rel_tol)
+    if not runs:
+        return False
+    if wall_tol is not None:
+        ok &= diff_wall(base, runs, wall_tol)
+    return ok
+
+
 def main():
     ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     ap.add_argument("--baseline", help="single baseline JSON")
-    ap.add_argument("--current", help="single result JSON")
+    ap.add_argument("--current", action="append", default=[],
+                    help="result JSON (repeat for median-of-N wall gating)")
     ap.add_argument("--baseline-dir", help="directory of BENCH_*.json baselines")
-    ap.add_argument("--current-dir", help="directory holding fresh BENCH_*.json")
+    ap.add_argument("--current-dir", action="append", default=[],
+                    help="directory holding fresh BENCH_*.json "
+                         "(repeat for median-of-N wall gating)")
     ap.add_argument("--rel-tol", type=float, default=0.005,
-                    help="max relative drift per point (default 0.005)")
+                    help="max relative simulated_ns drift per point "
+                         "(default 0.005)")
+    ap.add_argument("--wall-tol", type=float, default=None,
+                    help="max relative wall_ms slowdown of the per-point "
+                         "median across runs; wall gating is off unless set "
+                         "(e.g. 0.10)")
     args = ap.parse_args()
 
     pairs = []
@@ -84,13 +140,15 @@ def main():
             print(f"FAIL no BENCH_*.json baselines in {args.baseline_dir}")
             return 1
         for b in baselines:
-            pairs.append((str(b), str(pathlib.Path(args.current_dir) / b.name)))
+            pairs.append((str(b), [str(pathlib.Path(d) / b.name)
+                                   for d in args.current_dir]))
     else:
         ap.error("need --baseline/--current or --baseline-dir/--current-dir")
 
     ok = True
-    for baseline_path, current_path in pairs:
-        ok &= diff_one(baseline_path, current_path, args.rel_tol)
+    for baseline_path, current_paths in pairs:
+        ok &= diff_one(baseline_path, current_paths, args.rel_tol,
+                       args.wall_tol)
     print("bench-diff:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
 
