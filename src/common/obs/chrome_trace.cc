@@ -11,13 +11,18 @@ namespace vpim::obs {
 namespace {
 
 // Lane (tid) assignment: layers 1..6 in stack order, ranks at 100 + index
-// so rank lanes sort below the per-layer lanes in the viewer.
+// so rank lanes sort below the per-layer lanes in the viewer, and SQ slots
+// at 200 + slot so the in-flight pipeline reads as one lane per slot.
 constexpr int kRankLaneBase = 100;
+constexpr int kSlotLaneBase = 200;
 
 int lane_of(const Span& s) {
   const Layer layer = layer_of(s.kind);
   if (layer == Layer::kRank && s.rank != kNoRank) {
     return kRankLaneBase + static_cast<int>(s.rank);
+  }
+  if (s.kind == SpanKind::kSqSlot) {
+    return kSlotLaneBase + static_cast<int>(s.entries);
   }
   return static_cast<int>(layer) + 1;
 }
@@ -30,14 +35,18 @@ void export_chrome_trace(const Tracer& tracer, std::ostream& os) {
   // Lane-name metadata first: the fixed layer lanes, then every rank lane
   // the stream touches (in lane order for determinism).
   std::vector<int> rank_lanes;
+  std::vector<int> slot_lanes;
   for (const Span& s : tracer.spans()) {
     const int lane = lane_of(s);
     if (lane < kRankLaneBase) continue;
+    std::vector<int>& lanes =
+        lane >= kSlotLaneBase ? slot_lanes : rank_lanes;
     bool seen = false;
-    for (int l : rank_lanes) seen = seen || l == lane;
-    if (!seen) rank_lanes.push_back(lane);
+    for (int l : lanes) seen = seen || l == lane;
+    if (!seen) lanes.push_back(lane);
   }
   std::sort(rank_lanes.begin(), rank_lanes.end());
+  std::sort(slot_lanes.begin(), slot_lanes.end());
   auto lane_meta = [&](int lane, const std::string& name) {
     if (!first) os << ",\n";
     first = false;
@@ -50,6 +59,9 @@ void export_chrome_trace(const Tracer& tracer, std::ostream& os) {
   }
   for (int lane : rank_lanes) {
     lane_meta(lane, "rank " + std::to_string(lane - kRankLaneBase));
+  }
+  for (int lane : slot_lanes) {
+    lane_meta(lane, "sq slot " + std::to_string(lane - kSlotLaneBase));
   }
 
   char buf[128];

@@ -55,10 +55,15 @@ enum class SpanKind : std::uint8_t {
   // Rank / DPU compute.
   kRankLaunch,  // one ci_launch on one rank (duration = slowest DPU)
   kDpuCompute,  // one DPU's kernel execution inside a launch
+  // SQ/CQ pipeline (ISSUE 7). kSqSlot covers one submission slot from
+  // staging to batch completion (entries = slot index, one Chrome lane per
+  // slot); kCqDrain is the poll_completions root.
+  kSqSlot,
+  kCqDrain,
 };
 
 inline constexpr std::size_t kNumSpanKinds =
-    static_cast<std::size_t>(SpanKind::kDpuCompute) + 1;
+    static_cast<std::size_t>(SpanKind::kCqDrain) + 1;
 
 inline constexpr std::array<std::string_view, kNumSpanKinds> kSpanKindNames =
     {"write",          "write.batched",    "write.flush",
@@ -68,7 +73,8 @@ inline constexpr std::array<std::string_view, kNumSpanKinds> kSpanKindNames =
      "wire.serialize", "wire.deserialize", "virtio.roundtrip",
      "backend.request", "backend.transfer", "backend.broadcast",
      "backend.batch_apply", "driver.xfer", "driver.ci",
-     "rank.launch",    "dpu.compute"};
+     "rank.launch",    "dpu.compute",      "sq.slot",
+     "cq.drain"};
 
 inline constexpr std::string_view kind_name(SpanKind k) {
   return kSpanKindNames[static_cast<std::size_t>(k)];
@@ -94,6 +100,7 @@ inline constexpr Layer layer_of(SpanKind k) {
     case SpanKind::kDeserialize:
       return Layer::kWire;
     case SpanKind::kVirtioRoundtrip:
+    case SpanKind::kSqSlot:
       return Layer::kVirtio;
     case SpanKind::kBackendRequest:
     case SpanKind::kTransferData:

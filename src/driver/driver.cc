@@ -42,6 +42,46 @@ void real_transform_roundtrip(std::span<const std::uint8_t> data, bool naive,
 
 }  // namespace
 
+// ---------------------------------------------------------------- backlog
+
+void CopyBacklog::add(upmem::Rank& rank, const XferEntry& entry,
+                      XferDirection dir, const DataPath& path) {
+  std::int32_t& g = slot_[entry.dpu];
+  if (g < 0) {
+    g = static_cast<std::int32_t>(groups_.size());
+    groups_.emplace_back();
+  }
+  groups_[static_cast<std::size_t>(g)].push_back(
+      {&rank, entry.dpu, entry.mram_offset, entry.host, entry.size,
+       dir == XferDirection::kToRank, path.real_transform, path.naive});
+}
+
+void CopyBacklog::flush() {
+  if (groups_.empty()) return;
+  // One fan-out replays every parked request's copies; group order (and
+  // order within a group) is deterministic first-use order, and distinct
+  // DPU banks never share a group, so any thread count yields identical
+  // bank contents.
+  ThreadPool::instance().parallel_for(groups_.size(), [&](std::size_t gi) {
+    std::vector<std::uint8_t> scratch;
+    for (const Task& t : groups_[gi]) {
+      if (t.to_rank) {
+        if (t.real_transform) {
+          real_transform_roundtrip({t.host, t.size}, t.naive, scratch);
+        }
+        t.rank->mram(t.dpu).write(t.mram_offset, {t.host, t.size});
+      } else {
+        t.rank->mram(t.dpu).read(t.mram_offset, {t.host, t.size});
+        if (t.real_transform) {
+          real_transform_roundtrip({t.host, t.size}, t.naive, scratch);
+        }
+      }
+    }
+  });
+  groups_.clear();
+  slot_.fill(-1);
+}
+
 // ---------------------------------------------------------------- mapping
 
 RankMapping::RankMapping(UpmemDriver* drv, std::uint32_t rank_index)
@@ -83,7 +123,8 @@ double RankMapping::copy_gbps() const {
                           : cost.interleave_wide_gbps;
 }
 
-void RankMapping::transfer(const TransferMatrix& matrix) {
+void RankMapping::transfer(const TransferMatrix& matrix,
+                           CopyBacklog* defer) {
   VPIM_CHECK(drv_ != nullptr, "use of unmapped rank");
   upmem::PimMachine& machine = drv_->machine();
   const CostModel& cost = machine.cost();
@@ -107,6 +148,18 @@ void RankMapping::transfer(const TransferMatrix& matrix) {
   span.set_rank(rank_index_);
   machine.clock().advance(cost.native_xfer_fixed_ns +
                           CostModel::bytes_time(bytes, copy_gbps()));
+  if (defer != nullptr) {
+    // Pipelined drain: every cost and fault above fired normally; park the
+    // physical copies for one batched replay at the end of the drain.
+    for (const XferEntry& e : matrix.entries) {
+      if (e.size == 0) continue;
+      VPIM_CHECK(e.host != nullptr, "transfer entry without a host buffer");
+      VPIM_CHECK(e.dpu < upmem::kDpuSlotsPerRank,
+                 "transfer entry targets an invalid DPU slot");
+      defer->add(rank, e, matrix.direction, data_path_);
+    }
+    return;
+  }
   // Group entries by target DPU, preserving request order within a group:
   // one MRAM bank must replay its entries in order, but distinct banks are
   // independent and fan out over the host pool (the backend's "operation

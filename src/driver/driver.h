@@ -12,6 +12,7 @@
 // mode (§3.4).
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -24,6 +25,7 @@
 #include "common/fault.h"
 #include "driver/sysfs.h"
 #include "driver/xfer.h"
+#include "upmem/layout.h"
 #include "upmem/machine.h"
 
 namespace vpim::driver {
@@ -44,6 +46,46 @@ struct DataPath {
 
 class UpmemDriver;
 
+// Deferred copy sink for the pipelined request path (ISSUE 7). A mapping
+// normally executes a transfer's host<->MRAM copies inside the call; when
+// the backend drains a whole submission batch it instead parks each
+// request's copies here and replays them all in ONE parallel_for, so the
+// wall-clock cost of thread fan-out is paid once per batch rather than
+// once per request. Virtual time is unaffected: transfer() charges its
+// streaming cost before deferring, and the replay is cost-free.
+//
+// Tasks are stored by value (never as XferEntry pointers — the backend
+// reuses its deserialization scratch across requests in a batch), grouped
+// per DPU in first-use order. Within a group, append order is replay
+// order, so read-after-write on the same DPU stays correct across a
+// batch. Cross-request host-buffer aliasing is excluded by the async
+// API's buffer-stability contract.
+class CopyBacklog {
+ public:
+  CopyBacklog() { slot_.fill(-1); }
+
+  void add(upmem::Rank& rank, const XferEntry& entry, XferDirection dir,
+           const DataPath& path);
+  bool empty() const { return groups_.empty(); }
+  // Replays every parked copy (one parallel_for over DPU groups, per-group
+  // transform scratch), then resets for the next batch.
+  void flush();
+
+ private:
+  struct Task {
+    upmem::Rank* rank;
+    std::uint32_t dpu;
+    std::uint64_t mram_offset;
+    std::uint8_t* host;
+    std::uint64_t size;
+    bool to_rank;
+    bool real_transform;
+    bool naive;
+  };
+  std::array<std::int32_t, upmem::kDpuSlotsPerRank> slot_{};
+  std::vector<std::vector<Task>> groups_;
+};
+
 // Performance-mode mapping of one rank. Exclusive: a rank can be mapped by
 // at most one process at a time. Move-only RAII; unmapping frees the rank
 // in sysfs, which is how the manager's observer learns about releases.
@@ -61,8 +103,10 @@ class RankMapping {
   void set_data_path(const DataPath& path) { data_path_ = path; }
 
   // Scatter/gather data transfer for the whole matrix (one fixed software
-  // cost per call, plus streaming time).
-  void transfer(const TransferMatrix& matrix);
+  // cost per call, plus streaming time). With `defer`, all virtual-time
+  // costs and fault hooks fire as usual but the physical copies are parked
+  // in the backlog for a batched replay (pipelined backend drain).
+  void transfer(const TransferMatrix& matrix, CopyBacklog* defer = nullptr);
 
   // Same payload to every DPU (UPMEM broadcast transfers). Physically the
   // host still writes each bank, so virtual time scales with nr_dpus.

@@ -112,9 +112,15 @@ double Backend::batch_gbps() const {
                                : vmm_.cost().interleave_naive_gbps;
 }
 
+driver::CopyBacklog* Backend::defer_sink() {
+  if (!mapping_.has_value()) return nullptr;
+  if (drv_.machine().fault_plan() != nullptr) return nullptr;
+  return &backlog_;
+}
+
 void Backend::data_transfer(const driver::TransferMatrix& matrix) {
   if (mapping_.has_value()) {
-    mapping_->transfer(matrix);
+    mapping_->transfer(matrix, defer_sink());
     return;
   }
   // Emulated rank: plain host-memory copies, no interleave transform.
@@ -193,7 +199,7 @@ std::optional<FaultRecord> Backend::lost_completion() {
   return plan->on_request(mapping_->rank_index(), vmm_.clock().now());
 }
 
-void Backend::run_with_recovery(const std::function<void()>& op) {
+void Backend::run_with_recovery(OpRef op) {
   std::uint32_t attempt = 0;
   for (;;) {
     try {
@@ -272,11 +278,20 @@ void Backend::handle_transferq() {
   while (transferq_.pop_avail_into(chain_scratch_)) {
     handle_one(chain_scratch_);
   }
+  // Replay the whole drain's deferred copies in one fan-out before the
+  // completion interrupt: every response already pushed becomes physically
+  // true here, before the guest can observe it.
+  backlog_.flush();
 }
 
 void Backend::handle_controlq() {
   VPIM_CHECK(state_.driver_ok(),
              "queue notification before DRIVER_OK (virtio 1.x 3.1)");
+  // Defensive: control ops (migrate/suspend snapshots) read bank contents,
+  // so any copies still parked from a transfer drain must land first. The
+  // frontend always drains its SQ before a control round trip, so this is
+  // normally a no-op.
+  backlog_.flush();
   while (controlq_.pop_avail_into(chain_scratch_)) {
     const virtio::DescChain& chain = chain_scratch_;
     obs::ScopedSpan span(tracer(), vmm_.clock(),
@@ -444,6 +459,7 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
   run_with_recovery([&] {
     if ((req.flags & kWireFlagBatched) != 0) {
       data_span.set_kind(obs::SpanKind::kBatchApply);
+      backlog_.flush();  // batch records write banks outside the backlog
       apply_batched_writes(matrix);
       return;
     }
@@ -467,6 +483,7 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
     }
     if (broadcast) {
       data_span.set_kind(obs::SpanKind::kBroadcast);
+      backlog_.flush();  // broadcasts write banks outside the backlog
       const HvaSegment& seg = matrix.entries[0].segments[0];
       data_broadcast(matrix.entries[0].mram_offset, {seg.first, seg.second});
     } else {
@@ -562,6 +579,9 @@ void Backend::handle_ci(const virtio::DescChain& chain,
   using virtio::PimStatus;
   VPIM_REQUEST_CHECK(bound(), PimStatus::kUnbound,
                      "CI operation on a device not linked to a rank");
+  // CI ops (launches, symbol reads) observe bank contents directly; any
+  // copies deferred by earlier requests in this drain must land first.
+  backlog_.flush();
   SimClock& clock = vmm_.clock();
   const CostModel& cost = vmm_.cost();
   clock.advance(cost.ci_op_backend_ns);

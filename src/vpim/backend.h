@@ -18,6 +18,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <type_traits>
 #include <utility>
 #include <vector>
 
@@ -33,6 +34,25 @@
 #include "vpim/wire.h"
 
 namespace vpim::core {
+
+// Non-owning callable reference. run_with_recovery's ops are short-lived
+// stack lambdas invoked before the call returns, so no ownership is
+// needed — and unlike std::function, binding one never heap-allocates,
+// which matters on the per-request hot path.
+class OpRef {
+ public:
+  template <typename F>
+  OpRef(F&& f)  // NOLINT(google-explicit-constructor)
+      : ctx_(const_cast<void*>(static_cast<const void*>(&f))),
+        fn_([](void* c) {
+          (*static_cast<std::remove_reference_t<F>*>(c))();
+        }) {}
+  void operator()() const { fn_(ctx_); }
+
+ private:
+  void* ctx_;
+  void (*fn_)(void*);
+};
 
 class Backend {
  public:
@@ -103,13 +123,19 @@ class Backend {
   void data_broadcast(std::uint64_t mram_offset,
                       std::span<const std::uint8_t> data);
   double batch_gbps() const;
+  // Deferred-copy sink for the pipelined transferq drain (ISSUE 7):
+  // non-null only on the physical-mapping path with no fault plan
+  // installed (fault injection needs copies to fire inside the faulting
+  // request so retries see an unchanged bank). The backlog is replayed
+  // before any non-deferred bank access and at the end of every drain.
+  driver::CopyBacklog* defer_sink();
 
   // --- fault recovery (ISSUE 3) -----------------------------------------
   // Runs `op`, absorbing injected faults: transient faults retry with
   // exponential backoff up to VpimConfig::fault_max_retries; permanent
   // rank death triggers a transparent wrank migration and a fresh retry.
   // Exhausted/unrecoverable faults rethrow as a DEVICE_FAULT status.
-  void run_with_recovery(const std::function<void()>& op);
+  void run_with_recovery(OpRef op);
   // Moves this device's wrank off its (dead) physical rank onto a freshly
   // allocated one, rescuing MRAM content. False when out of capacity.
   bool recover_rank_death();
@@ -137,6 +163,7 @@ class Backend {
   DeserializeScratch deser_scratch_;
   driver::TransferMatrix xfer_scratch_;
   virtio::DescChain chain_scratch_;
+  driver::CopyBacklog backlog_;
   // Parked state between kSuspendRank and kResumeRank (§7 pause/resume).
   std::optional<upmem::Rank::Snapshot> suspended_;
 };

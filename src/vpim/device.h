@@ -43,6 +43,11 @@ struct VupmemDevice {
     const obs::Labels dev = {{"device", tag}};
     out.counter("vpim_device_notifies_total", dev, stats.notifies);
     out.counter("vpim_device_irqs_total", dev, stats.irqs);
+    out.counter("vpim_device_doorbells_total", dev, stats.doorbells);
+    out.counter("vpim_device_completion_irqs_total", dev,
+                stats.completion_irqs);
+    out.counter("vpim_device_coalesced_notifies_total", dev,
+                stats.coalesced_notifies);
     out.counter("vpim_device_cache_hits_total", dev, stats.cache_hits);
     out.counter("vpim_device_cache_misses_total", dev, stats.cache_misses);
     out.counter("vpim_device_cache_fills_total", dev, stats.cache_fills);

@@ -23,6 +23,14 @@ struct DeviceStats {
   std::uint64_t emulated_binds = 0; // oversubscribed (emulated) bindings
   std::uint64_t request_errors = 0; // requests completed with a non-OK status
 
+  // SQ/CQ pipelining (ISSUE 7). A doorbell is one guest->device kick
+  // covering every request staged since the last one; coalesced_notifies
+  // counts the notifies that staging saved (batch size - 1 per kick), so
+  // notifies == doorbells always and doorbells == requests only at depth 1.
+  std::uint64_t doorbells = 0;          // kicks actually rung
+  std::uint64_t completion_irqs = 0;    // one per drained batch
+  std::uint64_t coalesced_notifies = 0; // notifies avoided by batching
+
   // Fault handling (ISSUE 3).
   std::uint64_t fault_retries = 0;        // transient faults retried
   std::uint64_t fault_migrations = 0;     // wranks moved off a dead rank

@@ -1,6 +1,7 @@
 #include "vpim/frontend.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <cstring>
 
 #include "common/error.h"
@@ -53,6 +54,35 @@ Frontend::Frontend(vmm::Vmm& vmm, Backend& backend,
     vhost_worker_.emplace(vmm_.clock(), vmm_.cost(),
                           /*parallel_handling=*/true);
   }
+  // SQ/CQ depth: explicit config wins, then VPIM_DEPTH, then the classic
+  // blocking depth of 1.
+  depth_ = config_.queue_depth;
+  if (depth_ == 0) {
+    if (const char* env = std::getenv("VPIM_DEPTH")) {
+      const long v = std::strtol(env, nullptr, 10);
+      if (v > 0) depth_ = static_cast<std::uint32_t>(v);
+    }
+    if (depth_ == 0) depth_ = 1;
+  }
+  depth_ = std::min(depth_, kMaxQueueDepth);
+  config_.queue_depth = depth_;  // expose the resolved depth via config()
+  inflight_hist_ =
+      &obs_.metrics.histogram("vpim_inflight_depth", {{"device", tag_}});
+  doorbells_metric_ =
+      &obs_.metrics.counter("vpim_doorbells_total", {{"device", tag_}});
+  requests_metric_ =
+      &obs_.metrics.counter("vpim_requests_total", {{"device", tag_}});
+}
+
+void Frontend::alloc_arena(WireArena& arena, guest::GuestMemory& mem) {
+  constexpr std::uint32_t kDpus = upmem::kDpuSlotsPerRank;
+  arena.request = mem.alloc(sizeof(WireRequest));
+  arena.matrix_meta = mem.alloc(sizeof(WireMatrixMeta));
+  arena.entry_meta = mem.alloc(kDpus * sizeof(WireEntryMeta));
+  arena.page_lists = mem.alloc(static_cast<std::uint64_t>(kDpus) *
+                               upmem::kMramPages * 8);
+  arena.payload = mem.alloc(kCiPayloadBytes);
+  arena.response = mem.alloc(sizeof(WireResponse));
 }
 
 void Frontend::ensure_arenas() {
@@ -60,13 +90,8 @@ void Frontend::ensure_arenas() {
   guest::GuestMemory& mem = vmm_.memory();
   constexpr std::uint32_t kDpus = upmem::kDpuSlotsPerRank;
 
-  arena_.request = mem.alloc(sizeof(WireRequest));
-  arena_.matrix_meta = mem.alloc(sizeof(WireMatrixMeta));
-  arena_.entry_meta = mem.alloc(kDpus * sizeof(WireEntryMeta));
-  arena_.page_lists = mem.alloc(static_cast<std::uint64_t>(kDpus) *
-                                upmem::kMramPages * 8);
-  arena_.payload = mem.alloc(8 * kKiB);
-  arena_.response = mem.alloc(sizeof(WireResponse));
+  slots_.resize(depth_);
+  alloc_arena(slots_[0].arena, mem);
 
   caches_.resize(kDpus);
   batches_.resize(kDpus);
@@ -74,6 +99,12 @@ void Frontend::ensure_arenas() {
   for (std::uint32_t d = 0; d < kDpus; ++d) {
     if (config_.prefetch_cache) caches_[d].buf = mem.alloc(cache_bytes());
     if (config_.request_batching) batches_[d].buf = mem.alloc(batch_bytes());
+  }
+  // Extra submission slots allocate after the classic regions, so the
+  // depth-1 guest GPA layout — and with it every serialized page list —
+  // stays byte-identical to the pre-SQ/CQ device.
+  for (std::uint32_t i = 1; i < depth_; ++i) {
+    alloc_arena(slots_[i].arena, mem);
   }
   arenas_ready_ = true;
 }
@@ -98,20 +129,21 @@ bool Frontend::open() {
   }
   ensure_arenas();
 
+  WireArena& arena = slots_[0].arena;
   WireRequest req;
   req.ci_op = static_cast<std::uint32_t>(CiOp::kBindRank);
   req.request_id = wire_request_id();
-  std::memcpy(arena_.request.data(), &req, sizeof(req));
+  std::memcpy(arena.request.data(), &req, sizeof(req));
   const virtio::DescBuffer chain[] = {
-      {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
+      {vmm_.memory().gpa_of(arena.request.data()), sizeof(WireRequest),
        false},
-      {vmm_.memory().gpa_of(arena_.response.data()), sizeof(WireResponse),
+      {vmm_.memory().gpa_of(arena.response.data()), sizeof(WireResponse),
        true},
   };
-  roundtrip(controlq_, chain, /*record_wsteps=*/false);
+  control_roundtrip(chain);
 
   WireResponse resp;
-  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+  std::memcpy(&resp, arena.response.data(), sizeof(resp));
   if (resp.status ==
       static_cast<std::int32_t>(virtio::PimStatus::kNoCapacity)) {
     return false;  // manager abandoned the allocation
@@ -129,29 +161,35 @@ void Frontend::close() {
   vmm_.clock().advance(vmm_.cost().ioctl_ns);
   // Teardown must never wedge: if the device died (DEVICE_FAULT, UNBOUND,
   // TIMEOUT), pending batched writes are lost with it, but the guest still
-  // releases its device file and moves on.
+  // releases its device file and moves on. The pipeline drains first so
+  // slot 0's arena is free for the control request and async completions
+  // land in the CQ before the device goes away.
   try {
     flush_batch();
+    kick();
+    raise_flush_error();
   } catch (const VpimStatusError&) {
     for (auto& batch : batches_) batch.cursor = 0;
     batch_pending_ = 0;
+    batch_locked_ = false;
   }
   invalidate_cache();
 
+  WireArena& arena = slots_[0].arena;
   WireRequest req;
   req.ci_op = static_cast<std::uint32_t>(CiOp::kReleaseRank);
   req.request_id = wire_request_id();
-  std::memcpy(arena_.request.data(), &req, sizeof(req));
+  std::memcpy(arena.request.data(), &req, sizeof(req));
   const virtio::DescBuffer chain[] = {
-      {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
+      {vmm_.memory().gpa_of(arena.request.data()), sizeof(WireRequest),
        false},
-      {vmm_.memory().gpa_of(arena_.response.data()), sizeof(WireResponse),
+      {vmm_.memory().gpa_of(arena.response.data()), sizeof(WireResponse),
        true},
   };
   try {
-    roundtrip(controlq_, chain, /*record_wsteps=*/false);
+    control_roundtrip(chain);
     WireResponse resp;
-    std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+    std::memcpy(&resp, arena.response.data(), sizeof(resp));
     throw_if_rejected(resp, "the release request");
   } catch (const VpimStatusError&) {
     // Releasing an already-unbound or wedged device: local teardown still
@@ -166,22 +204,25 @@ bool Frontend::migrate() {
                         tenant_id());
   vmm_.clock().advance(vmm_.cost().ioctl_ns);
   flush_batch();
+  kick();  // drain in-flight work before the rank moves
+  raise_flush_error();
   invalidate_cache();  // cached segments refer to the old rank
 
+  WireArena& arena = slots_[0].arena;
   WireRequest req;
   req.ci_op = static_cast<std::uint32_t>(CiOp::kMigrateRank);
   req.request_id = wire_request_id();
-  std::memcpy(arena_.request.data(), &req, sizeof(req));
+  std::memcpy(arena.request.data(), &req, sizeof(req));
   const virtio::DescBuffer chain[] = {
-      {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
+      {vmm_.memory().gpa_of(arena.request.data()), sizeof(WireRequest),
        false},
-      {vmm_.memory().gpa_of(arena_.response.data()), sizeof(WireResponse),
+      {vmm_.memory().gpa_of(arena.response.data()), sizeof(WireResponse),
        true},
   };
-  roundtrip(controlq_, chain, /*record_wsteps=*/false);
+  control_roundtrip(chain);
 
   WireResponse resp;
-  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+  std::memcpy(&resp, arena.response.data(), sizeof(resp));
   if (resp.status ==
       static_cast<std::int32_t>(virtio::PimStatus::kNoCapacity)) {
     return false;  // no free rank; still bound to the original one
@@ -197,20 +238,23 @@ void Frontend::suspend() {
                         tenant_id());
   vmm_.clock().advance(vmm_.cost().ioctl_ns);
   flush_batch();
+  kick();  // everything in flight must land before the state is parked
+  raise_flush_error();
   invalidate_cache();
+  WireArena& arena = slots_[0].arena;
   WireRequest req;
   req.ci_op = static_cast<std::uint32_t>(CiOp::kSuspendRank);
   req.request_id = wire_request_id();
-  std::memcpy(arena_.request.data(), &req, sizeof(req));
+  std::memcpy(arena.request.data(), &req, sizeof(req));
   const virtio::DescBuffer chain[] = {
-      {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
+      {vmm_.memory().gpa_of(arena.request.data()), sizeof(WireRequest),
        false},
-      {vmm_.memory().gpa_of(arena_.response.data()), sizeof(WireResponse),
+      {vmm_.memory().gpa_of(arena.response.data()), sizeof(WireResponse),
        true},
   };
-  roundtrip(controlq_, chain, /*record_wsteps=*/false);
+  control_roundtrip(chain);
   WireResponse resp;
-  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+  std::memcpy(&resp, arena.response.data(), sizeof(resp));
   throw_if_rejected(resp, "the suspend request");
   open_ = false;
 }
@@ -220,19 +264,20 @@ bool Frontend::resume() {
   obs::RequestSpan span(tracer(), vmm_.clock(), obs::SpanKind::kControl,
                         tenant_id());
   vmm_.clock().advance(vmm_.cost().ioctl_ns);
+  WireArena& arena = slots_[0].arena;
   WireRequest req;
   req.ci_op = static_cast<std::uint32_t>(CiOp::kResumeRank);
   req.request_id = wire_request_id();
-  std::memcpy(arena_.request.data(), &req, sizeof(req));
+  std::memcpy(arena.request.data(), &req, sizeof(req));
   const virtio::DescBuffer chain[] = {
-      {vmm_.memory().gpa_of(arena_.request.data()), sizeof(WireRequest),
+      {vmm_.memory().gpa_of(arena.request.data()), sizeof(WireRequest),
        false},
-      {vmm_.memory().gpa_of(arena_.response.data()), sizeof(WireResponse),
+      {vmm_.memory().gpa_of(arena.response.data()), sizeof(WireResponse),
        true},
   };
-  roundtrip(controlq_, chain, /*record_wsteps=*/false);
+  control_roundtrip(chain);
   WireResponse resp;
-  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
+  std::memcpy(&resp, arena.response.data(), sizeof(resp));
   if (resp.status ==
       static_cast<std::int32_t>(virtio::PimStatus::kNoCapacity)) {
     return false;  // stays parked host-side until capacity frees up
@@ -381,6 +426,9 @@ void Frontend::check_dpus(const driver::TransferMatrix& matrix) const {
 }
 
 bool Frontend::try_batch(const driver::TransferMatrix& matrix) {
+  // A posted flush owns the batch buffers until its completion arrives;
+  // appending would hand the device a torn buffer.
+  if (batch_locked_) return false;
   // Batch only small writes that fit their DPU buffer's remaining space.
   const std::uint64_t small_max =
       std::uint64_t{config_.batch_entry_max_pages} * guest::kGuestPageSize;
@@ -416,7 +464,7 @@ bool Frontend::try_batch(const driver::TransferMatrix& matrix) {
 }
 
 void Frontend::flush_batch() {
-  if (batch_pending_ == 0) return;
+  if (batch_pending_ == 0 || batch_locked_) return;
   obs::ScopedSpan span(tracer(), vmm_.clock(), obs::SpanKind::kWriteFlush);
   driver::TransferMatrix& matrix = flush_scratch_;
   matrix.direction = driver::XferDirection::kToRank;
@@ -428,10 +476,16 @@ void Frontend::flush_batch() {
   }
   span.set_bytes(matrix.total_bytes());
   span.set_entries(static_cast<std::uint32_t>(matrix.entries.size()));
-  send_rank_op(matrix, /*is_write=*/true, kWireFlagBatched);
-  for (auto& b : batches_) b.cursor = 0;
-  batch_pending_ = 0;
-  ++stats_.batch_flushes;
+  const std::uint32_t idx =
+      stage_rank_op(matrix, /*is_write=*/true, kWireFlagBatched,
+                    /*async=*/false, /*ticket=*/0, /*is_flush=*/true);
+  batch_locked_ = true;
+  // Depth 1 keeps the classic blocking flush; deeper queues post it and
+  // let the next kick complete it (kick() resets the cursors and counts
+  // the flush once the device accepts it, or parks the failure for
+  // raise_flush_error()).
+  if (depth_ == 1) kick();
+  if (slots_[idx].completed || slots_[idx].timed_out) raise_flush_error();
 }
 
 void Frontend::invalidate_cache() {
@@ -440,8 +494,35 @@ void Frontend::invalidate_cache() {
 
 void Frontend::send_rank_op(const driver::TransferMatrix& matrix,
                             bool is_write, std::uint32_t flags) {
+  const std::uint32_t idx =
+      stage_rank_op(matrix, is_write, flags, /*async=*/false, /*ticket=*/0,
+                    /*is_flush=*/false);
+  finish_sync(idx, is_write ? "a write-to-rank operation"
+                            : "a read-from-rank operation");
+}
+
+void Frontend::reserve_slot() {
+  if (staged_.size() >= depth_) kick();
+}
+
+void Frontend::reserve_ring(std::size_t descs) {
+  // The descriptor table recycles only on poll_used, so a deep queue of
+  // wide matrices can exhaust it before the depth does; kick early rather
+  // than let submit() throw.
+  if (transferq_.free_descriptors() < descs) kick();
+}
+
+std::uint32_t Frontend::stage_rank_op(const driver::TransferMatrix& matrix,
+                                      bool is_write, std::uint32_t flags,
+                                      bool async, Ticket ticket,
+                                      bool is_flush) {
+  reserve_slot();
+  reserve_ring(2 * matrix.entries.size() + 3);
   SimClock& clock = vmm_.clock();
   const CostModel& cost = vmm_.cost();
+  const std::uint32_t idx = static_cast<std::uint32_t>(staged_.size());
+  SqSlot& slot = slots_[idx];
+  slot.t0 = clock.now();
 
   // -- Page management: user pages -> kernel page lists (Fig 13 "Page").
   const SimNs page_start = clock.now();
@@ -462,24 +543,23 @@ void Frontend::send_rank_op(const driver::TransferMatrix& matrix,
               static_cast<std::uint32_t>(pages));
   }
 
-  // -- Serialization (Fig 13 "Ser").
+  // -- Serialization (Fig 13 "Ser") into this slot's arena.
   const SimNs ser_start = clock.now();
-  serialize_matrix(matrix, vmm_.memory(), arena_,
+  serialize_matrix(matrix, vmm_.memory(), slot.arena,
                    static_cast<std::uint32_t>(
                        is_write ? virtio::PimRequestType::kWriteToRank
                                 : virtio::PimRequestType::kReadFromRank),
-                   ser_scratch_);
-  const SerializeResult& serialized = ser_scratch_;
+                   slot.ser);
   // Patch the flags + causal request id into the serialized request block.
   {
     WireRequest req;
-    std::memcpy(&req, arena_.request.data(), sizeof(req));
+    std::memcpy(&req, slot.arena.request.data(), sizeof(req));
     req.flags = flags;
     req.request_id = wire_request_id();
-    std::memcpy(arena_.request.data(), &req, sizeof(req));
+    std::memcpy(slot.arena.request.data(), &req, sizeof(req));
   }
   clock.advance(cost.frontend_request_fixed_ns +
-                cost.serialize_ns_per_page * serialized.nr_pages +
+                cost.serialize_ns_per_page * slot.ser.nr_pages +
                 cost.per_dpu_metadata_ns * matrix.entries.size());
   if (is_write) {
     stats_.wsteps.add(WrankStep::kSerialize, clock.now() - ser_start);
@@ -490,30 +570,41 @@ void Frontend::send_rank_op(const driver::TransferMatrix& matrix,
               static_cast<std::uint32_t>(matrix.entries.size()));
   }
 
-  roundtrip(transferq_, serialized.chain, is_write);
-
-  WireResponse resp;
-  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
-  throw_if_rejected(resp, is_write ? "a write-to-rank operation"
-                                   : "a read-from-rank operation");
+  // Publish on the available ring; the doorbell waits for kick().
+  slot.head = transferq_.submit(slot.ser.chain);
+  slot.is_write = is_write;
+  slot.async = async;
+  slot.is_flush = is_flush;
+  slot.completed = false;
+  slot.timed_out = false;
+  slot.ticket = ticket;
+  requests_metric_->inc();
+  staged_.push_back(idx);
+  return idx;
 }
 
-void Frontend::roundtrip(virtio::Virtqueue& queue,
-                         std::span<const virtio::DescBuffer> chain,
-                         bool record_wsteps) {
+void Frontend::kick() {
+  if (staged_.empty()) return;
   SimClock& clock = vmm_.clock();
   const CostModel& cost = vmm_.cost();
-  queue.submit(chain);
+  const std::size_t batch = staged_.size();
+
+  ++stats_.doorbells;
+  stats_.coalesced_notifies += batch - 1;
+  doorbells_metric_->inc();
+  inflight_hist_->observe(batch);
 
   // One span for the whole transport round trip: notify transition,
-  // backend handling (which nests its own spans), completion IRQ, and any
-  // completion polling. RAII also closes it if the poll deadline throws.
+  // backend batch drain (which nests its own spans), completion IRQ, and
+  // any completion polling.
   obs::ScopedSpan span(tracer(), clock, obs::SpanKind::kVirtioRoundtrip);
+  if (depth_ > 1) span.set_entries(static_cast<std::uint32_t>(batch));
 
   // Guest -> host transition, device handling, completion back into the
   // guest (Fig 13 "Int" is the transition cost). With vhost transitions
   // (§7 future work) the kick lands in a per-device kernel worker instead
-  // of trapping out to the userspace VMM.
+  // of trapping out to the userspace VMM. The whole batch shares one
+  // transition pair — that is the coalescing win.
   const bool vhost = vhost_worker_.has_value();
   const SimNs notify_cost =
       vhost ? cost.vhost_notify_ns : cost.vmexit_notify_ns;
@@ -521,32 +612,141 @@ void Frontend::roundtrip(virtio::Virtqueue& queue,
       vhost ? cost.vhost_complete_ns : cost.irq_inject_ns;
   clock.advance(notify_cost);
   ++stats_.notifies;
-  const bool is_transferq = &queue == &transferq_;
   vmm::EventLoop& loop = vhost ? *vhost_worker_ : vmm_.loop();
-  loop.dispatch([&] {
-    if (is_transferq) {
-      backend_.handle_transferq();
-    } else {
-      backend_.handle_controlq();
-    }
-  });
+  loop.dispatch([&] { backend_.handle_transferq(); });
   clock.advance(complete_cost);
   ++stats_.irqs;
-  if (record_wsteps) {
+  ++stats_.completion_irqs;
+  bool any_write = false;
+  for (std::uint32_t idx : staged_) any_write |= slots_[idx].is_write;
+  if (any_write) {
     stats_.wsteps.add(WrankStep::kInterrupt, notify_cost + complete_cost);
   }
 
-  // Bounded completion wait: the first poll is free (the dispatch above
-  // is synchronous, so a healthy device has already completed). If the
-  // completion never arrives — injected lost completion, wedged device —
-  // the guest re-polls every poll_interval_ns of virtual time and abandons
-  // the request with a typed TIMEOUT once poll_deadline_ns has elapsed.
-  auto used = queue.poll_used();
+  // Bounded completion wait: the first polls are free (the dispatch above
+  // is synchronous, so a healthy device has already completed the whole
+  // batch). If a completion never arrives — injected lost completion,
+  // wedged device — the guest re-polls every poll_interval_ns of virtual
+  // time and abandons the stragglers with a typed TIMEOUT once
+  // poll_deadline_ns has elapsed.
+  std::size_t got = 0;
+  while (got < batch) {
+    auto used = transferq_.poll_used();
+    if (!used.has_value()) {
+      const SimNs deadline = clock.now() + config_.poll_deadline_ns;
+      while (!used.has_value() && clock.now() < deadline) {
+        clock.advance(config_.poll_interval_ns);
+        used = transferq_.poll_used();
+      }
+    }
+    if (!used.has_value()) break;
+    for (std::uint32_t idx : staged_) {
+      SqSlot& slot = slots_[idx];
+      if (!slot.completed && slot.head == used->id) {
+        std::memcpy(&slot.resp, slot.arena.response.data(),
+                    sizeof(WireResponse));
+        slot.completed = true;
+        break;
+      }
+    }
+    ++got;
+  }
+  span.close();
+
+  // Resolve every staged slot in submission order: timeouts get a typed
+  // status, posted flushes retire the batch buffers, async requests land
+  // in the CQ. kick() itself never throws — blocking callers surface
+  // their slot's status via finish_sync.
+  const SimNs done = clock.now();
+  obs::Tracer* t = tracer();
+  for (std::uint32_t idx : staged_) {
+    SqSlot& slot = slots_[idx];
+    if (!slot.completed) {
+      slot.timed_out = true;
+      slot.resp = WireResponse{};
+      slot.resp.status =
+          static_cast<std::int32_t>(virtio::PimStatus::kTimeout);
+      ++stats_.poll_timeouts;
+    }
+    if (depth_ > 1 && t != nullptr) {
+      t->record(obs::SpanKind::kSqSlot, slot.t0, done - slot.t0,
+                slot.resp.value, idx);
+    }
+    if (slot.is_flush) {
+      if (slot.resp.status == 0) {
+        for (auto& b : batches_) b.cursor = 0;
+        batch_pending_ = 0;
+        ++stats_.batch_flushes;
+      } else if (pending_flush_status_ == 0) {
+        pending_flush_status_ = slot.resp.status;
+      }
+      batch_locked_ = false;
+    }
+    if (slot.async) {
+      cq_.push_back(
+          {slot.ticket, slot.resp.status, slot.resp.value, slot.is_write});
+    }
+  }
+  staged_.clear();
+}
+
+void Frontend::raise_flush_error() {
+  if (pending_flush_status_ == 0) return;
+  const std::int32_t status = pending_flush_status_;
+  pending_flush_status_ = 0;
+  if (status == static_cast<std::int32_t>(virtio::PimStatus::kTimeout)) {
+    throw VpimStatusError(virtio::PimStatus::kTimeout,
+                          "device did not complete the request within the "
+                          "poll deadline");
+  }
+  WireResponse resp;
+  resp.status = status;
+  throw_if_rejected(resp, "a write-to-rank operation");
+}
+
+WireResponse Frontend::finish_sync(std::uint32_t idx, const char* what) {
+  SqSlot& slot = slots_[idx];
+  if (!slot.completed && !slot.timed_out) kick();
+  raise_flush_error();
+  if (slot.timed_out) {
+    throw VpimStatusError(virtio::PimStatus::kTimeout,
+                          "device did not complete the request within the "
+                          "poll deadline");
+  }
+  throw_if_rejected(slot.resp, what);
+  return slot.resp;
+}
+
+void Frontend::control_roundtrip(std::span<const virtio::DescBuffer> chain) {
+  SimClock& clock = vmm_.clock();
+  const CostModel& cost = vmm_.cost();
+  controlq_.submit(chain);
+
+  // Control requests stay strictly synchronous: one request, one
+  // doorbell, one completion interrupt.
+  ++stats_.doorbells;
+  ++stats_.completion_irqs;
+  doorbells_metric_->inc();
+  requests_metric_->inc();
+  obs::ScopedSpan span(tracer(), clock, obs::SpanKind::kVirtioRoundtrip);
+  const bool vhost = vhost_worker_.has_value();
+  const SimNs notify_cost =
+      vhost ? cost.vhost_notify_ns : cost.vmexit_notify_ns;
+  const SimNs complete_cost =
+      vhost ? cost.vhost_complete_ns : cost.irq_inject_ns;
+  clock.advance(notify_cost);
+  ++stats_.notifies;
+  vmm::EventLoop& loop = vhost ? *vhost_worker_ : vmm_.loop();
+  loop.dispatch([&] { backend_.handle_controlq(); });
+  clock.advance(complete_cost);
+  ++stats_.irqs;
+
+  auto used = controlq_.poll_used();
   if (!used.has_value()) {
     const SimNs deadline = clock.now() + config_.poll_deadline_ns;
     while (!used.has_value() && clock.now() < deadline) {
       clock.advance(config_.poll_interval_ns);
-      used = queue.poll_used();
+      used = controlq_.poll_used();
     }
   }
   if (!used.has_value()) {
@@ -559,32 +759,55 @@ void Frontend::roundtrip(virtio::Virtqueue& queue,
 
 // --------------------------------------------------------------- CI ops
 
-WireResponse Frontend::ci_roundtrip(const WireRequest& req,
-                                    std::span<std::uint8_t> payload,
-                                    bool payload_writable) {
+std::span<std::uint8_t> Frontend::ci_payload() {
+  // Reserve now so the slot index cannot move between a caller staging
+  // payload bytes and stage_ci serializing into the same slot.
+  reserve_slot();
+  reserve_ring(3);
+  return slots_[staged_.size()].arena.payload;
+}
+
+std::uint32_t Frontend::stage_ci(const WireRequest& req,
+                                 std::span<std::uint8_t> payload,
+                                 bool payload_writable) {
+  reserve_slot();
+  reserve_ring(3);
+  const std::uint32_t idx = static_cast<std::uint32_t>(staged_.size());
+  SqSlot& slot = slots_[idx];
+  slot.t0 = vmm_.clock().now();
   WireRequest stamped = req;
   stamped.request_id = wire_request_id();
-  std::memcpy(arena_.request.data(), &stamped, sizeof(stamped));
+  std::memcpy(slot.arena.request.data(), &stamped, sizeof(stamped));
   // A CI chain is at most [request, payload, response]; build it in a
   // fixed array instead of a heap vector.
   std::array<virtio::DescBuffer, 3> chain;
   std::size_t n = 0;
-  chain[n++] = {vmm_.memory().gpa_of(arena_.request.data()),
+  chain[n++] = {vmm_.memory().gpa_of(slot.arena.request.data()),
                 sizeof(WireRequest), false};
   if (!payload.empty()) {
     chain[n++] = {vmm_.memory().gpa_of(payload.data()),
                   static_cast<std::uint32_t>(payload.size()),
                   payload_writable};
   }
-  chain[n++] = {vmm_.memory().gpa_of(arena_.response.data()),
+  chain[n++] = {vmm_.memory().gpa_of(slot.arena.response.data()),
                 sizeof(WireResponse), true};
-  roundtrip(transferq_, std::span(chain.data(), n),
-            /*record_wsteps=*/false);
+  slot.head = transferq_.submit(std::span(chain.data(), n));
+  slot.is_write = false;
+  slot.async = false;
+  slot.is_flush = false;
+  slot.completed = false;
+  slot.timed_out = false;
+  slot.ticket = 0;
+  requests_metric_->inc();
+  staged_.push_back(idx);
+  return idx;
+}
 
-  WireResponse resp;
-  std::memcpy(&resp, arena_.response.data(), sizeof(resp));
-  throw_if_rejected(resp, "the CI operation");
-  return resp;
+WireResponse Frontend::ci_roundtrip(const WireRequest& req,
+                                    std::span<std::uint8_t> payload,
+                                    bool payload_writable) {
+  const std::uint32_t idx = stage_ci(req, payload, payload_writable);
+  return finish_sync(idx, "the CI operation");
 }
 
 void Frontend::ci_load(std::string_view kernel_name) {
@@ -645,7 +868,7 @@ void Frontend::ci_copy_to_symbol(std::uint32_t dpu, std::string_view symbol,
                                  std::uint32_t offset,
                                  std::span<const std::uint8_t> data) {
   VPIM_CHECK(open_, "CI operation on an unlinked device");
-  VPIM_CHECK(data.size() <= arena_.payload.size(),
+  VPIM_CHECK(data.size() <= kCiPayloadBytes,
              "symbol payload exceeds the staging buffer");
   SimClock& clock = vmm_.clock();
   const SimNs t0 = clock.now();
@@ -654,14 +877,15 @@ void Frontend::ci_copy_to_symbol(std::uint32_t dpu, std::string_view symbol,
   span.set_bytes(data.size());
   clock.advance(vmm_.cost().ioctl_ns);
   flush_batch();
-  std::memcpy(arena_.payload.data(), data.data(), data.size());
+  std::span<std::uint8_t> payload = ci_payload();
+  std::memcpy(payload.data(), data.data(), data.size());
   WireRequest req;
   req.type = static_cast<std::uint32_t>(virtio::PimRequestType::kCiWrite);
   req.ci_op = static_cast<std::uint32_t>(CiOp::kCopyToSymbol);
   req.dpu = dpu;
   req.symbol_offset = offset;
   copy_name(req.name, symbol);
-  ci_roundtrip(req, arena_.payload.first(data.size()), false);
+  ci_roundtrip(req, payload.first(data.size()), false);
   stats_.ops.add(RankOp::kCi, clock.now() - t0);
   observe_op(RankOp::kCi, clock.now() - t0);
 }
@@ -671,7 +895,7 @@ void Frontend::ci_copy_from_symbol(std::uint32_t dpu,
                                    std::uint32_t offset,
                                    std::span<std::uint8_t> out) {
   VPIM_CHECK(open_, "CI operation on an unlinked device");
-  VPIM_CHECK(out.size() <= arena_.payload.size(),
+  VPIM_CHECK(out.size() <= kCiPayloadBytes,
              "symbol payload exceeds the staging buffer");
   SimClock& clock = vmm_.clock();
   const SimNs t0 = clock.now();
@@ -680,14 +904,15 @@ void Frontend::ci_copy_from_symbol(std::uint32_t dpu,
   span.set_bytes(out.size());
   clock.advance(vmm_.cost().ioctl_ns);
   flush_batch();
+  std::span<std::uint8_t> payload = ci_payload();
   WireRequest req;
   req.type = static_cast<std::uint32_t>(virtio::PimRequestType::kCiRead);
   req.ci_op = static_cast<std::uint32_t>(CiOp::kCopyFromSymbol);
   req.dpu = dpu;
   req.symbol_offset = offset;
   copy_name(req.name, symbol);
-  ci_roundtrip(req, arena_.payload.first(out.size()), true);
-  std::memcpy(out.data(), arena_.payload.data(), out.size());
+  ci_roundtrip(req, payload.first(out.size()), true);
+  std::memcpy(out.data(), payload.data(), out.size());
   stats_.ops.add(RankOp::kCi, clock.now() - t0);
   observe_op(RankOp::kCi, clock.now() - t0);
 }
@@ -727,11 +952,71 @@ void Frontend::ci_push_symbols(driver::XferDirection dir,
   observe_op(RankOp::kCi, clock.now() - t0);
 }
 
+// ------------------------------------------------------- async SQ/CQ API
+
+Frontend::Ticket Frontend::submit_write(const driver::TransferMatrix& matrix) {
+  VPIM_CHECK(open_, "write-to-rank on an unlinked device");
+  VPIM_CHECK(matrix.direction == driver::XferDirection::kToRank,
+             "submit_write called with a read matrix");
+  check_dpus(matrix);
+  SimClock& clock = vmm_.clock();
+  const SimNs t0 = clock.now();
+  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kWrite, tenant_id());
+  span.set_bytes(matrix.total_bytes());
+  span.set_entries(static_cast<std::uint32_t>(matrix.entries.size()));
+  clock.advance(vmm_.cost().ioctl_ns);
+  invalidate_cache();
+  flush_batch();  // batched writes must not land after this one
+  const Ticket ticket = ++next_ticket_;
+  stage_rank_op(matrix, /*is_write=*/true, /*flags=*/0, /*async=*/true,
+                ticket, /*is_flush=*/false);
+  if (staged_.size() >= depth_) kick();
+  stats_.ops.add(RankOp::kWriteToRank, clock.now() - t0);
+  observe_op(RankOp::kWriteToRank, clock.now() - t0);
+  return ticket;
+}
+
+Frontend::Ticket Frontend::submit_read(const driver::TransferMatrix& matrix) {
+  VPIM_CHECK(open_, "read-from-rank on an unlinked device");
+  VPIM_CHECK(matrix.direction == driver::XferDirection::kFromRank,
+             "submit_read called with a write matrix");
+  check_dpus(matrix);
+  SimClock& clock = vmm_.clock();
+  const SimNs t0 = clock.now();
+  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kRead, tenant_id());
+  span.set_bytes(matrix.total_bytes());
+  span.set_entries(static_cast<std::uint32_t>(matrix.entries.size()));
+  clock.advance(vmm_.cost().ioctl_ns);
+  flush_batch();  // write -> read ordering
+  const Ticket ticket = ++next_ticket_;
+  stage_rank_op(matrix, /*is_write=*/false, /*flags=*/0, /*async=*/true,
+                ticket, /*is_flush=*/false);
+  if (staged_.size() >= depth_) kick();
+  stats_.ops.add(RankOp::kReadFromRank, clock.now() - t0);
+  observe_op(RankOp::kReadFromRank, clock.now() - t0);
+  return ticket;
+}
+
+std::span<const Frontend::Completion> Frontend::poll_completions() {
+  SimClock& clock = vmm_.clock();
+  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kCqDrain,
+                        tenant_id());
+  clock.advance(vmm_.cost().ioctl_ns);
+  kick();
+  cq_out_.swap(cq_);
+  cq_.clear();
+  span.set_entries(static_cast<std::uint32_t>(cq_out_.size()));
+  return cq_out_;
+}
+
 std::uint64_t Frontend::memory_overhead_bytes() const {
   if (!arenas_ready_) return 0;
-  std::uint64_t total = arena_.request.size() + arena_.matrix_meta.size() +
-                        arena_.entry_meta.size() + arena_.page_lists.size() +
-                        arena_.payload.size() + arena_.response.size();
+  std::uint64_t total = 0;
+  for (const SqSlot& slot : slots_) {
+    total += slot.arena.request.size() + slot.arena.matrix_meta.size() +
+             slot.arena.entry_meta.size() + slot.arena.page_lists.size() +
+             slot.arena.payload.size() + slot.arena.response.size();
+  }
   for (const auto& c : caches_) total += c.buf.size();
   for (const auto& b : batches_) total += b.buf.size();
   return total;

@@ -14,6 +14,15 @@
 // backend pay the VMEXIT/IRQ transition costs that the paper identifies as
 // the primary virtualization overhead.
 //
+// ISSUE 7 layers an io_uring-style submission/completion queue over the
+// transferq: up to VpimConfig::queue_depth requests are staged (each in
+// its own wire-arena slot) before one doorbell kicks the backend, which
+// drains the whole batch behind a single completion interrupt. The
+// blocking device-file API is submit()+wait() at any depth; the async API
+// (submit_write/submit_read/poll_completions) exposes the pipeline. At
+// depth 1 every observable — stats, spans, metrics, virtual time, guest
+// GPA layout — is bit-identical to the classic synchronous device.
+//
 // Error semantics: every request completes with a WireResponse status
 // (virtio::PimStatus). Capacity failures (bind/migrate/resume) surface as
 // `false` returns; any other non-OK completion is rethrown as
@@ -87,6 +96,30 @@ class Frontend {
                        std::uint32_t offset, std::span<std::uint8_t> packed,
                        std::uint32_t bytes_per_dpu);
 
+  // ---- async SQ/CQ API (ISSUE 7) ---------------------------------------
+  // Buffer-stability contract (io_uring semantics): the guest buffers a
+  // submitted matrix references stay untouched and do not overlap any
+  // other in-flight request's buffers until the completion is reaped.
+  // Async reads bypass the prefetch cache; async writes still invalidate
+  // it and flush the batch buffer, so sync and async ops interleave
+  // coherently.
+  using Ticket = std::uint64_t;
+  struct Completion {
+    Ticket ticket = 0;
+    std::int32_t status = 0;  // virtio::PimStatus; 0 = OK
+    std::uint64_t bytes = 0;  // bytes moved, on success
+    bool is_write = false;
+  };
+  // Stages the request; the doorbell rings when queue_depth requests are
+  // pending, a blocking op arrives, or poll_completions() is called.
+  Ticket submit_write(const driver::TransferMatrix& matrix);
+  Ticket submit_read(const driver::TransferMatrix& matrix);
+  // Kicks anything staged and drains the completion queue. Per-request
+  // failures surface as typed Completion::status values, never throws.
+  // The returned span is valid until the next poll_completions() call.
+  std::span<const Completion> poll_completions();
+  std::uint32_t queue_depth() const { return depth_; }
+
   // Frontend memory footprint (§4.1 "Memory Overhead").
   std::uint64_t memory_overhead_bytes() const;
 
@@ -108,14 +141,53 @@ class Frontend {
     std::uint64_t cursor = 0;  // bytes used
     std::span<std::uint8_t> buf;
   };
+  // One submission slot: a full wire arena plus the bookkeeping to match
+  // its completion back out of the used ring. Slots recycle per batch
+  // (index = position in staged_), so depth slots bound the pipeline.
+  struct SqSlot {
+    WireArena arena;
+    SerializeResult ser;
+    std::uint16_t head = 0;  // chain head, the used-ring match key
+    bool is_write = false;
+    bool async = false;
+    bool is_flush = false;
+    bool completed = false;
+    bool timed_out = false;
+    Ticket ticket = 0;
+    SimNs t0 = 0;  // staging time, for the per-slot lane span
+    WireResponse resp{};
+  };
+  static constexpr std::uint32_t kMaxQueueDepth = 64;
+  static constexpr std::uint64_t kCiPayloadBytes = 8 * kKiB;
 
   void ensure_arenas();
+  void alloc_arena(WireArena& arena, guest::GuestMemory& mem);
   void check_dpus(const driver::TransferMatrix& matrix) const;
   void send_rank_op(const driver::TransferMatrix& matrix, bool is_write,
                     std::uint32_t flags);
-  void roundtrip(virtio::Virtqueue& queue,
-                 std::span<const virtio::DescBuffer> chain,
-                 bool record_wsteps);
+  // Serializes into the next free slot and publishes the chain on the
+  // available ring (no doorbell); returns the slot index.
+  std::uint32_t stage_rank_op(const driver::TransferMatrix& matrix,
+                              bool is_write, std::uint32_t flags, bool async,
+                              Ticket ticket, bool is_flush);
+  std::uint32_t stage_ci(const WireRequest& req,
+                         std::span<std::uint8_t> payload,
+                         bool payload_writable);
+  // Rings the doorbell for everything staged: one notify, one backend
+  // drain, one completion interrupt for the whole batch. Never throws —
+  // failures land in the slots as typed statuses.
+  void kick();
+  // Kicks early when the slot ring or descriptor table cannot take one
+  // more staged request.
+  void reserve_slot();
+  void reserve_ring(std::size_t descs);
+  // Blocking-path completion: kicks if the slot is still in flight, then
+  // surfaces any posted-flush failure and the slot's own status.
+  WireResponse finish_sync(std::uint32_t idx, const char* what);
+  void raise_flush_error();
+  // Payload staging buffer of the slot the next stage_ci will use.
+  std::span<std::uint8_t> ci_payload();
+  void control_roundtrip(std::span<const virtio::DescBuffer> chain);
   WireResponse ci_roundtrip(const WireRequest& req,
                             std::span<std::uint8_t> payload,
                             bool payload_writable);
@@ -174,19 +246,33 @@ class Frontend {
   bool open_ = false;
   bool arenas_ready_ = false;
   virtio::PimConfigSpace config_space_{};
-  WireArena arena_;
   std::vector<DpuCache> caches_;
   std::vector<DpuBatch> batches_;
   std::uint64_t batch_pending_ = 0;  // total records pending
   // Pooled request-path working set, reused across device-file calls so
-  // the steady-state hot path performs no heap allocation: serialization
-  // output and the transfer matrices assembled for prefetch fills,
-  // residual direct reads, and batch flushes.
-  SerializeResult ser_scratch_;
+  // the steady-state hot path performs no heap allocation: the transfer
+  // matrices assembled for prefetch fills, residual direct reads, and
+  // batch flushes. (Serialization scratch lives in the SQ slots.)
   driver::TransferMatrix fill_scratch_;
   driver::TransferMatrix direct_scratch_;
   driver::TransferMatrix flush_scratch_;
   std::vector<std::uint8_t> filling_;  // per-DPU "fill queued" flags
+
+  // ---- SQ/CQ state (ISSUE 7) -------------------------------------------
+  std::uint32_t depth_ = 1;  // resolved queue depth
+  std::vector<SqSlot> slots_;
+  std::vector<std::uint32_t> staged_;  // slot indices since the last kick
+  // A posted (depth > 1) batch flush keeps the batch buffers locked until
+  // its completion arrives; a failed flush parks its status here and the
+  // next blocking op rethrows it, so no write is silently dropped.
+  bool batch_locked_ = false;
+  std::int32_t pending_flush_status_ = 0;
+  Ticket next_ticket_ = 0;
+  std::vector<Completion> cq_;      // reaped, not yet handed out
+  std::vector<Completion> cq_out_;  // last poll_completions result
+  obs::Histogram* inflight_hist_ = nullptr;
+  obs::Counter* doorbells_metric_ = nullptr;
+  obs::Counter* requests_metric_ = nullptr;
 };
 
 }  // namespace vpim::core

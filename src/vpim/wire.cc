@@ -211,48 +211,73 @@ void deserialize_matrix(const virtio::DescChain& chain,
   // they are translated (guest RAM is flat, so GPA-contiguous means
   // HVA-contiguous): bulk copies downstream stream over whole runs and no
   // post-hoc coalescing pass is needed.
-  ThreadPool::instance().parallel_for(
-      result.entries.size(), [&](std::size_t k) {
-        const WireEntryMeta& em = entry_metas[k];
-        const std::uint8_t* list = page_lists[k];
-        HvaSegment* out = result.segment_pool.data() + seg_base[k];
-        std::uint32_t nseg = 0;
-        // Current run of contiguous pages: [run_gpa, run_gpa + run_pages *
-        // kPage) covering run_len data bytes starting run_off into it.
-        std::uint64_t run_gpa = 0, run_pages = 0, run_off = 0, run_len = 0;
-        const auto flush_run = [&] {
-          if (run_pages == 0) return;
-          // Whole-page range check over the run: a page straddling the end
-          // of guest RAM must not hand out a pointer past the backing
-          // allocation (same granularity as a per-page hva_range walk).
-          out[nseg++] = {mem.hva_range(run_gpa, run_pages * kPage) + run_off,
-                         run_len};
-        };
-        std::uint64_t remaining = em.size;
-        for (std::uint64_t p = 0; p < em.nr_pages; ++p) {
-          const auto page_gpa = read_pod<std::uint64_t>(list + p * 8);
-          VPIM_REQUEST_CHECK(page_gpa % kPage == 0, PimStatus::kBadRequest,
-                             "page address not page-aligned");
-          const std::uint64_t off = (p == 0) ? em.first_page_offset : 0;
-          const std::uint64_t len = std::min(remaining, kPage - off);
-          if (run_pages > 0 && page_gpa == run_gpa + run_pages * kPage &&
-              run_off + run_len == run_pages * kPage) {
-            ++run_pages;
-            run_len += len;
-          } else {
-            flush_run();
-            run_gpa = page_gpa;
-            run_pages = 1;
-            run_off = off;
-            run_len = len;
-          }
-          remaining -= len;
-        }
+  // The fan-out body reaches its inputs through one stack context so the
+  // lambda capture is a single pointer: small enough for std::function's
+  // inline storage, keeping this per-request call allocation-free.
+  struct TranslateCtx {
+    const std::vector<WireEntryMeta>& entry_metas;
+    const std::vector<const std::uint8_t*>& page_lists;
+    const std::vector<std::uint64_t>& seg_base;
+    std::vector<std::uint32_t>& seg_count;
+    DeserializeResult& result;
+    guest::GuestMemory& mem;
+  } ctx{entry_metas, page_lists, seg_base, seg_count, result, mem};
+  const auto translate_entry = [&ctx](std::size_t k) {
+    guest::GuestMemory& mem = ctx.mem;
+    const WireEntryMeta& em = ctx.entry_metas[k];
+    const std::uint8_t* list = ctx.page_lists[k];
+    HvaSegment* out = ctx.result.segment_pool.data() + ctx.seg_base[k];
+    std::uint32_t nseg = 0;
+    // Current run of contiguous pages: [run_gpa, run_gpa + run_pages *
+    // kPage) covering run_len data bytes starting run_off into it.
+    std::uint64_t run_gpa = 0, run_pages = 0, run_off = 0, run_len = 0;
+    const auto flush_run = [&] {
+      if (run_pages == 0) return;
+      // Whole-page range check over the run: a page straddling the end
+      // of guest RAM must not hand out a pointer past the backing
+      // allocation (same granularity as a per-page hva_range walk).
+      out[nseg++] = {mem.hva_range(run_gpa, run_pages * kPage) + run_off,
+                     run_len};
+    };
+    std::uint64_t remaining = em.size;
+    for (std::uint64_t p = 0; p < em.nr_pages; ++p) {
+      const auto page_gpa = read_pod<std::uint64_t>(list + p * 8);
+      VPIM_REQUEST_CHECK(page_gpa % kPage == 0, PimStatus::kBadRequest,
+                         "page address not page-aligned");
+      const std::uint64_t off = (p == 0) ? em.first_page_offset : 0;
+      const std::uint64_t len = std::min(remaining, kPage - off);
+      if (run_pages > 0 && page_gpa == run_gpa + run_pages * kPage &&
+          run_off + run_len == run_pages * kPage) {
+        ++run_pages;
+        run_len += len;
+      } else {
         flush_run();
-        VPIM_REQUEST_CHECK(remaining == 0, PimStatus::kBadRequest,
-                           "pages do not cover the entry");
-        seg_count[k] = nseg;
-      });
+        run_gpa = page_gpa;
+        run_pages = 1;
+        run_off = off;
+        run_len = len;
+      }
+      remaining -= len;
+    }
+    flush_run();
+    VPIM_REQUEST_CHECK(remaining == 0, PimStatus::kBadRequest,
+                       "pages do not cover the entry");
+    ctx.seg_count[k] = nseg;
+  };
+  // Translating one entry is sub-microsecond work, far below a worker
+  // wakeup, so narrow matrices translate inline; wide ones amortize the
+  // fan-out. Either path visits indices in the same order with the same
+  // per-index output, so results are identical (the determinism tests pin
+  // this down across thread counts).
+  constexpr std::size_t kTranslateFanoutMin = 8;
+  if (result.entries.size() < kTranslateFanoutMin) {
+    for (std::size_t k = 0; k < result.entries.size(); ++k) {
+      translate_entry(k);
+    }
+  } else {
+    ThreadPool::instance().parallel_for(result.entries.size(),
+                                        translate_entry);
+  }
   for (std::uint64_t k = 0; k < meta.nr_entries; ++k) {
     result.entries[k].segments = {result.segment_pool.data() + seg_base[k],
                                   seg_count[k]};

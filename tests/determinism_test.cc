@@ -7,9 +7,11 @@
 // Also pins the interleave dispatch (AVX2 vs portable) to bit-exactness.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <array>
 #include <cstdint>
 #include <random>
+#include <span>
 #include <sstream>
 #include <string>
 #include <thread>
@@ -161,6 +163,111 @@ TEST_P(PrimDeterminism, FullVpimPathIsThreadCountInvariant) {
 // data path); RED reduces across DPUs (stresses the launch fan-out).
 INSTANTIATE_TEST_SUITE_P(Apps, PrimDeterminism,
                          ::testing::Values("NW", "RED"));
+
+// ---- async SQ/CQ pipeline (ISSUE 7) -------------------------------------
+
+// A write pass and a read pass of small matrices through the frontend's
+// async API: the whole pipeline — staging, doorbell coalescing, batched
+// backend drain, completion reaping — must be bit-identical at any
+// VPIM_THREADS for every queue depth.
+Capture run_async_pipeline(unsigned threads, std::uint32_t depth) {
+  ThreadPool::instance().resize(threads);
+  core::Host host(test::small_machine(), CostModel{}, fast_manager());
+  core::VpimConfig config = core::VpimConfig::full();
+  config.queue_depth = depth;
+  core::VpimVm vm(host, {.name = "det-sqcq"}, 1, config);
+  obs::Tracer tracer;
+  host.attach_tracer(&tracer);
+
+  core::Frontend& fe = vm.device(0).frontend;
+  Capture cap;
+  cap.correct = fe.open();
+  if (cap.correct) {
+    constexpr std::uint32_t kRequests = 48;
+    constexpr std::uint32_t kEntries = 2;
+    constexpr std::uint64_t kBytes = 256;
+    const std::uint32_t nr_dpus = fe.nr_dpus();
+    std::vector<std::span<std::uint8_t>> wbufs(kRequests);
+    std::vector<std::span<std::uint8_t>> rbufs(kRequests);
+    auto matrix_for = [&](std::uint32_t r, std::span<std::uint8_t> buf,
+                          driver::XferDirection dir) {
+      driver::TransferMatrix m;
+      m.direction = dir;
+      for (std::uint32_t e = 0; e < kEntries; ++e) {
+        const std::uint32_t linear = r * kEntries + e;
+        m.entries.push_back({linear % nr_dpus,
+                             (linear / nr_dpus) * kBytes,
+                             buf.data() + std::uint64_t{e} * kBytes,
+                             kBytes});
+      }
+      return m;
+    };
+    for (std::uint32_t r = 0; r < kRequests; ++r) {
+      wbufs[r] = vm.vmm().memory().alloc(kEntries * kBytes);
+      rbufs[r] = vm.vmm().memory().alloc(kEntries * kBytes);
+      for (std::uint64_t i = 0; i < kEntries * kBytes; ++i) {
+        wbufs[r][i] = static_cast<std::uint8_t>(r * 37 + i * 11);
+      }
+      fe.submit_write(matrix_for(r, wbufs[r],
+                                 driver::XferDirection::kToRank));
+    }
+    std::size_t reaped = 0;
+    while (reaped < kRequests) {
+      const auto batch = fe.poll_completions();
+      if (batch.empty()) break;
+      reaped += batch.size();
+    }
+    cap.correct = reaped == kRequests;
+    for (std::uint32_t r = 0; r < kRequests; ++r) {
+      fe.submit_read(matrix_for(r, rbufs[r],
+                                driver::XferDirection::kFromRank));
+    }
+    reaped = 0;
+    while (reaped < kRequests) {
+      const auto batch = fe.poll_completions();
+      if (batch.empty()) break;
+      for (const core::Frontend::Completion& c : batch) {
+        cap.correct = cap.correct && c.status == 0;
+      }
+      reaped += batch.size();
+    }
+    cap.correct = cap.correct && reaped == kRequests;
+    for (std::uint32_t r = 0; cap.correct && r < kRequests; ++r) {
+      cap.correct = std::equal(rbufs[r].begin(), rbufs[r].end(),
+                               wbufs[r].begin());
+    }
+    fe.close();
+  }
+
+  const core::DeviceStats& stats = vm.device(0).stats;
+  cap.op_time = stats.ops.op_time;
+  cap.op_count = stats.ops.op_count;
+  cap.step_time = stats.wsteps.step_time;
+  cap.clock_end = host.clock.now();
+  std::ostringstream csv;
+  tracer.dump_csv(csv);
+  cap.trace_csv = csv.str();
+  cap.span_digest = tracer.digest();
+  cap.metrics_text = host.obs.metrics.prometheus_text();
+  return cap;
+}
+
+class PipelineDeterminism : public DeterminismTest,
+                            public ::testing::WithParamInterface<int> {};
+
+TEST_P(PipelineDeterminism, AsyncPipelineIsThreadCountInvariant) {
+  const auto depth = static_cast<std::uint32_t>(GetParam());
+  const Capture base = run_async_pipeline(1, depth);
+  EXPECT_TRUE(base.correct);
+  EXPECT_GT(base.span_digest.size(), 0u);
+  for (unsigned t : thread_sweep()) {
+    if (t == 1) continue;
+    expect_identical(base, run_async_pipeline(t, depth), t);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, PipelineDeterminism,
+                         ::testing::Values(1, 2, 8));
 
 // ---- interleave dispatch ------------------------------------------------
 

@@ -1,0 +1,503 @@
+// Async-pipeline differential properties (ISSUE 7): for random op
+// sequences the SQ/CQ path (submit_write / submit_read /
+// poll_completions) must be observably equivalent to the blocking
+// device-file path — read-back bytes, final MRAM image, and (at depth 1)
+// the full stats/virtual-time fingerprint are bit-identical — at every
+// queue depth and VPIM_THREADS setting. Under a seeded FaultPlan every
+// submitted ticket is still reaped exactly once with a typed PimStatus;
+// the pipeline may degrade but never loses or duplicates a completion.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/fault.h"
+#include "common/proptest/proptest.h"
+#include "common/rng.h"
+#include "common/thread_pool.h"
+#include "tests/testutil.h"
+#include "virtio/pim_spec.h"
+#include "vpim/host.h"
+#include "vpim/vpim_vm.h"
+
+namespace vpim::prop {
+namespace {
+
+using core::Frontend;
+using core::VpimVm;
+
+core::ManagerConfig fast_manager() {
+  core::ManagerConfig cfg;
+  cfg.retry_wait_ns = 1 * kMs;
+  cfg.max_attempts = 2;
+  return cfg;
+}
+
+// Frontend buffering off so the blocking reference issues exactly one
+// message per op — the shape the async path must reproduce at depth 1.
+core::VpimConfig depth_config(std::uint32_t depth) {
+  core::VpimConfig cfg = core::VpimConfig::full();
+  cfg.prefetch_cache = false;
+  cfg.request_batching = false;
+  cfg.queue_depth = depth;
+  return cfg;
+}
+
+// Ops target one of kWindows disjoint MRAM windows; window w entry e maps
+// to DPU w with a private kMaxEntryBytes-sized range, so concurrent
+// in-flight requests never overlap each other's guest buffers or device
+// ranges unless the sequence deliberately rewrites a window.
+constexpr std::uint32_t kWindows = 8;  // == functional DPUs per rank
+constexpr std::uint32_t kMaxEntries = 3;
+constexpr std::uint64_t kMaxEntryBytes = 2048;
+
+struct OpShape {
+  bool is_write = false;
+  std::uint32_t window = 0;
+  std::vector<std::uint64_t> sizes;  // one per entry, 1..kMaxEntryBytes
+  std::uint64_t data_seed = 1;       // write payload generator
+};
+
+struct OpSeqCase {
+  std::vector<OpShape> ops;
+};
+
+std::string show_case(const OpSeqCase& c) {
+  std::string s = "ops=[";
+  for (const OpShape& op : c.ops) {
+    s += op.is_write ? "W" : "R";
+    s += std::to_string(op.window) + "(";
+    for (std::uint64_t sz : op.sizes) s += std::to_string(sz) + ",";
+    s += ")";
+  }
+  return s + "]";
+}
+
+Gen<OpSeqCase> op_seq_gen() {
+  Gen<OpSeqCase> gen;
+  gen.sample = [](Rng& rng) {
+    OpSeqCase c;
+    const auto n = rng.uniform(4, 24);
+    for (std::int64_t i = 0; i < n; ++i) {
+      OpShape op;
+      op.is_write = rng.uniform(0, 1) == 0;
+      op.window = static_cast<std::uint32_t>(rng.uniform(0, kWindows - 1));
+      const auto entries = rng.uniform(1, kMaxEntries);
+      for (std::int64_t e = 0; e < entries; ++e) {
+        op.sizes.push_back(static_cast<std::uint64_t>(
+            rng.uniform(1, static_cast<std::int64_t>(kMaxEntryBytes))));
+      }
+      op.data_seed = rng.next_u64();
+      c.ops.push_back(std::move(op));
+    }
+    return c;
+  };
+  gen.shrink = [](const OpSeqCase& c) {
+    std::vector<OpSeqCase> out;
+    if (c.ops.size() > 1) {
+      OpSeqCase head = c;
+      head.ops.resize(c.ops.size() / 2);
+      out.push_back(std::move(head));
+    }
+    for (std::size_t i = 0; c.ops.size() > 1 && i < c.ops.size(); ++i) {
+      OpSeqCase fewer = c;
+      fewer.ops.erase(fewer.ops.begin() + static_cast<std::ptrdiff_t>(i));
+      out.push_back(std::move(fewer));
+    }
+    for (std::size_t i = 0; i < c.ops.size(); ++i) {
+      for (std::size_t e = 0; e < c.ops[i].sizes.size(); ++e) {
+        if (c.ops[i].sizes[e] > 1) {
+          OpSeqCase smaller = c;
+          smaller.ops[i].sizes[e] = c.ops[i].sizes[e] / 2 + 1;
+          out.push_back(std::move(smaller));
+        }
+      }
+    }
+    return out;
+  };
+  return gen;
+}
+
+driver::TransferMatrix matrix_for(const OpShape& op,
+                                  std::span<std::uint8_t> buf,
+                                  driver::XferDirection dir) {
+  driver::TransferMatrix m;
+  m.direction = dir;
+  std::uint64_t cursor = 0;
+  for (std::size_t e = 0; e < op.sizes.size(); ++e) {
+    m.entries.push_back({op.window, e * kMaxEntryBytes, buf.data() + cursor,
+                         op.sizes[e]});
+    cursor += op.sizes[e];
+  }
+  return m;
+}
+
+std::uint64_t op_bytes(const OpShape& op) {
+  std::uint64_t total = 0;
+  for (std::uint64_t sz : op.sizes) total += sz;
+  return total;
+}
+
+// Everything observable about one execution of an op sequence.
+struct RunResult {
+  std::vector<std::vector<std::uint8_t>> reads;  // per read-op, in order
+  std::vector<std::uint8_t> final_image;         // window-ordered read-back
+  SimNs clock_end = 0;
+  std::uint64_t poll_calls = 0;  // each charges one guest poll syscall
+  std::uint64_t notifies = 0;
+  std::uint64_t doorbells = 0;
+  std::uint64_t coalesced_notifies = 0;
+  std::uint64_t completion_irqs = 0;
+};
+
+struct Rig {
+  explicit Rig(std::uint32_t depth)
+      : host(test::small_machine(), CostModel{}, fast_manager()),
+        vm(host, {.name = "prop-pipe"}, 1, depth_config(depth)) {}
+
+  guest::GuestMemory& mem() { return vm.vmm().memory(); }
+  Frontend& fe() { return vm.device(0).frontend; }
+
+  std::span<std::uint8_t> buffer_for(const OpShape& op) {
+    std::span<std::uint8_t> buf = mem().alloc(op_bytes(op));
+    if (op.is_write) {
+      Rng data(op.data_seed);
+      data.fill_bytes(buf.data(), buf.size());
+    } else {
+      std::memset(buf.data(), 0, buf.size());
+    }
+    return buf;
+  }
+
+  void capture_tail(RunResult& out) {
+    // Full window read-back through the blocking path: one image that any
+    // divergence in write ordering or payload placement must perturb.
+    for (std::uint32_t w = 0; w < kWindows; ++w) {
+      OpShape probe;
+      probe.is_write = false;
+      probe.window = w;
+      probe.sizes.assign(kMaxEntries, kMaxEntryBytes);
+      std::span<std::uint8_t> buf = buffer_for(probe);
+      fe().read_from_rank(
+          matrix_for(probe, buf, driver::XferDirection::kFromRank));
+      out.final_image.insert(out.final_image.end(), buf.begin(), buf.end());
+    }
+    fe().close();
+    out.clock_end = host.clock.now();
+    const core::DeviceStats& stats = vm.device(0).stats;
+    out.notifies = stats.notifies;
+    out.doorbells = stats.doorbells;
+    out.coalesced_notifies = stats.coalesced_notifies;
+    out.completion_irqs = stats.completion_irqs;
+  }
+
+  core::Host host;
+  VpimVm vm;
+};
+
+RunResult run_sync(const OpSeqCase& c) {
+  Rig rig(/*depth=*/1);
+  require(rig.fe().open(), "sync rig: no rank available");
+  RunResult out;
+  for (const OpShape& op : c.ops) {
+    std::span<std::uint8_t> buf = rig.buffer_for(op);
+    if (op.is_write) {
+      rig.fe().write_to_rank(
+          matrix_for(op, buf, driver::XferDirection::kToRank));
+    } else {
+      rig.fe().read_from_rank(
+          matrix_for(op, buf, driver::XferDirection::kFromRank));
+      out.reads.emplace_back(buf.begin(), buf.end());
+    }
+  }
+  rig.capture_tail(out);
+  return out;
+}
+
+RunResult run_async(const OpSeqCase& c, std::uint32_t depth) {
+  Rig rig(depth);
+  require(rig.fe().open(), "async rig: no rank available");
+  RunResult out;
+
+  struct Pending {
+    const OpShape* op;
+    std::span<std::uint8_t> buf;
+    bool reaped = false;
+  };
+  std::map<Frontend::Ticket, Pending> pending;
+  for (const OpShape& op : c.ops) {
+    std::span<std::uint8_t> buf = rig.buffer_for(op);
+    const driver::TransferMatrix m = matrix_for(
+        op, buf,
+        op.is_write ? driver::XferDirection::kToRank
+                    : driver::XferDirection::kFromRank);
+    const Frontend::Ticket t =
+        op.is_write ? rig.fe().submit_write(m) : rig.fe().submit_read(m);
+    require(pending.emplace(t, Pending{&op, buf}).second,
+            "duplicate ticket issued");
+  }
+
+  std::size_t reaped = 0;
+  int idle_polls = 0;
+  while (reaped < c.ops.size() && idle_polls < 2) {
+    const auto batch = rig.fe().poll_completions();
+    ++out.poll_calls;
+    if (batch.empty()) {
+      ++idle_polls;
+      continue;
+    }
+    idle_polls = 0;
+    for (const Frontend::Completion& done : batch) {
+      auto it = pending.find(done.ticket);
+      require(it != pending.end(), "completion for unknown ticket");
+      require(!it->second.reaped, "ticket completed twice");
+      it->second.reaped = true;
+      ++reaped;
+      require(done.status == 0,
+              "completion status " + std::to_string(done.status));
+      require(done.is_write == it->second.op->is_write,
+              "completion direction mismatch");
+      require(done.bytes == op_bytes(*it->second.op),
+              "completion byte count mismatch");
+    }
+  }
+  require(reaped == c.ops.size(), "pipeline lost completions");
+
+  // Read results land in submission order: tickets are issued
+  // monotonically, so walking the map walks the original sequence.
+  for (const auto& [ticket, p] : pending) {
+    if (!p.op->is_write) out.reads.emplace_back(p.buf.begin(), p.buf.end());
+  }
+  rig.capture_tail(out);
+  return out;
+}
+
+void require_same_data(const RunResult& sync, const RunResult& async,
+                       std::uint32_t depth) {
+  const std::string tag = " (depth " + std::to_string(depth) + ")";
+  require(sync.reads.size() == async.reads.size(),
+          "read-op count diverged" + tag);
+  for (std::size_t i = 0; i < sync.reads.size(); ++i) {
+    require(sync.reads[i] == async.reads[i],
+            "read " + std::to_string(i) + " bytes diverged" + tag);
+  }
+  require(sync.final_image == async.final_image,
+          "final MRAM image diverged" + tag);
+}
+
+// ---- property 1: async == sync at every depth ---------------------------
+
+TEST(PropPipeline, AsyncPathMatchesBlockingPathAtEveryDepth) {
+  const Params params = Params::from_env(0xA51DC, 40);
+  const auto out = run_property<OpSeqCase>(
+      "pipeline.async_vs_sync", params, op_seq_gen(),
+      [&](const OpSeqCase& c) {
+        const RunResult sync = run_sync(c);
+        for (std::uint32_t depth : {1u, 2u, 8u}) {
+          const RunResult async = run_async(c, depth);
+          require_same_data(sync, async, depth);
+          // The async path's only extra virtual-time cost is the guest
+          // poll syscall itself (one ioctl_ns per poll_completions call);
+          // everything device-side must cost exactly the same at depth 1
+          // and strictly no more at deeper queues.
+          const SimNs poll_cost =
+              static_cast<SimNs>(async.poll_calls) * CostModel{}.ioctl_ns;
+          if (depth == 1) {
+            // Depth 1 is the classic synchronous device in disguise: the
+            // whole stats/virtual-time fingerprint must be bit-identical.
+            require(sync.clock_end + poll_cost == async.clock_end,
+                    "virtual time diverged at depth 1");
+            require(sync.notifies == async.notifies &&
+                        sync.doorbells == async.doorbells &&
+                        sync.coalesced_notifies ==
+                            async.coalesced_notifies &&
+                        sync.completion_irqs == async.completion_irqs,
+                    "doorbell/IRQ stats diverged at depth 1");
+          } else {
+            // Deeper queues must save messages, never add them.
+            require(async.doorbells <= sync.doorbells,
+                    "deep queue inflated doorbells");
+            require(async.clock_end <= sync.clock_end + poll_cost,
+                    "deep queue inflated virtual time");
+          }
+        }
+      },
+      show_case);
+  EXPECT_TRUE(out.ok) << out.reproducer;
+}
+
+// ---- property 2: the deep pipeline is thread-count invariant ------------
+
+class PropPipelineThreads : public ::testing::Test {
+ protected:
+  void SetUp() override { original_ = ThreadPool::instance().size(); }
+  void TearDown() override { ThreadPool::instance().resize(original_); }
+  unsigned original_ = 1;
+};
+
+TEST_F(PropPipelineThreads, DeepQueueIsThreadCountInvariant) {
+  const Params params = Params::from_env(0xA51DD, 15);
+  const auto out = run_property<OpSeqCase>(
+      "pipeline.thread_invariance", params, op_seq_gen(),
+      [&](const OpSeqCase& c) {
+        ThreadPool::instance().resize(1);
+        const RunResult base = run_async(c, /*depth=*/8);
+        ThreadPool::instance().resize(4);
+        const RunResult wide = run_async(c, /*depth=*/8);
+        ThreadPool::instance().resize(1);
+        require_same_data(base, wide, 8);
+        require(base.clock_end == wide.clock_end,
+                "virtual time depends on VPIM_THREADS");
+        require(base.notifies == wide.notifies &&
+                    base.doorbells == wide.doorbells &&
+                    base.coalesced_notifies == wide.coalesced_notifies &&
+                    base.completion_irqs == wide.completion_irqs,
+                "doorbell/IRQ stats depend on VPIM_THREADS");
+      },
+      show_case);
+  EXPECT_TRUE(out.ok) << out.reproducer;
+}
+
+// ---- property 3: no ticket lost or duplicated under injected faults -----
+
+struct FaultSeqCase {
+  OpSeqCase seq;
+  std::uint64_t fault_seed = 1;
+};
+
+std::string show_fault_case(const FaultSeqCase& c) {
+  return "fault_seed=" + std::to_string(c.fault_seed) + " " +
+         show_case(c.seq);
+}
+
+Gen<FaultSeqCase> fault_seq_gen() {
+  auto seqs = op_seq_gen();
+  auto shared = std::make_shared<Gen<OpSeqCase>>(std::move(seqs));
+  Gen<FaultSeqCase> gen;
+  gen.sample = [shared](Rng& rng) {
+    FaultSeqCase c;
+    c.seq = shared->sample(rng);
+    c.fault_seed = rng.next_u64();
+    return c;
+  };
+  gen.shrink = [shared](const FaultSeqCase& c) {
+    std::vector<FaultSeqCase> out;
+    for (OpSeqCase& fewer : shared->shrink(c.seq)) {
+      out.push_back({std::move(fewer), c.fault_seed});
+    }
+    return out;
+  };
+  return gen;
+}
+
+bool typed_status(std::int32_t status) {
+  switch (static_cast<virtio::PimStatus>(status)) {
+    case virtio::PimStatus::kOk:
+    case virtio::PimStatus::kBadRequest:
+    case virtio::PimStatus::kUnbound:
+    case virtio::PimStatus::kNoCapacity:
+    case virtio::PimStatus::kTimeout:
+    case virtio::PimStatus::kDeviceFault:
+      return true;
+    default:
+      return false;
+  }
+}
+
+// One async execution under the generated fault schedule; returns the
+// per-ticket statuses (submission order) plus the virtual end time.
+std::pair<std::vector<std::int32_t>, SimNs> run_async_with_faults(
+    const FaultSeqCase& c) {
+  core::Host host(test::small_machine(), CostModel{}, fast_manager());
+  FaultPlanConfig cfg;
+  cfg.seed = c.fault_seed;
+  cfg.transient_dpu_faults = 2;
+  cfg.mram_ecc_faults = 2;
+  cfg.rank_deaths = 1;
+  cfg.max_op = 8;
+  // nr_ranks=1 aims every event at rank 0 — the rank the device binds —
+  // so the schedule actually fires; a death migrates onto rank 1.
+  host.install_fault_plan(FaultPlan::generate(cfg, /*nr_ranks=*/1));
+  VpimVm vm(host, {.name = "prop-pipe-flt"}, 1, depth_config(8));
+  Frontend& fe = vm.device(0).frontend;
+  require(fe.open(), "fault rig: no rank available");
+
+  struct Slot {
+    std::span<std::uint8_t> buf;
+    int completions = 0;
+    std::int32_t status = -1;
+  };
+  guest::GuestMemory& mem = vm.vmm().memory();
+  std::map<Frontend::Ticket, Slot> pending;
+  std::vector<Frontend::Ticket> order;
+  for (const OpShape& op : c.seq.ops) {
+    std::span<std::uint8_t> buf = mem.alloc(op_bytes(op));
+    if (op.is_write) {
+      Rng data(op.data_seed);
+      data.fill_bytes(buf.data(), buf.size());
+    }
+    const driver::TransferMatrix m = matrix_for(
+        op, buf,
+        op.is_write ? driver::XferDirection::kToRank
+                    : driver::XferDirection::kFromRank);
+    const Frontend::Ticket t =
+        op.is_write ? fe.submit_write(m) : fe.submit_read(m);
+    require(pending.emplace(t, Slot{buf}).second, "duplicate ticket");
+    order.push_back(t);
+  }
+
+  std::size_t reaped = 0;
+  int idle_polls = 0;
+  while (reaped < order.size() && idle_polls < 3) {
+    const auto batch = fe.poll_completions();
+    if (batch.empty()) {
+      ++idle_polls;
+      continue;
+    }
+    idle_polls = 0;
+    for (const Frontend::Completion& done : batch) {
+      auto it = pending.find(done.ticket);
+      require(it != pending.end(), "completion for unknown ticket");
+      it->second.completions++;
+      it->second.status = done.status;
+    }
+    reaped = 0;
+    for (const auto& [t, slot] : pending) {
+      reaped += slot.completions > 0 ? 1 : 0;
+    }
+  }
+
+  std::vector<std::int32_t> statuses;
+  for (Frontend::Ticket t : order) {
+    const Slot& slot = pending.at(t);
+    require(slot.completions == 1,
+            "ticket reaped " + std::to_string(slot.completions) +
+                " times under faults");
+    require(typed_status(slot.status),
+            "untyped completion status " + std::to_string(slot.status));
+    statuses.push_back(slot.status);
+  }
+  fe.close();
+  return {std::move(statuses), host.clock.now()};
+}
+
+TEST(PropPipeline, EveryTicketReapsExactlyOnceUnderFaults) {
+  const Params params = Params::from_env(0xA51DE, 30);
+  const auto out = run_property<FaultSeqCase>(
+      "pipeline.fault_ticket_accounting", params, fault_seq_gen(),
+      [&](const FaultSeqCase& c) {
+        const auto first = run_async_with_faults(c);
+        const auto second = run_async_with_faults(c);
+        require(first.first == second.first,
+                "fault statuses are not reproducible for a fixed seed");
+        require(first.second == second.second,
+                "virtual time under faults is not reproducible");
+      },
+      show_fault_case);
+  EXPECT_TRUE(out.ok) << out.reproducer;
+}
+
+}  // namespace
+}  // namespace vpim::prop

@@ -35,6 +35,7 @@ struct Options {
   std::uint32_t tasklets = 16;
   double scale = 1.0;
   std::uint64_t mb = 20;  // checksum file size per DPU
+  std::uint32_t depth = 0;  // SQ depth; 0 = VPIM_DEPTH env, else 1
   std::string config = "vPIM";
   std::string trace_path;   // --trace FILE: CSV of the vPIM run's spans
   std::string chrome_path;  // --chrome-trace FILE: chrome://tracing JSON
@@ -66,11 +67,12 @@ core::VpimConfig config_by_label(const std::string& label) {
 int usage() {
   std::printf(
       "usage: vpim-sim [--app NAME] [--dpus N] [--tasklets N]\n"
-      "                [--scale X] [--mb N] [--config LABEL]\n"
+      "                [--scale X] [--mb N] [--config LABEL] [--depth N]\n"
       "                [--trace FILE] [--chrome-trace FILE]\n"
       "                [--metrics FILE]\n"
       "                [--native-only | --vpim-only] [--list]\n"
       "  NAME: a PrIM app (--list), 'checksum', or 'search'\n"
+      "  --depth:        submission-queue depth (default: VPIM_DEPTH or 1)\n"
       "  --trace:        span stream as CSV\n"
       "  --chrome-trace: span stream as chrome://tracing JSON\n"
       "  --metrics:      Prometheus-style metrics snapshot\n");
@@ -113,9 +115,10 @@ void dump_observability(const Options& opt, core::Host& host,
 
 void print_device_stats(const core::DeviceStats& stats) {
   std::printf(
-      "internals: %lu messages | batching %lu absorbed / %lu flushes | "
-      "cache %lu hits / %lu misses / %lu fills\n",
-      static_cast<unsigned long>(stats.notifies),
+      "internals: %lu messages / %lu doorbells | batching %lu absorbed / "
+      "%lu flushes | cache %lu hits / %lu misses / %lu fills\n",
+      static_cast<unsigned long>(stats.notifies + stats.coalesced_notifies),
+      static_cast<unsigned long>(stats.doorbells),
       static_cast<unsigned long>(stats.batched_writes),
       static_cast<unsigned long>(stats.batch_flushes),
       static_cast<unsigned long>(stats.cache_hits),
@@ -148,6 +151,8 @@ int main(int argc, char** argv) {
       opt.mb = static_cast<std::uint64_t>(std::atoll(value()));
     } else if (arg == "--config") {
       opt.config = value();
+    } else if (arg == "--depth") {
+      opt.depth = static_cast<std::uint32_t>(std::atoi(value()));
     } else if (arg == "--trace") {
       opt.trace_path = value();
     } else if (arg == "--chrome-trace") {
@@ -170,7 +175,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  const core::VpimConfig config = config_by_label(opt.config);
+  core::VpimConfig config = config_by_label(opt.config);
+  config.queue_depth = opt.depth;  // 0 falls through to VPIM_DEPTH / 1
   const std::uint32_t nr_devices = (opt.dpus + 59) / 60;
   std::printf("machine: 8 ranks x 60 DPUs @350 MHz | app %s, %u DPUs, "
               "%u tasklets, scale %.2f | config %s\n",
