@@ -73,6 +73,7 @@ inline CostModel bench_cost() {
       slow(cost.rank_probe_ns);
       slow(cost.vm_boot_base_ns);
       slow(cost.vupmem_boot_ns);
+      slow(cost.admission_check_ns);
       throttle(cost.mram_dma_gbps);
       throttle(cost.interleave_wide_gbps);
       throttle(cost.interleave_naive_gbps);

@@ -109,6 +109,10 @@ struct CostModel {
   SimNs manager_alloc_rt_ns = 36 * kMs;
   // Observer-thread polling period for sysfs rank status.
   SimNs manager_observe_period_ns = 10 * kMs;
+  // Admission decision on the submit path (ISSUE 8): token-bucket refill,
+  // budget check and the bookkeeping around a typed reject. A few cache
+  // lines and a branch — far below one ioctl.
+  SimNs admission_check_ns = 300;
 
   // ---- Faults & recovery --------------------------------------------------
   // Base backoff before the backend retries a transiently faulted rank

@@ -61,6 +61,26 @@ std::vector<FaultEvent> FaultPlan::generate(const FaultPlanConfig& config,
     events.push_back(
         {FaultKind::kLostCompletion, pick_rank(), 0, pick_op(), 0, 0});
   }
+  // Storm bursts: correlated clusters on one victim rank each. All draws
+  // stay on the single seeded RNG, in a fixed order, so the schedule is a
+  // pure function of (config, nr_ranks).
+  for (std::uint32_t b = 0; b < config.storm_bursts; ++b) {
+    const std::uint32_t victim = pick_rank();
+    const std::uint64_t base = pick_op();
+    for (std::uint32_t w = 0; w < config.storm_width; ++w) {
+      events.push_back({FaultKind::kTransientDpu, victim,
+                        static_cast<std::uint32_t>(rng.uniform(0, 63)),
+                        base + w, 0, 0});
+      events.push_back({FaultKind::kMramEcc, victim, 0, base + w, 0, 0});
+    }
+    events.push_back({FaultKind::kLostCompletion, victim, 0,
+                      base + config.storm_width / 2, 0, 0});
+    // The death trigger counts *device* ops (launches + transfers), which
+    // advance roughly twice as fast as either channel alone; land it just
+    // past the volley so the burst plays out before the rank goes dark.
+    events.push_back({FaultKind::kRankDeath, victim, 0,
+                      2 * (base + config.storm_width), 0, 0});
+  }
   return events;
 }
 

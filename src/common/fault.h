@@ -102,6 +102,16 @@ struct FaultPlanConfig {
   SimNs seizure_from_ns = 0;
   SimNs seizure_until_ns = 1 * kSec;
   SimNs seizure_hold_ns = 200 * kMs;
+
+  // Storm mode (ISSUE 8): on top of the independent events above, each
+  // burst picks one victim rank and schedules a *correlated* cluster
+  // there — `storm_width` transient DPU faults and ECC events at adjacent
+  // op triggers, a lost completion in the middle of them, and a rank death
+  // right after — modelling the real-world failure pattern where one
+  // failing rank throws a volley of errors before dying, while tenants
+  // churn at max rate. 0 bursts = storms off.
+  std::uint32_t storm_bursts = 0;
+  std::uint32_t storm_width = 3;
 };
 
 // The schedule plus the per-rank operation counters that drive it. All

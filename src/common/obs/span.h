@@ -60,10 +60,13 @@ enum class SpanKind : std::uint8_t {
   // slot); kCqDrain is the poll_completions root.
   kSqSlot,
   kCqDrain,
+  // Overload protection (ISSUE 8): the admission decision on the
+  // try_submit path — token-bucket + budget check, shed or admitted.
+  kAdmission,
 };
 
 inline constexpr std::size_t kNumSpanKinds =
-    static_cast<std::size_t>(SpanKind::kCqDrain) + 1;
+    static_cast<std::size_t>(SpanKind::kAdmission) + 1;
 
 inline constexpr std::array<std::string_view, kNumSpanKinds> kSpanKindNames =
     {"write",          "write.batched",    "write.flush",
@@ -74,7 +77,7 @@ inline constexpr std::array<std::string_view, kNumSpanKinds> kSpanKindNames =
      "backend.request", "backend.transfer", "backend.broadcast",
      "backend.batch_apply", "driver.xfer", "driver.ci",
      "rank.launch",    "dpu.compute",      "sq.slot",
-     "cq.drain"};
+     "cq.drain",       "admission"};
 
 inline constexpr std::string_view kind_name(SpanKind k) {
   return kSpanKindNames[static_cast<std::size_t>(k)];
@@ -89,13 +92,16 @@ enum class Layer : std::uint8_t {
   kBackend,
   kDriver,
   kRank,
+  kAdmission,  // ISSUE 8: admission decisions get their own trace lane
 };
 
-inline constexpr std::array<std::string_view, 6> kLayerNames = {
-    "frontend", "wire", "virtio", "backend", "driver", "rank"};
+inline constexpr std::array<std::string_view, 7> kLayerNames = {
+    "frontend", "wire", "virtio", "backend", "driver", "rank", "admission"};
 
 inline constexpr Layer layer_of(SpanKind k) {
   switch (k) {
+    case SpanKind::kAdmission:
+      return Layer::kAdmission;
     case SpanKind::kSerialize:
     case SpanKind::kDeserialize:
       return Layer::kWire;

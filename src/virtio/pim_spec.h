@@ -44,6 +44,13 @@ enum class PimStatus : std::int32_t {
   kUnsupported = 4,  // opcode unknown or not valid on this queue
   kTimeout = 5,      // device did not complete before the driver deadline
   kDeviceFault = 6,  // unrecoverable hardware fault behind the device
+  // Overload protection (ISSUE 8). These are *flow-control* statuses: the
+  // request was refused or abandoned before (or instead of) being executed,
+  // never because it was malformed. A well-behaved guest retries later;
+  // none of them indicate device damage.
+  kAdmissionReject = 7,  // tenant exceeded its token-bucket rate
+  kOverloaded = 8,       // global in-flight budget / CQ full (would-block)
+  kCancelled = 9,        // guest cancelled the ticket before completion
 };
 
 inline const char* status_name(std::int32_t status) {
@@ -55,6 +62,9 @@ inline const char* status_name(std::int32_t status) {
     case PimStatus::kUnsupported: return "UNSUPPORTED";
     case PimStatus::kTimeout: return "TIMEOUT";
     case PimStatus::kDeviceFault: return "DEVICE_FAULT";
+    case PimStatus::kAdmissionReject: return "ADMISSION_REJECT";
+    case PimStatus::kOverloaded: return "OVERLOADED";
+    case PimStatus::kCancelled: return "CANCELLED";
   }
   return "UNKNOWN_STATUS";
 }

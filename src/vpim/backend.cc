@@ -193,6 +193,19 @@ void Backend::data_broadcast(std::uint64_t mram_offset,
   }
 }
 
+void Backend::check_deadline(const WireRequest& req) {
+  if (req.deadline_ns == 0) return;
+  const SimNs now = vmm_.clock().now();
+  const auto deadline = static_cast<SimNs>(req.deadline_ns);
+  if (now <= deadline) return;
+  ++stats_.deadline_shed;
+  if (AdmissionController* adm = manager_.admission()) {
+    adm->note_shed_lateness(now - deadline);
+  }
+  throw VpimStatusError(virtio::PimStatus::kTimeout,
+                        "request deadline expired; work shed");
+}
+
 std::optional<FaultRecord> Backend::lost_completion() {
   FaultPlan* plan = drv_.machine().fault_plan();
   if (plan == nullptr || !mapping_.has_value()) return std::nullopt;
@@ -359,6 +372,14 @@ void Backend::handle_one(const virtio::DescChain& chain) {
     const WireRequest req = read_request(chain);
     span.set_request(req.request_id);
     if (mapping_.has_value()) span.set_rank(mapping_->rank_index());
+    if ((req.flags & kWireFlagCancelled) != 0) {
+      // The guest cancelled this request after staging it: complete the
+      // chain typed without executing any of the work.
+      ++stats_.cancelled;
+      throw VpimStatusError(virtio::PimStatus::kCancelled,
+                            "request cancelled by the guest");
+    }
+    check_deadline(req);
     switch (static_cast<virtio::PimRequestType>(req.type)) {
       case virtio::PimRequestType::kWriteToRank:
       case virtio::PimRequestType::kReadFromRank:
@@ -439,6 +460,10 @@ void Backend::handle_rank_op(const virtio::DescChain& chain,
   deser_span.set_bytes(matrix.total_bytes);
   deser_span.set_entries(static_cast<std::uint32_t>(matrix.entries.size()));
   deser_span.close();
+
+  // Deserialization may have consumed the remaining deadline budget; shed
+  // before the (much more expensive) data movement starts.
+  check_deadline(req);
 
   // -- Data movement (Fig 13 "T-data") -----------------------------------
   const SimNs data_start = clock.now();

@@ -72,6 +72,9 @@ class Backend {
   std::uint32_t rank_index() const;  // physical bindings only
   virtio::PimConfigSpace config_space() const;
   const std::string& tag() const { return tag_; }
+  // The manager's admission controller, when one is installed (ISSUE 8);
+  // the frontend consults it on the try_submit path.
+  AdmissionController* admission() const { return manager_.admission(); }
 
  private:
   // Per-request dispatch. Guest-controlled input is validated with
@@ -141,6 +144,11 @@ class Backend {
   bool recover_rank_death();
   // Injected kLostCompletion check at the per-request dispatch point.
   std::optional<FaultRecord> lost_completion();
+  // Deadline boundary check (ISSUE 8): throws a typed kTimeout when the
+  // request's wire deadline has already passed, so doomed work is shed
+  // before it executes. Called at queue drain and again before data
+  // movement (deserialization may consume the remaining budget).
+  void check_deadline(const WireRequest& req);
 
   obs::Tracer* tracer() const { return obs_.tracer; }
 

@@ -56,6 +56,16 @@ struct VpimConfig {
   SimNs poll_interval_ns = 100 * kUs;
   std::uint32_t fault_max_retries = 4;
 
+  // Overload protection (ISSUE 8). default_deadline_ns, when non-zero, is
+  // a *relative* deadline the frontend stamps on every staged rank op
+  // (absolute = now + default_deadline_ns); try_submit_* may also pass an
+  // explicit absolute deadline per request. cq_capacity bounds unreaped
+  // completions on the async path: once cq backlog + staged requests reach
+  // it, try_submit_* returns a typed OVERLOADED would-block instead of
+  // growing memory. 0 = unbounded (the pre-ISSUE-8 behaviour).
+  SimNs default_deadline_ns = 0;
+  std::uint32_t cq_capacity = 0;
+
   static VpimConfig rust() {
     return {false, false, false, false, false, false, "vPIM-rust"};
   }

@@ -69,6 +69,13 @@ struct VupmemDevice {
                 stats.dropped_completions);
     out.counter("vpim_device_poll_timeouts_total", dev,
                 stats.poll_timeouts);
+    out.counter("vpim_device_admission_rejects_total", dev,
+                stats.admission_rejects);
+    out.counter("vpim_device_would_blocks_total", dev, stats.would_blocks);
+    out.counter("vpim_device_cancelled_total", dev, stats.cancelled);
+    out.counter("vpim_device_deadline_shed_total", dev, stats.deadline_shed);
+    out.counter("vpim_device_lost_batched_writes_total", dev,
+                stats.lost_batched_writes);
     for (std::size_t i = 0; i < kNumRankOps; ++i) {
       const auto op = static_cast<RankOp>(i);
       obs::Labels labels = dev;

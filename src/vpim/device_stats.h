@@ -38,6 +38,13 @@ struct DeviceStats {
   std::uint64_t dropped_completions = 0;  // injected lost completions
   std::uint64_t poll_timeouts = 0;        // frontend poll deadline expiries
 
+  // Overload protection (ISSUE 8).
+  std::uint64_t admission_rejects = 0;   // try_submit shed: tenant over rate
+  std::uint64_t would_blocks = 0;        // try_submit shed: budget / CQ full
+  std::uint64_t cancelled = 0;           // requests shed via cancel(Ticket)
+  std::uint64_t deadline_shed = 0;       // backend shed on an expired deadline
+  std::uint64_t lost_batched_writes = 0; // batch records lost to a failed flush
+
   void reset() { *this = DeviceStats{}; }
 };
 

@@ -492,6 +492,27 @@ void Frontend::invalidate_cache() {
   for (auto& c : caches_) c.valid = false;
 }
 
+void Frontend::record_lost_writes(std::int32_t status) {
+  // Walk every DPU's batch buffer and convert the absorbed-but-unflushed
+  // records into typed LostWrite entries, then retire the buffers: the
+  // writes are declared lost exactly once, and a later flush can never
+  // silently re-send them against a device that may have applied some of
+  // the failed flush already.
+  for (std::uint32_t d = 0; d < batches_.size(); ++d) {
+    DpuBatch& b = batches_[d];
+    std::uint64_t off = 0;
+    while (off + kBatchRecordOverhead <= b.cursor) {
+      BatchRecordHeader hdr;
+      std::memcpy(&hdr, b.buf.data() + off, sizeof(hdr));
+      lost_writes_.push_back({d, hdr.mram_offset, hdr.size, status});
+      ++stats_.lost_batched_writes;
+      off += kBatchRecordOverhead + hdr.size;
+    }
+    b.cursor = 0;
+  }
+  batch_pending_ = 0;
+}
+
 void Frontend::send_rank_op(const driver::TransferMatrix& matrix,
                             bool is_write, std::uint32_t flags) {
   const std::uint32_t idx =
@@ -515,7 +536,7 @@ void Frontend::reserve_ring(std::size_t descs) {
 std::uint32_t Frontend::stage_rank_op(const driver::TransferMatrix& matrix,
                                       bool is_write, std::uint32_t flags,
                                       bool async, Ticket ticket,
-                                      bool is_flush) {
+                                      bool is_flush, SimNs deadline_ns) {
   reserve_slot();
   reserve_ring(2 * matrix.entries.size() + 3);
   SimClock& clock = vmm_.clock();
@@ -550,12 +571,14 @@ std::uint32_t Frontend::stage_rank_op(const driver::TransferMatrix& matrix,
                        is_write ? virtio::PimRequestType::kWriteToRank
                                 : virtio::PimRequestType::kReadFromRank),
                    slot.ser);
-  // Patch the flags + causal request id into the serialized request block.
+  // Patch the flags + causal request id + wire deadline into the
+  // serialized request block.
   {
     WireRequest req;
     std::memcpy(&req, slot.arena.request.data(), sizeof(req));
     req.flags = flags;
     req.request_id = wire_request_id();
+    req.deadline_ns = static_cast<std::uint64_t>(deadline_ns);
     std::memcpy(slot.arena.request.data(), &req, sizeof(req));
   }
   clock.advance(cost.frontend_request_fixed_ns +
@@ -577,7 +600,11 @@ std::uint32_t Frontend::stage_rank_op(const driver::TransferMatrix& matrix,
   slot.is_flush = is_flush;
   slot.completed = false;
   slot.timed_out = false;
+  slot.cancelled = false;
+  slot.admitted = false;
   slot.ticket = ticket;
+  slot.deadline = deadline_ns;
+  slot.admit_t0 = 0;
   requests_metric_->inc();
   staged_.push_back(idx);
   return idx;
@@ -633,8 +660,27 @@ void Frontend::kick() {
   while (got < batch) {
     auto used = transferq_.poll_used();
     if (!used.has_value()) {
-      const SimNs deadline = clock.now() + config_.poll_deadline_ns;
-      while (!used.has_value() && clock.now() < deadline) {
+      SimNs wait_until = clock.now() + config_.poll_deadline_ns;
+      // Completion-reap deadline boundary (ISSUE 8): when every
+      // outstanding request carries a wire deadline, there is no point
+      // polling past the latest of them — the device itself sheds expired
+      // work, so waiting longer can only ever reap kTimeout. Any slot
+      // without a deadline keeps the classic full poll budget.
+      bool all_deadlined = true;
+      SimNs latest = 0;
+      for (std::uint32_t idx : staged_) {
+        const SqSlot& slot = slots_[idx];
+        if (slot.completed) continue;
+        if (slot.deadline == 0) {
+          all_deadlined = false;
+          break;
+        }
+        latest = std::max(latest, slot.deadline);
+      }
+      if (all_deadlined && latest > 0) {
+        wait_until = std::min(wait_until, latest);
+      }
+      while (!used.has_value() && clock.now() < wait_until) {
         clock.advance(config_.poll_interval_ns);
         used = transferq_.poll_used();
       }
@@ -659,6 +705,7 @@ void Frontend::kick() {
   // their slot's status via finish_sync.
   const SimNs done = clock.now();
   obs::Tracer* t = tracer();
+  AdmissionController* adm = backend_.admission();
   for (std::uint32_t idx : staged_) {
     SqSlot& slot = slots_[idx];
     if (!slot.completed) {
@@ -677,12 +724,25 @@ void Frontend::kick() {
         for (auto& b : batches_) b.cursor = 0;
         batch_pending_ = 0;
         ++stats_.batch_flushes;
-      } else if (pending_flush_status_ == 0) {
-        pending_flush_status_ = slot.resp.status;
+      } else {
+        // The lossy-timeout edge (ISSUE 8): a failed posted flush loses
+        // every write the batch buffers absorbed. Surface a typed per-slot
+        // record for each before retiring the buffers, so the guest can
+        // enumerate exactly what was lost instead of silently re-flushing
+        // or dropping them.
+        record_lost_writes(slot.resp.status);
+        if (pending_flush_status_ == 0) {
+          pending_flush_status_ = slot.resp.status;
+        }
       }
       batch_locked_ = false;
     }
     if (slot.async) {
+      // Release the admission budget on the reap, whatever the status —
+      // success, timeout, cancel and deadline-shed all return the unit.
+      if (slot.admitted && adm != nullptr) {
+        adm->complete(done, done - slot.admit_t0);
+      }
       cq_.push_back(
           {slot.ticket, slot.resp.status, slot.resp.value, slot.is_write});
     }
@@ -797,7 +857,11 @@ std::uint32_t Frontend::stage_ci(const WireRequest& req,
   slot.is_flush = false;
   slot.completed = false;
   slot.timed_out = false;
+  slot.cancelled = false;
+  slot.admitted = false;
   slot.ticket = 0;
+  slot.deadline = 0;
+  slot.admit_t0 = 0;
   requests_metric_->inc();
   staged_.push_back(idx);
   return idx;
@@ -954,47 +1018,129 @@ void Frontend::ci_push_symbols(driver::XferDirection dir,
 
 // ------------------------------------------------------- async SQ/CQ API
 
-Frontend::Ticket Frontend::submit_write(const driver::TransferMatrix& matrix) {
-  VPIM_CHECK(open_, "write-to-rank on an unlinked device");
-  VPIM_CHECK(matrix.direction == driver::XferDirection::kToRank,
-             "submit_write called with a read matrix");
+Frontend::Ticket Frontend::submit_async(const driver::TransferMatrix& matrix,
+                                        bool is_write, SimNs deadline_ns,
+                                        bool admitted, SimNs admit_t0) {
+  VPIM_CHECK(open_, is_write ? "write-to-rank on an unlinked device"
+                             : "read-from-rank on an unlinked device");
+  if (is_write) {
+    VPIM_CHECK(matrix.direction == driver::XferDirection::kToRank,
+               "submit_write called with a read matrix");
+  } else {
+    VPIM_CHECK(matrix.direction == driver::XferDirection::kFromRank,
+               "submit_read called with a write matrix");
+  }
   check_dpus(matrix);
   SimClock& clock = vmm_.clock();
   const SimNs t0 = clock.now();
-  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kWrite, tenant_id());
+  obs::RequestSpan span(tracer(), clock,
+                        is_write ? obs::SpanKind::kWrite
+                                 : obs::SpanKind::kRead,
+                        tenant_id());
   span.set_bytes(matrix.total_bytes());
   span.set_entries(static_cast<std::uint32_t>(matrix.entries.size()));
   clock.advance(vmm_.cost().ioctl_ns);
-  invalidate_cache();
-  flush_batch();  // batched writes must not land after this one
+  // Any write makes cached MRAM contents stale; batched writes must not
+  // land after this one (write -> read ordering on the read path).
+  if (is_write) invalidate_cache();
+  flush_batch();
+  // An absolute wire deadline: the explicit one wins, otherwise the
+  // configured relative default (0 = no deadline, the classic behavior).
+  SimNs deadline = deadline_ns;
+  if (deadline == 0 && config_.default_deadline_ns > 0) {
+    deadline = clock.now() + config_.default_deadline_ns;
+  }
   const Ticket ticket = ++next_ticket_;
-  stage_rank_op(matrix, /*is_write=*/true, /*flags=*/0, /*async=*/true,
-                ticket, /*is_flush=*/false);
+  const std::uint32_t idx =
+      stage_rank_op(matrix, is_write, /*flags=*/0, /*async=*/true, ticket,
+                    /*is_flush=*/false, deadline);
+  slots_[idx].admitted = admitted;
+  slots_[idx].admit_t0 = admit_t0;
   if (staged_.size() >= depth_) kick();
-  stats_.ops.add(RankOp::kWriteToRank, clock.now() - t0);
-  observe_op(RankOp::kWriteToRank, clock.now() - t0);
+  const RankOp op = is_write ? RankOp::kWriteToRank : RankOp::kReadFromRank;
+  stats_.ops.add(op, clock.now() - t0);
+  observe_op(op, clock.now() - t0);
   return ticket;
 }
 
+Frontend::Ticket Frontend::submit_write(const driver::TransferMatrix& matrix) {
+  return submit_async(matrix, /*is_write=*/true, /*deadline_ns=*/0,
+                      /*admitted=*/false, /*admit_t0=*/0);
+}
+
 Frontend::Ticket Frontend::submit_read(const driver::TransferMatrix& matrix) {
-  VPIM_CHECK(open_, "read-from-rank on an unlinked device");
-  VPIM_CHECK(matrix.direction == driver::XferDirection::kFromRank,
-             "submit_read called with a write matrix");
-  check_dpus(matrix);
+  return submit_async(matrix, /*is_write=*/false, /*deadline_ns=*/0,
+                      /*admitted=*/false, /*admit_t0=*/0);
+}
+
+Frontend::SubmitResult Frontend::try_submit(
+    const driver::TransferMatrix& matrix, bool is_write, SimNs deadline_ns) {
+  VPIM_CHECK(open_, "try_submit on an unlinked device");
   SimClock& clock = vmm_.clock();
-  const SimNs t0 = clock.now();
-  obs::RequestSpan span(tracer(), clock, obs::SpanKind::kRead, tenant_id());
-  span.set_bytes(matrix.total_bytes());
-  span.set_entries(static_cast<std::uint32_t>(matrix.entries.size()));
+  // The admission decision is real work on the submit path: charge it and
+  // make it visible on its own trace lane, shed or not.
+  bool admitted = false;
+  {
+    obs::ScopedSpan aspan(tracer(), clock, obs::SpanKind::kAdmission);
+    clock.advance(vmm_.cost().admission_check_ns);
+    // CQ backpressure first: when reaped-but-unfetched completions plus
+    // staged work reach the configured capacity, admitting more would grow
+    // guest memory without bound. Typed would-block, nothing staged.
+    if (config_.cq_capacity > 0 &&
+        cq_.size() + staged_.size() >= config_.cq_capacity) {
+      ++stats_.would_blocks;
+      return {static_cast<std::int32_t>(virtio::PimStatus::kOverloaded), 0};
+    }
+    if (AdmissionController* adm = backend_.admission()) {
+      const virtio::PimStatus verdict = adm->try_admit(tag_, clock.now());
+      if (verdict != virtio::PimStatus::kOk) {
+        if (verdict == virtio::PimStatus::kAdmissionReject) {
+          ++stats_.admission_rejects;
+        } else {
+          ++stats_.would_blocks;
+        }
+        return {static_cast<std::int32_t>(verdict), 0};
+      }
+      admitted = true;  // holds one inflight unit until the reap releases it
+    }
+  }
+  return {0, submit_async(matrix, is_write, deadline_ns, admitted,
+                          admitted ? clock.now() : 0)};
+}
+
+Frontend::SubmitResult Frontend::try_submit_write(
+    const driver::TransferMatrix& matrix, SimNs deadline_ns) {
+  return try_submit(matrix, /*is_write=*/true, deadline_ns);
+}
+
+Frontend::SubmitResult Frontend::try_submit_read(
+    const driver::TransferMatrix& matrix, SimNs deadline_ns) {
+  return try_submit(matrix, /*is_write=*/false, deadline_ns);
+}
+
+bool Frontend::cancel(Ticket ticket) {
+  VPIM_CHECK(open_, "cancel on an unlinked device");
+  SimClock& clock = vmm_.clock();
   clock.advance(vmm_.cost().ioctl_ns);
-  flush_batch();  // write -> read ordering
-  const Ticket ticket = ++next_ticket_;
-  stage_rank_op(matrix, /*is_write=*/false, /*flags=*/0, /*async=*/true,
-                ticket, /*is_flush=*/false);
-  if (staged_.size() >= depth_) kick();
-  stats_.ops.add(RankOp::kReadFromRank, clock.now() - t0);
-  observe_op(RankOp::kReadFromRank, clock.now() - t0);
-  return ticket;
+  // Cancellation only wins while the request is still staged (pre-
+  // doorbell): the cancel flag is patched into the request block the
+  // device has not read yet, and the backend completes it kCancelled
+  // without executing. Past the doorbell the race is lost — the ticket
+  // reaps its real completion, like io_uring's async-cancel.
+  for (std::uint32_t idx : staged_) {
+    SqSlot& slot = slots_[idx];
+    if (!slot.async || slot.cancelled || slot.completed ||
+        slot.ticket != ticket) {
+      continue;
+    }
+    WireRequest req;
+    std::memcpy(&req, slot.arena.request.data(), sizeof(req));
+    req.flags |= kWireFlagCancelled;
+    std::memcpy(slot.arena.request.data(), &req, sizeof(req));
+    slot.cancelled = true;
+    return true;
+  }
+  return false;
 }
 
 std::span<const Frontend::Completion> Frontend::poll_completions() {

@@ -120,6 +120,40 @@ class Frontend {
   std::span<const Completion> poll_completions();
   std::uint32_t queue_depth() const { return depth_; }
 
+  // ---- overload protection (ISSUE 8) -----------------------------------
+  // Would-block submission: consults the manager's AdmissionController
+  // (when one is installed) and the configured CQ capacity *before*
+  // staging anything. On kOk the ticket is live; on kAdmissionReject /
+  // kOverloaded no work was queued and no memory grew — the caller
+  // retries later (open-loop load generators just count the shed).
+  // `deadline_ns` is an absolute virtual-time deadline stamped into the
+  // WireRequest (0 = use VpimConfig::default_deadline_ns, or none).
+  struct SubmitResult {
+    std::int32_t status = 0;  // virtio::PimStatus; 0 = admitted
+    Ticket ticket = 0;        // valid only when status == 0
+    bool ok() const { return status == 0; }
+  };
+  SubmitResult try_submit_write(const driver::TransferMatrix& matrix,
+                                SimNs deadline_ns = 0);
+  SubmitResult try_submit_read(const driver::TransferMatrix& matrix,
+                               SimNs deadline_ns = 0);
+  // Cancel-by-Ticket: patches the cancel flag into the still-staged
+  // request block, so the backend completes it kCancelled without
+  // executing it; the completion reaps through the CQ like any other.
+  // Returns false once the request is past the doorbell (or unknown).
+  bool cancel(Ticket ticket);
+  // Batched writes declared lost when a posted flush failed (the lossy-
+  // timeout edge): one typed record per absorbed write. Accumulates until
+  // cleared.
+  struct LostWrite {
+    std::uint32_t dpu = 0;
+    std::uint64_t mram_offset = 0;
+    std::uint64_t size = 0;
+    std::int32_t status = 0;  // virtio::PimStatus of the failed flush
+  };
+  std::span<const LostWrite> lost_writes() const { return lost_writes_; }
+  void clear_lost_writes() { lost_writes_.clear(); }
+
   // Frontend memory footprint (§4.1 "Memory Overhead").
   std::uint64_t memory_overhead_bytes() const;
 
@@ -153,8 +187,12 @@ class Frontend {
     bool is_flush = false;
     bool completed = false;
     bool timed_out = false;
+    bool cancelled = false;  // cancel(Ticket) hit this slot while staged
+    bool admitted = false;   // holds one unit of the admission budget
     Ticket ticket = 0;
     SimNs t0 = 0;  // staging time, for the per-slot lane span
+    SimNs deadline = 0;  // absolute wire deadline; 0 = none
+    SimNs admit_t0 = 0;  // admission time, for the queued-time histogram
     WireResponse resp{};
   };
   static constexpr std::uint32_t kMaxQueueDepth = 64;
@@ -169,7 +207,17 @@ class Frontend {
   // available ring (no doorbell); returns the slot index.
   std::uint32_t stage_rank_op(const driver::TransferMatrix& matrix,
                               bool is_write, std::uint32_t flags, bool async,
-                              Ticket ticket, bool is_flush);
+                              Ticket ticket, bool is_flush,
+                              SimNs deadline_ns = 0);
+  // Shared body of submit_*/try_submit_*: admission bookkeeping rides in
+  // `admitted`/`admit_t0`; the plain submit_* path passes none.
+  Ticket submit_async(const driver::TransferMatrix& matrix, bool is_write,
+                      SimNs deadline_ns, bool admitted, SimNs admit_t0);
+  SubmitResult try_submit(const driver::TransferMatrix& matrix,
+                          bool is_write, SimNs deadline_ns);
+  // Parses the batch buffers into typed LostWrite records and retires
+  // them; called when a flush completes with a non-OK status.
+  void record_lost_writes(std::int32_t status);
   std::uint32_t stage_ci(const WireRequest& req,
                          std::span<std::uint8_t> payload,
                          bool payload_writable);
@@ -270,6 +318,7 @@ class Frontend {
   Ticket next_ticket_ = 0;
   std::vector<Completion> cq_;      // reaped, not yet handed out
   std::vector<Completion> cq_out_;  // last poll_completions result
+  std::vector<LostWrite> lost_writes_;  // ISSUE 8: failed-flush records
   obs::Histogram* inflight_hist_ = nullptr;
   obs::Counter* doorbells_metric_ = nullptr;
   obs::Counter* requests_metric_ = nullptr;

@@ -12,6 +12,7 @@
 #include "common/sim_clock.h"
 #include "driver/driver.h"
 #include "upmem/machine.h"
+#include "vpim/admission.h"
 #include "vpim/manager.h"
 
 namespace vpim::core {
@@ -37,6 +38,20 @@ struct Host {
     machine.set_fault_plan(fault_plan.get());
   }
 
+  // Installs overload protection (ISSUE 8): per-tenant token buckets, the
+  // global in-flight budget and the WRR rank-grant fairness policy. With
+  // no controller installed every admission hook is a null-pointer test
+  // and the stack behaves bit-for-bit like the pre-admission build.
+  void install_admission(AdmissionConfig config = {}) {
+    admission = std::make_unique<AdmissionController>(config);
+    admission->attach_histograms(
+        &obs.metrics.histogram("vpim_admission_queued_ns", {}),
+        &obs.metrics.histogram("vpim_admission_shed_lateness_ns", {}));
+    manager.set_admission(admission.get());
+    admission_collector = obs.metrics.add_collector(
+        [this](obs::Collection& out) { collect_admission_metrics(out); });
+  }
+
   // Attaches (or detaches, with nullptr) a span sink for the whole stack:
   // frontend request roots through wire/virtio/backend/driver down to
   // per-DPU compute segments all record into it. With no tracer attached
@@ -50,9 +65,25 @@ struct Host {
   driver::UpmemDriver drv;
   Manager manager;
   std::unique_ptr<FaultPlan> fault_plan;
+  std::unique_ptr<AdmissionController> admission;
   obs::MetricsRegistry::CollectorHandle manager_collector;
+  obs::MetricsRegistry::CollectorHandle admission_collector;
 
  private:
+  void collect_admission_metrics(obs::Collection& out) {
+    if (admission == nullptr) return;
+    const AdmissionStats as = admission->stats();
+    out.counter("vpim_admission_admitted_total", {}, as.admitted);
+    out.counter("vpim_admission_shed_tenant_total", {}, as.shed_tenant);
+    out.counter("vpim_admission_shed_global_total", {}, as.shed_global);
+    out.counter("vpim_admission_completed_total", {}, as.completed);
+    out.counter("vpim_admission_fairness_deferrals_total", {},
+                as.fairness_deferrals);
+    out.counter("vpim_admission_sessions_total", {}, as.sessions);
+    out.gauge("vpim_admission_inflight", {},
+              static_cast<std::int64_t>(as.inflight));
+  }
+
   void collect_manager_metrics(obs::Collection& out) {
     const ManagerStats& ms = manager.stats();
     out.counter("vpim_manager_allocations_total", {}, ms.allocations);

@@ -11,6 +11,11 @@ namespace vpim::core {
 Manager::Manager(driver::UpmemDriver& drv, ManagerConfig config)
     : drv_(drv), config_(config), table_(drv.machine().nr_ranks()) {}
 
+void Manager::set_admission(AdmissionController* admission) {
+  std::lock_guard lock(mu_);
+  admission_ = admission;
+}
+
 std::optional<std::uint32_t> Manager::request_rank(const std::string& owner) {
   VPIM_CHECK(!owner.empty(), "rank request without an owner tag");
   if (config_.charge_time) {
@@ -41,6 +46,20 @@ std::optional<std::uint32_t> Manager::request_rank(const std::string& owner) {
 
 std::optional<std::uint32_t> Manager::try_allocate_locked(
     const std::string& owner) {
+  // Fairness gate (ISSUE 8): under contention the weighted round-robin
+  // policy may defer this attempt to a tenant holding a smaller share of
+  // rank grants. A deferral is indistinguishable from "nothing available"
+  // to the caller, so it flows through the normal retry-with-timeout path
+  // — never blocking, never aborting.
+  if (admission_ != nullptr &&
+      !admission_->allow_rank_grant(owner,
+                                    drv_.machine().clock().now())) {
+    return std::nullopt;
+  }
+  const auto granted = [&](std::uint32_t r) {
+    if (admission_ != nullptr) admission_->on_rank_granted(owner);
+    return r;
+  };
   // 1. A NANA rank previously used by this owner can be re-assigned
   //    without a reset: its residual content belongs to the requester.
   for (std::uint32_t r = 0; r < table_.size(); ++r) {
@@ -52,7 +71,7 @@ std::optional<std::uint32_t> Manager::try_allocate_locked(
       table_[r].alloc_map_gen = drv_.map_generation(r);
       table_[r].miss_pending = false;
       ++stats_.reuse_hits;
-      return r;
+      return granted(r);
     }
   }
   // 2. Round-robin over NAAV ranks.
@@ -66,7 +85,7 @@ std::optional<std::uint32_t> Manager::try_allocate_locked(
       table_[r].activated = false;
       table_[r].alloc_map_gen = drv_.map_generation(r);
       table_[r].miss_pending = false;
-      return r;
+      return granted(r);
     }
   }
   // 3. Reset-and-take any NANA rank (the requester effectively waits for
@@ -79,7 +98,7 @@ std::optional<std::uint32_t> Manager::try_allocate_locked(
       table_[r].activated = false;
       table_[r].alloc_map_gen = drv_.map_generation(r);
       table_[r].miss_pending = false;
-      return r;
+      return granted(r);
     }
   }
   return std::nullopt;

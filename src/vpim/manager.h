@@ -30,6 +30,7 @@
 #include "common/cost_model.h"
 #include "common/sim_clock.h"
 #include "driver/driver.h"
+#include "vpim/admission.h"
 
 namespace vpim::core {
 
@@ -108,6 +109,15 @@ class Manager {
   // The backend migrated a wrank off a dead rank (stats only).
   void note_wrank_migration();
 
+  // Overload protection (ISSUE 8): attaches an AdmissionController. When
+  // set, rank allocation under scarcity goes through its weighted
+  // round-robin gate (a deferred attempt behaves exactly like "no rank
+  // available" and takes the normal retry path), and the frontends consult
+  // it for per-request admission. Null (the default) keeps the pre-ISSUE-8
+  // behaviour bit-for-bit.
+  void set_admission(AdmissionController* admission);
+  AdmissionController* admission() const { return admission_; }
+
  private:
   struct Entry {
     RankState state = RankState::kNaav;
@@ -139,6 +149,7 @@ class Manager {
 
   driver::UpmemDriver& drv_;
   ManagerConfig config_;
+  AdmissionController* admission_ = nullptr;
   mutable std::mutex mu_;
   std::vector<Entry> table_;
   std::uint32_t rr_cursor_ = 0;  // round-robin start position

@@ -47,6 +47,11 @@ enum class CiOp : std::uint32_t {
 
 // WireRequest::flags bits.
 inline constexpr std::uint32_t kWireFlagBatched = 1;  // batch-buffer flush
+// Guest cancelled this request after staging it but before the doorbell;
+// the backend completes the chain with kCancelled without executing it
+// (ISSUE 8). Patched into the staged request block in guest memory, so
+// cancellation travels through the wire like any other request field.
+inline constexpr std::uint32_t kWireFlagCancelled = 2;
 
 struct WireRequest {
   std::uint32_t type = 0;       // virtio::PimRequestType
@@ -62,6 +67,11 @@ struct WireRequest {
   std::uint32_t request_id = 0;
   std::uint64_t arg0 = 0;  // launch mask / payload size
   std::uint64_t arg1 = 0;  // nr_tasklets (+1, 0 = default)
+  // Absolute virtual-time deadline (ISSUE 8 spec bump): 0 = none. Checked
+  // at every layer boundary (backend drain, before data movement, and the
+  // frontend's completion reap) so work that can no longer meet its
+  // deadline is shed with kTimeout instead of executed.
+  std::uint64_t deadline_ns = 0;
   char name[64] = {};      // kernel or symbol name
 };
 

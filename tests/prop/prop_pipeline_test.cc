@@ -400,6 +400,9 @@ bool typed_status(std::int32_t status) {
     case virtio::PimStatus::kNoCapacity:
     case virtio::PimStatus::kTimeout:
     case virtio::PimStatus::kDeviceFault:
+    case virtio::PimStatus::kAdmissionReject:
+    case virtio::PimStatus::kOverloaded:
+    case virtio::PimStatus::kCancelled:
       return true;
     default:
       return false;
@@ -409,7 +412,7 @@ bool typed_status(std::int32_t status) {
 // One async execution under the generated fault schedule; returns the
 // per-ticket statuses (submission order) plus the virtual end time.
 std::pair<std::vector<std::int32_t>, SimNs> run_async_with_faults(
-    const FaultSeqCase& c) {
+    const FaultSeqCase& c, std::uint32_t depth = 8) {
   core::Host host(test::small_machine(), CostModel{}, fast_manager());
   FaultPlanConfig cfg;
   cfg.seed = c.fault_seed;
@@ -420,7 +423,7 @@ std::pair<std::vector<std::int32_t>, SimNs> run_async_with_faults(
   // nr_ranks=1 aims every event at rank 0 — the rank the device binds —
   // so the schedule actually fires; a death migrates onto rank 1.
   host.install_fault_plan(FaultPlan::generate(cfg, /*nr_ranks=*/1));
-  VpimVm vm(host, {.name = "prop-pipe-flt"}, 1, depth_config(8));
+  VpimVm vm(host, {.name = "prop-pipe-flt"}, 1, depth_config(depth));
   Frontend& fe = vm.device(0).frontend;
   require(fe.open(), "fault rig: no rank available");
 
@@ -494,6 +497,164 @@ TEST(PropPipeline, EveryTicketReapsExactlyOnceUnderFaults) {
                 "fault statuses are not reproducible for a fixed seed");
         require(first.second == second.second,
                 "virtual time under faults is not reproducible");
+      },
+      show_fault_case);
+  EXPECT_TRUE(out.ok) << out.reproducer;
+}
+
+// ---- property 4: random deadlines race random completion times ----------
+//
+// ISSUE 8: every op carries an absolute deadline drawn from "certainly
+// expired by drain time" up to "comfortably in the future". Whatever the
+// race's outcome — backend sheds the work, or it completes first — every
+// ticket reaps exactly once with kTimeout or success, reproducibly.
+
+struct DeadlineSeqCase {
+  OpSeqCase seq;
+  std::vector<SimNs> deadline_offsets;  // relative to submit time, 1:1 ops
+};
+
+std::string show_deadline_case(const DeadlineSeqCase& c) {
+  std::string s = show_case(c.seq) + " deadlines=[";
+  for (SimNs d : c.deadline_offsets) s += std::to_string(d) + ",";
+  return s + "]";
+}
+
+Gen<DeadlineSeqCase> deadline_seq_gen() {
+  auto seqs = op_seq_gen();
+  auto shared = std::make_shared<Gen<OpSeqCase>>(std::move(seqs));
+  Gen<DeadlineSeqCase> gen;
+  gen.sample = [shared](Rng& rng) {
+    DeadlineSeqCase c;
+    c.seq = shared->sample(rng);
+    for (std::size_t i = 0; i < c.seq.ops.size(); ++i) {
+      // Log-uniform-ish spread: 1 ns (hopeless — expires before the
+      // backend can drain) up to ~160 us (comfortably met), so both
+      // outcomes of the race occur across a batch of iterations.
+      const auto mag = rng.uniform(0, 7);
+      c.deadline_offsets.push_back(
+          static_cast<SimNs>(rng.uniform(1, 10)) *
+          (SimNs{1} << (2 * mag)));
+    }
+    return c;
+  };
+  gen.shrink = [shared](const DeadlineSeqCase& c) {
+    std::vector<DeadlineSeqCase> out;
+    for (OpSeqCase& fewer : shared->shrink(c.seq)) {
+      DeadlineSeqCase d;
+      d.deadline_offsets.assign(
+          c.deadline_offsets.begin(),
+          c.deadline_offsets.begin() +
+              static_cast<std::ptrdiff_t>(fewer.ops.size()));
+      d.seq = std::move(fewer);
+      out.push_back(std::move(d));
+    }
+    return out;
+  };
+  return gen;
+}
+
+std::pair<std::vector<std::int32_t>, SimNs> run_async_with_deadlines(
+    const DeadlineSeqCase& c, std::uint32_t depth) {
+  Rig rig(depth);
+  require(rig.fe().open(), "deadline rig: no rank available");
+  Frontend& fe = rig.fe();
+
+  struct Slot {
+    int completions = 0;
+    std::int32_t status = -1;
+  };
+  std::map<Frontend::Ticket, Slot> pending;
+  std::vector<Frontend::Ticket> order;
+  for (std::size_t i = 0; i < c.seq.ops.size(); ++i) {
+    const OpShape& op = c.seq.ops[i];
+    std::span<std::uint8_t> buf = rig.buffer_for(op);
+    const driver::TransferMatrix m = matrix_for(
+        op, buf,
+        op.is_write ? driver::XferDirection::kToRank
+                    : driver::XferDirection::kFromRank);
+    const SimNs deadline = rig.host.clock.now() + c.deadline_offsets[i];
+    const Frontend::SubmitResult r =
+        op.is_write ? fe.try_submit_write(m, deadline)
+                    : fe.try_submit_read(m, deadline);
+    // No admission controller and no CQ cap: every submission admits.
+    require(r.ok(), "unexpected shed without overload");
+    require(pending.emplace(r.ticket, Slot{}).second, "duplicate ticket");
+    order.push_back(r.ticket);
+  }
+
+  std::size_t reaped = 0;
+  int idle_polls = 0;
+  while (reaped < order.size() && idle_polls < 3) {
+    const auto batch = fe.poll_completions();
+    if (batch.empty()) {
+      ++idle_polls;
+      continue;
+    }
+    idle_polls = 0;
+    for (const Frontend::Completion& done : batch) {
+      auto it = pending.find(done.ticket);
+      require(it != pending.end(), "completion for unknown ticket");
+      it->second.completions++;
+      it->second.status = done.status;
+      reaped += it->second.completions == 1 ? 1 : 0;
+    }
+  }
+
+  std::vector<std::int32_t> statuses;
+  for (Frontend::Ticket t : order) {
+    const Slot& slot = pending.at(t);
+    require(slot.completions == 1,
+            "ticket reaped " + std::to_string(slot.completions) +
+                " times in a deadline race");
+    require(slot.status == 0 ||
+                slot.status ==
+                    static_cast<std::int32_t>(virtio::PimStatus::kTimeout),
+            "deadline race produced status " + std::to_string(slot.status) +
+                " (want success or kTimeout)");
+    statuses.push_back(slot.status);
+  }
+  fe.close();
+  return {std::move(statuses), rig.host.clock.now()};
+}
+
+TEST(PropPipeline, DeadlinesRacingCompletionsAlwaysReapTyped) {
+  const Params params = Params::from_env(0xA51DF, 30);
+  const auto out = run_property<DeadlineSeqCase>(
+      "pipeline.deadline_race", params, deadline_seq_gen(),
+      [&](const DeadlineSeqCase& c) {
+        for (std::uint32_t depth : {1u, 8u}) {
+          const auto first = run_async_with_deadlines(c, depth);
+          const auto second = run_async_with_deadlines(c, depth);
+          require(first.first == second.first,
+                  "deadline race outcome not reproducible at depth " +
+                      std::to_string(depth));
+          require(first.second == second.second,
+                  "virtual time under deadlines not reproducible");
+        }
+      },
+      show_deadline_case);
+  EXPECT_TRUE(out.ok) << out.reproducer;
+}
+
+// ---- property 5: fault semantics do not depend on the queue depth -------
+//
+// PR 7 disables the backend's deferred-copy backlog whenever a FaultPlan
+// is installed, precisely so that injected faults fire inside the faulting
+// request at any pipeline depth. This property pins that contract: for
+// any op sequence and fault seed, the per-ticket status vector is
+// identical whether the guest runs the classic depth-1 queue or a deep
+// depth-8 pipeline.
+
+TEST(PropPipeline, FaultSemanticsAreIdenticalAtDepth1And8) {
+  const Params params = Params::from_env(0xA51E0, 25);
+  const auto out = run_property<FaultSeqCase>(
+      "pipeline.fault_depth_equivalence", params, fault_seq_gen(),
+      [&](const FaultSeqCase& c) {
+        const auto shallow = run_async_with_faults(c, /*depth=*/1);
+        const auto deep = run_async_with_faults(c, /*depth=*/8);
+        require(shallow.first == deep.first,
+                "fault statuses diverge between depth 1 and depth 8");
       },
       show_fault_case);
   EXPECT_TRUE(out.ok) << out.reproducer;

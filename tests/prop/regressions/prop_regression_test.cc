@@ -237,6 +237,43 @@ TEST(PropRegression, UnknownRequestTypeCompletes) {
   EXPECT_EQ(rig.run(chain), kBadRequest);
 }
 
+TEST(PropRegression, ExpiredDeadlineOnTheWireCompletesTimeout) {
+  // pipeline.deadline_race corpus seed 0xA51DF, shrunk: a single valid
+  // write whose absolute deadline (1 ns) is already hours in the past by
+  // the time the backend drains it. The chain must complete kTimeout with
+  // descriptors reclaimed and the payload never written — an earlier
+  // draft executed the transfer first and only stamped the status after.
+  RegressionRig rig;
+  auto c = rig.base_chain();
+  c.req.deadline_ns = 1;
+  EXPECT_EQ(rig.run(c),
+            static_cast<std::int32_t>(virtio::PimStatus::kTimeout));
+  EXPECT_EQ(rig.dev().stats.deadline_shed, 1u);
+
+  // The shed write must not have touched MRAM.
+  Frontend& fe = rig.dev().frontend;
+  auto out = rig.mem().alloc(8 * kKiB);
+  std::memset(out.data(), 0xAB, out.size());
+  driver::TransferMatrix r;
+  r.direction = driver::XferDirection::kFromRank;
+  r.entries.push_back({0, 0, out.data(), out.size()});
+  fe.read_from_rank(r);
+  for (std::uint8_t b : out) EXPECT_EQ(b, 0);
+}
+
+TEST(PropRegression, CancelledFlagOnTheWireCompletesCancelled) {
+  // pipeline.deadline_race corpus seed 0xA51DF, shrunk alongside the case
+  // above: the same valid write with kWireFlagCancelled patched into the
+  // staged request block (what Frontend::cancel does in guest memory).
+  // The backend must honour the flag before any data movement.
+  RegressionRig rig;
+  auto c = rig.base_chain();
+  c.req.flags |= kWireFlagCancelled;
+  EXPECT_EQ(rig.run(c),
+            static_cast<std::int32_t>(virtio::PimStatus::kCancelled));
+  EXPECT_EQ(rig.dev().stats.cancelled, 1u);
+}
+
 TEST(PropRegression, HostileSysfsLines) {
   // SysfsParseFuzz seed 0xF022, shrunk: the three smallest mutations of a
   // valid status line that ever parsed ambiguously in development — field

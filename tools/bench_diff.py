@@ -13,6 +13,12 @@ Two gates, one file:
   one-sided: only a slowdown beyond the tolerance fails, a speedup prints a
   reminder to refresh the baselines.
 
+Points that carry a p99_admitted_ns column (the overload bench) get a third
+gate: admitted-request tail latency in *virtual* time, checked per run at
+--p99-tol (default 0.10). Like simulated_ns it is deterministic, but it sits
+on a percentile so a deliberate cost-model retune may move it slightly;
+hence a tolerance rather than an exact match.
+
 Usage:
   tools/bench_diff.py --baseline bench/baselines/BENCH_fig12.json \
                       --current build/bench/BENCH_fig12.json
@@ -34,13 +40,15 @@ import sys
 def load_points(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
-    return {p["name"]: (int(p["simulated_ns"]), float(p.get("wall_ms", 0.0)))
+    return {p["name"]: (int(p["simulated_ns"]), float(p.get("wall_ms", 0.0)),
+                        int(p["p99_admitted_ns"])
+                        if "p99_admitted_ns" in p else None)
             for p in doc["points"]}
 
 
 def diff_simulated(baseline_path, base, current_path, cur, rel_tol):
     ok = True
-    for name, (expect, _) in sorted(base.items()):
+    for name, (expect, _, _) in sorted(base.items()):
         if name not in cur:
             print(f"FAIL {name}: missing from {current_path}")
             ok = False
@@ -64,9 +72,30 @@ def diff_simulated(baseline_path, base, current_path, cur, rel_tol):
     return ok
 
 
+def diff_p99(baseline_path, base, current_path, cur, p99_tol):
+    ok = True
+    for name, (_, _, expect) in sorted(base.items()):
+        if expect is None:
+            continue
+        if name not in cur or cur[name][2] is None:
+            print(f"FAIL {name}: p99_admitted_ns in baseline but missing "
+                  f"from {current_path}")
+            ok = False
+            continue
+        got = cur[name][2]
+        drift = abs(got - expect) / expect if expect else (0.0 if got == expect else 1.0)
+        if drift > p99_tol:
+            print(f"FAIL {name}: p99_admitted_ns {got} vs baseline {expect} "
+                  f"({drift * 100:.1f}% > {p99_tol * 100:.0f}%)")
+            ok = False
+        else:
+            print(f"ok   {name}: p99 {got} ns ({drift * 100:+.1f}%)")
+    return ok
+
+
 def diff_wall(base, runs, wall_tol):
     ok = True
-    for name, (_, expect) in sorted(base.items()):
+    for name, (_, expect, _) in sorted(base.items()):
         walls = [run[name][1] for run in runs if name in run]
         if not walls or expect <= 0.0:
             continue
@@ -87,7 +116,7 @@ def diff_wall(base, runs, wall_tol):
     return ok
 
 
-def diff_one(baseline_path, current_paths, rel_tol, wall_tol):
+def diff_one(baseline_path, current_paths, rel_tol, wall_tol, p99_tol):
     try:
         base = load_points(baseline_path)
     except (OSError, ValueError, KeyError) as e:
@@ -106,6 +135,8 @@ def diff_one(baseline_path, current_paths, rel_tol, wall_tol):
         # Every run must hold the simulated line, not just the first: a run
         # that drifts only sometimes is a determinism bug.
         ok &= diff_simulated(baseline_path, base, current_path, cur, rel_tol)
+        # Tail latency is virtual time too, so every run must hold it.
+        ok &= diff_p99(baseline_path, base, current_path, cur, p99_tol)
     if not runs:
         return False
     if wall_tol is not None:
@@ -129,6 +160,9 @@ def main():
                     help="max relative wall_ms slowdown of the per-point "
                          "median across runs; wall gating is off unless set "
                          "(e.g. 0.10)")
+    ap.add_argument("--p99-tol", type=float, default=0.10,
+                    help="max relative p99_admitted_ns drift per point, for "
+                         "baselines that carry the column (default 0.10)")
     args = ap.parse_args()
 
     pairs = []
@@ -148,7 +182,7 @@ def main():
     ok = True
     for baseline_path, current_paths in pairs:
         ok &= diff_one(baseline_path, current_paths, args.rel_tol,
-                       args.wall_tol)
+                       args.wall_tol, args.p99_tol)
     print("bench-diff:", "PASS" if ok else "FAIL")
     return 0 if ok else 1
 

@@ -15,6 +15,7 @@
 #include <fstream>
 #include <string>
 
+#include "common/fault.h"
 #include "common/obs/chrome_trace.h"
 #include "common/obs/trace.h"
 
@@ -42,6 +43,11 @@ struct Options {
   std::string metrics_path;  // --metrics FILE: Prometheus text dump
   bool native_only = false;
   bool vpim_only = false;
+  // --storm SEED: run the vPIM side under a correlated fault storm
+  // (bursts of transients + ECC + a lost completion + rank death on one
+  // victim rank). 0 = off. Recovery is transparent when the retry budget
+  // holds; the knobs in README "Fault injection" tune that budget.
+  std::uint64_t storm_seed = 0;
 
   bool tracing() const {
     return !trace_path.empty() || !chrome_path.empty();
@@ -69,10 +75,11 @@ int usage() {
       "usage: vpim-sim [--app NAME] [--dpus N] [--tasklets N]\n"
       "                [--scale X] [--mb N] [--config LABEL] [--depth N]\n"
       "                [--trace FILE] [--chrome-trace FILE]\n"
-      "                [--metrics FILE]\n"
+      "                [--metrics FILE] [--storm SEED]\n"
       "                [--native-only | --vpim-only] [--list]\n"
       "  NAME: a PrIM app (--list), 'checksum', or 'search'\n"
       "  --depth:        submission-queue depth (default: VPIM_DEPTH or 1)\n"
+      "  --storm:        seeded correlated fault storm under the vPIM run\n"
       "  --trace:        span stream as CSV\n"
       "  --chrome-trace: span stream as chrome://tracing JSON\n"
       "  --metrics:      Prometheus-style metrics snapshot\n");
@@ -126,6 +133,31 @@ void print_device_stats(const core::DeviceStats& stats) {
       static_cast<unsigned long>(stats.cache_fills));
 }
 
+// Same storm recipe as the nightly chaos soak: two correlated bursts of
+// width 2 drawn from the first 64 rank ops. Everything derives from the
+// seed, so a storm run reproduces exactly at any VPIM_THREADS.
+void maybe_install_storm(const Options& opt, core::Host& host) {
+  if (opt.storm_seed == 0) return;
+  FaultPlanConfig fcfg;
+  fcfg.seed = opt.storm_seed;
+  // Tight trigger window: a single app run issues tens of rank ops, not
+  // hundreds, and a burst scheduled past the last op never fires.
+  fcfg.max_op = 12;
+  fcfg.storm_bursts = 2;
+  fcfg.storm_width = 2;
+  host.install_fault_plan(
+      FaultPlan::generate(fcfg, host.machine.nr_ranks()));
+  std::printf("storm: seed %llu, 2 bursts x width 2\n",
+              static_cast<unsigned long long>(opt.storm_seed));
+}
+
+void report_storm(const core::Host& host) {
+  if (!host.fault_plan) return;
+  std::printf("storm: %zu fault events fired (recovery time is charged "
+              "to the figures above)\n",
+              host.fault_plan->fired().size());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -159,6 +191,8 @@ int main(int argc, char** argv) {
       opt.chrome_path = value();
     } else if (arg == "--metrics") {
       opt.metrics_path = value();
+    } else if (arg == "--storm") {
+      opt.storm_seed = static_cast<std::uint64_t>(std::atoll(value()));
     } else if (arg == "--native-only") {
       opt.native_only = true;
     } else if (arg == "--vpim-only") {
@@ -218,13 +252,19 @@ int main(int argc, char** argv) {
     }
     if (!opt.native_only) {
       core::Host host;
+      maybe_install_storm(opt, host);
       core::VpimVm vm(host, {.name = "vpim-sim"}, nr_devices, config);
       core::GuestPlatform guest(vm);
       obs::Tracer tracer;
       if (opt.tracing()) host.attach_tracer(&tracer);
       std::printf("%s:\n", config.label.c_str());
-      vpim_total = run_micro(guest);
+      try {
+        vpim_total = run_micro(guest);
+      } catch (const VpimStatusError& e) {
+        std::printf("  run ended with typed status: %s\n", e.what());
+      }
       print_device_stats(vm.device(0).stats);
+      report_storm(host);
       dump_observability(opt, host, tracer);
     }
   } else {
@@ -241,15 +281,21 @@ int main(int argc, char** argv) {
     }
     if (!opt.native_only) {
       core::Host host;
+      maybe_install_storm(opt, host);
       core::VpimVm vm(host, {.name = "vpim-sim"}, nr_devices, config);
       core::GuestPlatform guest(vm);
       obs::Tracer tracer;
       if (opt.tracing()) host.attach_tracer(&tracer);
-      const auto res = prim::make_app(opt.app)->run(guest, prm);
-      print_breakdown(config.label.c_str(), res);
+      try {
+        const auto res = prim::make_app(opt.app)->run(guest, prm);
+        print_breakdown(config.label.c_str(), res);
+        vpim_total = res.total();
+      } catch (const VpimStatusError& e) {
+        std::printf("  run ended with typed status: %s\n", e.what());
+      }
       print_device_stats(vm.device(0).stats);
+      report_storm(host);
       dump_observability(opt, host, tracer);
-      vpim_total = res.total();
     }
   }
   if (native_total > 0 && vpim_total > 0) {
