@@ -4,12 +4,40 @@
 
 #include "common/error.h"
 #include "common/log.h"
+#include "common/obs/metrics.h"
 #include "upmem/layout.h"
 
 namespace vpim::core {
 
+namespace {
+// Sysfs owner tag for ranks the manager maps in its own name while they
+// host wranks.
+const char* const kHostingOwner = "vpim-manager";
+}  // namespace
+
+const char* to_string(AllocStatus status) {
+  switch (status) {
+    case AllocStatus::kOk:
+      return "OK";
+    case AllocStatus::kNoCapacity:
+      return "NO_CAPACITY";
+    case AllocStatus::kQuotaExceeded:
+      return "QUOTA_EXCEEDED";
+    case AllocStatus::kNotFound:
+      return "NOT_FOUND";
+    case AllocStatus::kBadRequest:
+      return "BAD_REQUEST";
+    case AllocStatus::kShutdown:
+      return "SHUTDOWN";
+  }
+  return "?";
+}
+
 Manager::Manager(driver::UpmemDriver& drv, ManagerConfig config)
-    : drv_(drv), config_(config), table_(drv.machine().nr_ranks()) {}
+    : drv_(drv),
+      config_(config),
+      table_(drv.machine().nr_ranks()),
+      policy_(make_placement_policy(config.placement)) {}
 
 void Manager::set_admission(AdmissionController* admission) {
   std::lock_guard lock(mu_);
@@ -224,6 +252,9 @@ void Manager::observe(bool do_resets) {
       }
     }
   }
+  // Re-home wranks displaced by a quarantine (runs after the table sweep
+  // so rescue placements see this pass's state transitions).
+  rescue_displaced_locked();
 }
 
 RankState Manager::state(std::uint32_t rank) const {
@@ -239,6 +270,21 @@ ManagerStats Manager::stats() const {
 
 void Manager::quarantine_locked(std::uint32_t rank, SimNs now) {
   Entry& e = table_[rank];
+  if (e.host_mapping.has_value()) {
+    // The dying rank hosted wranks: drop the manager's mapping so recovery
+    // probes can run, and displace every resident wrank. Displaced wranks
+    // (rank == kNoRank) are re-homed by rescue_displaced_locked() on the
+    // next observe/consolidation pass — never back onto a FAIL rank,
+    // because quarantined ranks are filtered out of every RankView.
+    e.host_mapping.reset();
+    for (Wrank& w : wranks_) {
+      if (w.rank == rank) {
+        w.rank = kNoRank;
+        ++stats_.wranks_displaced;
+      }
+    }
+    e.wrank_used = 0;
+  }
   e.state = RankState::kFail;
   e.owner.clear();
   e.last_owner.clear();
@@ -276,6 +322,438 @@ void Manager::note_external_use(std::uint32_t rank,
   table_[rank].state = RankState::kAllo;
   table_[rank].owner = owner;
   table_[rank].last_owner = owner;
+}
+
+// --- wrank allocation service (ISSUE 9) ----------------------------------
+
+void Manager::charge(SimNs ns) {
+  if (config_.charge_time && ns > 0) drv_.machine().clock().advance(ns);
+}
+
+SimNs Manager::reset_cost_ns() const {
+  const std::uint64_t region =
+      static_cast<std::uint64_t>(upmem::kDpuSlotsPerRank) * upmem::kMramSize;
+  return CostModel::bytes_time(region, drv_.machine().cost().memset_gbps);
+}
+
+SimNs Manager::wrank_move_cost(std::uint32_t slots, double gbps) const {
+  // A wrank of k slots owns k/slots_per_rank of the rank's resident image
+  // (the same 2 x nr_dpus x MRAM formula the backend's PR-3 rescue uses).
+  const std::uint64_t rank_bytes =
+      2ULL * drv_.machine().rank(0).nr_dpus() * upmem::kMramSize;
+  return CostModel::bytes_time(
+      rank_bytes * slots / std::max(1u, config_.wrank_slots_per_rank), gbps);
+}
+
+std::uint32_t Manager::quota_for_locked(const std::string& tenant) const {
+  const auto it = tenant_quotas_.find(tenant);
+  return it != tenant_quotas_.end() ? it->second : config_.tenant_quota_slots;
+}
+
+std::vector<RankView> Manager::rank_views_locked() const {
+  std::vector<RankView> views;
+  views.reserve(table_.size());
+  for (std::uint32_t r = 0; r < table_.size(); ++r) {
+    const Entry& e = table_[r];
+    RankView v;
+    v.rank = r;
+    if (e.host_mapping.has_value()) {
+      v.usable = e.state != RankState::kFail;
+      v.hosting = true;
+      v.free_slots = config_.wrank_slots_per_rank - e.wrank_used;
+    } else if (e.state == RankState::kNaav && !drv_.is_mapped(r)) {
+      v.usable = true;
+      v.free_slots = config_.wrank_slots_per_rank;
+    } else if (e.state == RankState::kNana && !drv_.is_mapped(r)) {
+      v.usable = true;
+      v.needs_reset = true;
+      v.free_slots = config_.wrank_slots_per_rank;
+    }
+    views.push_back(v);
+  }
+  return views;
+}
+
+SimNs Manager::host_bind_locked(std::uint32_t rank) {
+  Entry& e = table_[rank];
+  if (e.host_mapping.has_value()) return 0;
+  SimNs modeled = 0;
+  if (e.state == RankState::kNana) {
+    // Residual tenant content: pay the full erase before hosting.
+    modeled += reset_cost_ns();
+    reset_rank_locked(rank);
+  }
+  e.host_mapping = drv_.map_rank(rank, kHostingOwner);
+  e.state = RankState::kAllo;
+  e.owner = kHostingOwner;
+  e.last_owner.clear();
+  e.activated = true;
+  e.miss_pending = false;
+  e.alloc_map_gen = drv_.map_generation(rank);
+  e.wrank_used = 0;
+  return modeled;
+}
+
+void Manager::host_unbind_locked(std::uint32_t rank) {
+  Entry& e = table_[rank];
+  e.host_mapping.reset();
+  // Hosted several tenants' slots: residual content belongs to nobody in
+  // particular, so the rank must go through the erase before reuse.
+  e.state = RankState::kNana;
+  e.owner.clear();
+  e.last_owner.clear();
+  e.activated = false;
+  e.miss_pending = false;
+  e.wrank_used = 0;
+}
+
+void Manager::place_wrank_locked(Wrank& w, std::uint32_t rank) {
+  w.rank = rank;
+  table_[rank].wrank_used += w.slots;
+  VPIM_CHECK(table_[rank].wrank_used <= config_.wrank_slots_per_rank,
+             "wrank placement overflows the rank's slot capacity");
+}
+
+void Manager::observe_frag_locked() {
+  if (frag_hist_ == nullptr) return;
+  const auto views = rank_views_locked();
+  frag_hist_->observe(
+      core::fragmentation_permille(views, config_.wrank_slots_per_rank));
+}
+
+AllocResult Manager::allocate_wrank(const std::string& tenant,
+                                    std::uint32_t slots) {
+  VPIM_CHECK(!tenant.empty(), "wrank request without a tenant tag");
+  if (slots == 0 || slots > config_.wrank_slots_per_rank) {
+    return {AllocStatus::kBadRequest, 0, kNoRank};
+  }
+  // UNIX-socket round trip + table bookkeeping, as for request_rank.
+  SimNs modeled = drv_.machine().cost().manager_alloc_rt_ns;
+  charge(modeled);
+  {
+    std::lock_guard lock(mu_);
+    const std::uint32_t quota = quota_for_locked(tenant);
+    if (quota != 0 && tenant_slots_[tenant] + slots > quota) {
+      ++stats_.quota_rejections;
+      if (alloc_hist_ != nullptr) alloc_hist_->observe(modeled);
+      return {AllocStatus::kQuotaExceeded, 0, kNoRank};
+    }
+  }
+  for (std::uint32_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    {
+      std::lock_guard lock(mu_);
+      // The WRR fairness gate composes with every placement policy: a
+      // deferred attempt is indistinguishable from "nothing placeable"
+      // and takes the same retry path (ISSUE 8 contract).
+      const bool deferred =
+          admission_ != nullptr &&
+          !admission_->allow_rank_grant(tenant,
+                                        drv_.machine().clock().now());
+      if (!deferred) {
+        const auto views = rank_views_locked();
+        if (const auto rank = policy_->place(views, slots)) {
+          modeled += host_bind_locked(*rank);
+          Wrank w{next_wrank_id_++, tenant, kNoRank, slots};
+          place_wrank_locked(w, *rank);
+          tenant_slots_[tenant] += slots;
+          wranks_.push_back(std::move(w));
+          ++stats_.wrank_allocs;
+          if (admission_ != nullptr) {
+            admission_->on_rank_granted(tenant, slots);
+          }
+          if (alloc_hist_ != nullptr) alloc_hist_->observe(modeled);
+          observe_frag_locked();
+          return {AllocStatus::kOk, wranks_.back().id, *rank};
+        }
+      }
+    }
+    charge(config_.retry_wait_ns);
+    modeled += config_.retry_wait_ns;
+    observe(/*do_resets=*/true);
+  }
+  std::lock_guard lock(mu_);
+  ++stats_.failed_requests;
+  if (alloc_hist_ != nullptr) alloc_hist_->observe(modeled);
+  VPIM_WARN("manager", "abandoning %u-slot wrank request from %s after %u "
+            "attempts", slots, tenant.c_str(), config_.max_attempts);
+  return {AllocStatus::kNoCapacity, 0, kNoRank};
+}
+
+AllocStatus Manager::release_wrank(std::uint64_t wrank_id) {
+  charge(drv_.machine().cost().manager_alloc_rt_ns);
+  std::lock_guard lock(mu_);
+  const auto it = std::find_if(
+      wranks_.begin(), wranks_.end(),
+      [wrank_id](const Wrank& w) { return w.id == wrank_id; });
+  if (it == wranks_.end()) return AllocStatus::kNotFound;
+  const auto slot_it = tenant_slots_.find(it->tenant);
+  if (slot_it != tenant_slots_.end()) {
+    slot_it->second -= std::min(slot_it->second, it->slots);
+    if (slot_it->second == 0) tenant_slots_.erase(slot_it);
+  }
+  if (it->rank != kNoRank) {
+    Entry& e = table_[it->rank];
+    e.wrank_used -= std::min(e.wrank_used, it->slots);
+    if (e.wrank_used == 0 && e.host_mapping.has_value()) {
+      host_unbind_locked(it->rank);
+    }
+  }
+  wranks_.erase(it);
+  ++stats_.wrank_releases;
+  observe_frag_locked();
+  return AllocStatus::kOk;
+}
+
+AllocResult Manager::resize_wrank(std::uint64_t wrank_id,
+                                  std::uint32_t new_slots) {
+  if (new_slots == 0 || new_slots > config_.wrank_slots_per_rank) {
+    return {AllocStatus::kBadRequest, wrank_id, kNoRank};
+  }
+  charge(drv_.machine().cost().manager_alloc_rt_ns);
+  {
+    std::lock_guard lock(mu_);
+    const auto it = std::find_if(
+        wranks_.begin(), wranks_.end(),
+        [wrank_id](const Wrank& w) { return w.id == wrank_id; });
+    if (it == wranks_.end()) {
+      return {AllocStatus::kNotFound, wrank_id, kNoRank};
+    }
+    Wrank& w = *it;
+    if (new_slots == w.slots) {
+      return {AllocStatus::kOk, w.id, w.rank};
+    }
+    if (new_slots < w.slots) {
+      const std::uint32_t delta = w.slots - new_slots;
+      if (w.rank != kNoRank) table_[w.rank].wrank_used -= delta;
+      tenant_slots_[w.tenant] -= std::min(tenant_slots_[w.tenant], delta);
+      w.slots = new_slots;
+      ++stats_.wrank_resizes;
+      observe_frag_locked();
+      return {AllocStatus::kOk, w.id, w.rank};
+    }
+    const std::uint32_t delta = new_slots - w.slots;
+    const std::uint32_t quota = quota_for_locked(w.tenant);
+    if (quota != 0 && tenant_slots_[w.tenant] + delta > quota) {
+      ++stats_.quota_rejections;
+      return {AllocStatus::kQuotaExceeded, w.id, w.rank};
+    }
+  }
+  // Growth may need capacity: same retry-with-timeout shape as allocate.
+  for (std::uint32_t attempt = 0; attempt < config_.max_attempts; ++attempt) {
+    {
+      std::lock_guard lock(mu_);
+      const auto it = std::find_if(
+          wranks_.begin(), wranks_.end(),
+          [wrank_id](const Wrank& w) { return w.id == wrank_id; });
+      if (it == wranks_.end()) {
+        // Racing release (service mode): nothing left to grow.
+        return {AllocStatus::kNotFound, wrank_id, kNoRank};
+      }
+      Wrank& w = *it;
+      const std::uint32_t delta = new_slots - w.slots;
+      const bool deferred =
+          admission_ != nullptr &&
+          !admission_->allow_rank_grant(w.tenant,
+                                        drv_.machine().clock().now());
+      if (!deferred) {
+        if (w.rank != kNoRank &&
+            table_[w.rank].wrank_used + delta <=
+                config_.wrank_slots_per_rank) {
+          // In-place growth.
+          table_[w.rank].wrank_used += delta;
+          tenant_slots_[w.tenant] += delta;
+          w.slots = new_slots;
+          ++stats_.wrank_resizes;
+          if (admission_ != nullptr) {
+            admission_->on_rank_granted(w.tenant, delta);
+          }
+          observe_frag_locked();
+          return {AllocStatus::kOk, w.id, w.rank};
+        }
+        // Live-migrate to a rank with room for the grown wrank. The
+        // current rank cannot fit it even net of the wrank's own slots,
+        // so mark it unusable for this placement.
+        auto views = rank_views_locked();
+        if (w.rank != kNoRank) views[w.rank].usable = false;
+        if (const auto target = policy_->place(views, new_slots)) {
+          charge(host_bind_locked(*target));
+          if (w.rank != kNoRank) {
+            Entry& src = table_[w.rank];
+            src.wrank_used -= std::min(src.wrank_used, w.slots);
+            charge(wrank_move_cost(w.slots,
+                                   drv_.machine().cost()
+                                       .interleave_wide_gbps));
+            ++stats_.wrank_migrations;
+            if (src.wrank_used == 0 && src.host_mapping.has_value()) {
+              host_unbind_locked(w.rank);
+            }
+          }
+          w.rank = kNoRank;
+          w.slots = new_slots;
+          place_wrank_locked(w, *target);
+          tenant_slots_[w.tenant] += delta;
+          ++stats_.wrank_resizes;
+          if (admission_ != nullptr) {
+            admission_->on_rank_granted(w.tenant, delta);
+          }
+          observe_frag_locked();
+          return {AllocStatus::kOk, w.id, *target};
+        }
+      }
+    }
+    charge(config_.retry_wait_ns);
+    observe(/*do_resets=*/true);
+  }
+  std::lock_guard lock(mu_);
+  ++stats_.failed_requests;
+  return {AllocStatus::kNoCapacity, wrank_id, kNoRank};
+}
+
+std::uint32_t Manager::rescue_displaced_locked() {
+  std::uint32_t moves = 0;
+  for (Wrank& w : wranks_) {
+    if (w.rank != kNoRank) continue;
+    const auto views = rank_views_locked();
+    const auto rank = policy_->place(views, w.slots);
+    if (!rank.has_value()) continue;  // retried on the next pass
+    charge(host_bind_locked(*rank));
+    place_wrank_locked(w, *rank);
+    // The hosting rank died under this wrank: its image streams out of
+    // the dying silicon at the degraded rescue bandwidth (PR 3).
+    charge(wrank_move_cost(w.slots, drv_.machine().cost().rank_rescue_gbps));
+    ++stats_.wrank_migrations;
+    ++moves;
+    VPIM_WARN("manager", "wrank %llu (%s) rescued onto rank %u",
+              static_cast<unsigned long long>(w.id), w.tenant.c_str(),
+              *rank);
+  }
+  return moves;
+}
+
+std::uint32_t Manager::consolidate() {
+  std::lock_guard lock(mu_);
+  std::uint32_t moves = rescue_displaced_locked();
+  // Packing pass: drain the least-occupied hosting rank onto fuller ones,
+  // but only when *every* wrank on it can move — a partial drain pays
+  // migration cost without freeing the rank. Repeats until no hosting
+  // rank is fully drainable.
+  while (true) {
+    // Candidate sources, least-occupied first (ties: higher index first,
+    // so low-index ranks act as accumulation targets like the fitting
+    // policies prefer them).
+    std::vector<std::uint32_t> sources;
+    for (std::uint32_t r = 0; r < table_.size(); ++r) {
+      if (table_[r].host_mapping.has_value() && table_[r].wrank_used > 0) {
+        sources.push_back(r);
+      }
+    }
+    std::sort(sources.begin(), sources.end(),
+              [this](std::uint32_t a, std::uint32_t b) {
+                if (table_[a].wrank_used != table_[b].wrank_used) {
+                  return table_[a].wrank_used < table_[b].wrank_used;
+                }
+                return a > b;
+              });
+    bool drained = false;
+    for (const std::uint32_t src : sources) {
+      // Plan: place each of src's wranks (id order) on another hosting,
+      // non-quarantined rank, best-fit against simulated free counts.
+      std::map<std::uint32_t, std::uint32_t> free;
+      for (std::uint32_t r = 0; r < table_.size(); ++r) {
+        const Entry& e = table_[r];
+        if (r != src && e.host_mapping.has_value() &&
+            e.state != RankState::kFail) {
+          free[r] = config_.wrank_slots_per_rank - e.wrank_used;
+        }
+      }
+      std::vector<std::pair<Wrank*, std::uint32_t>> plan;
+      bool feasible = true;
+      for (Wrank& w : wranks_) {
+        if (w.rank != src) continue;
+        std::optional<std::uint32_t> best;
+        for (const auto& [r, f] : free) {
+          if (f < w.slots) continue;
+          if (!best.has_value() || f < free[*best]) best = r;
+        }
+        if (!best.has_value()) {
+          feasible = false;
+          break;
+        }
+        free[*best] -= w.slots;
+        plan.emplace_back(&w, *best);
+      }
+      if (!feasible || plan.empty()) continue;
+      for (auto& [w, target] : plan) {
+        table_[src].wrank_used -= std::min(table_[src].wrank_used,
+                                           w->slots);
+        w->rank = kNoRank;
+        place_wrank_locked(*w, target);
+        charge(wrank_move_cost(
+            w->slots, drv_.machine().cost().interleave_wide_gbps));
+        ++stats_.consolidation_migrations;
+        ++stats_.wrank_migrations;
+        ++moves;
+      }
+      host_unbind_locked(src);
+      drained = true;
+      break;  // recompute sources against the new occupancy
+    }
+    if (!drained) break;
+  }
+  ++stats_.consolidation_passes;
+  observe_frag_locked();
+  return moves;
+}
+
+std::uint32_t Manager::fragmentation_permille() const {
+  std::lock_guard lock(mu_);
+  return core::fragmentation_permille(rank_views_locked(),
+                                      config_.wrank_slots_per_rank);
+}
+
+void Manager::set_placement_policy(PlacementPolicyKind kind) {
+  std::lock_guard lock(mu_);
+  config_.placement = kind;
+  policy_ = make_placement_policy(kind);
+}
+
+PlacementPolicyKind Manager::placement_policy() const {
+  std::lock_guard lock(mu_);
+  return config_.placement;
+}
+
+bool Manager::policy_wants_consolidation() const {
+  std::lock_guard lock(mu_);
+  return policy_->wants_consolidation();
+}
+
+void Manager::set_tenant_quota(const std::string& tenant,
+                               std::uint32_t slots) {
+  std::lock_guard lock(mu_);
+  tenant_quotas_[tenant] = slots;
+}
+
+std::uint32_t Manager::tenant_slots(const std::string& tenant) const {
+  std::lock_guard lock(mu_);
+  const auto it = tenant_slots_.find(tenant);
+  return it != tenant_slots_.end() ? it->second : 0;
+}
+
+std::vector<WrankInfo> Manager::wranks() const {
+  std::lock_guard lock(mu_);
+  std::vector<WrankInfo> out;
+  out.reserve(wranks_.size());
+  for (const Wrank& w : wranks_) {
+    out.push_back({w.id, w.tenant, w.rank, w.slots});
+  }
+  return out;
+}
+
+void Manager::attach_histograms(obs::Histogram* alloc_ns,
+                                obs::Histogram* frag) {
+  std::lock_guard lock(mu_);
+  alloc_hist_ = alloc_ns;
+  frag_hist_ = frag;
 }
 
 }  // namespace vpim::core

@@ -22,6 +22,8 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -31,6 +33,11 @@
 #include "common/sim_clock.h"
 #include "driver/driver.h"
 #include "vpim/admission.h"
+#include "vpim/placement.h"
+
+namespace vpim::obs {
+class Histogram;
+}  // namespace vpim::obs
 
 namespace vpim::core {
 
@@ -62,6 +69,42 @@ struct ManagerConfig {
   // recycling a rank whose holder is still on its way to map_rank.
   std::chrono::nanoseconds unactivated_release_grace =
       std::chrono::milliseconds(50);
+  // Wrank hosting (ISSUE 9): how many wrank slots one physical rank holds
+  // under oversubscription. The Manager maps a rank in its own name while
+  // it hosts wranks; an emptied rank goes back through the NANA reset.
+  std::uint32_t wrank_slots_per_rank = 4;
+  // Per-tenant slot quota for allocate/resize (0 = unlimited). Individual
+  // tenants can be overridden with set_tenant_quota().
+  std::uint32_t tenant_quota_slots = 0;
+  // Placement policy the wrank allocator starts with (see placement.h).
+  PlacementPolicyKind placement = PlacementPolicyKind::kFirstFit;
+};
+
+// Typed results of the wrank allocation vocabulary. ManagerService maps
+// these 1:1 onto its wire responses (plus kShutdown, which only the
+// service can produce).
+enum class AllocStatus : std::uint8_t {
+  kOk,
+  kNoCapacity,     // retries exhausted, nothing placeable
+  kQuotaExceeded,  // tenant over its slot quota — not retried
+  kNotFound,       // release/resize of an unknown wrank id
+  kBadRequest,     // zero or rank-exceeding slot count
+  kShutdown,       // service draining its queue at stop()
+};
+const char* to_string(AllocStatus status);
+
+struct AllocResult {
+  AllocStatus status = AllocStatus::kNoCapacity;
+  std::uint64_t wrank = 0;  // valid when status == kOk
+  std::uint32_t rank = 0xFFFFFFFFu;
+};
+
+// Snapshot row for tests / benches / the consolidation pass.
+struct WrankInfo {
+  std::uint64_t id = 0;
+  std::string tenant;
+  std::uint32_t rank = 0xFFFFFFFFu;  // kNoRank when displaced by a fault
+  std::uint32_t slots = 0;
 };
 
 struct ManagerStats {
@@ -75,13 +118,27 @@ struct ManagerStats {
   std::uint64_t quarantine_probes = 0;   // reset-verify attempts on kFail
   std::uint64_t recoveries = 0;          // kFail -> kNaav probe successes
   std::uint64_t seizures_observed = 0;   // ranks grabbed out from under us
-  std::uint64_t wrank_migrations = 0;  // backend moved wrank off dead rank
+  // Live wrank moves: backend fault migrations (PR 3) plus the manager's
+  // own consolidation / rescue / resize moves (ISSUE 9).
+  std::uint64_t wrank_migrations = 0;
   std::uint64_t fault_records_drained = 0;
   std::uint64_t status_parse_errors = 0;  // hostile/corrupt sysfs lines
+  // Wrank allocation service (ISSUE 9).
+  std::uint64_t wrank_allocs = 0;
+  std::uint64_t wrank_releases = 0;
+  std::uint64_t wrank_resizes = 0;
+  std::uint64_t quota_rejections = 0;
+  std::uint64_t consolidation_passes = 0;
+  std::uint64_t consolidation_migrations = 0;  // packing moves only
+  std::uint64_t wranks_displaced = 0;  // hosting rank quarantined under them
 };
 
 class Manager {
  public:
+  // Sentinel rank index for displaced wranks (hosting rank quarantined;
+  // re-placement pending).
+  static constexpr std::uint32_t kNoRank = 0xFFFFFFFFu;
+
   Manager(driver::UpmemDriver& drv, ManagerConfig config = {});
 
   // Handles one allocation request from `owner` (a VM device tag).
@@ -89,6 +146,42 @@ class Manager {
   // round-robin over NAAV ranks, then reset-and-take a NANA rank, then
   // retry with timeout, finally abandon (nullopt).
   std::optional<std::uint32_t> request_rank(const std::string& owner);
+
+  // --- wrank allocation vocabulary (ISSUE 9) ---------------------------
+  // Oversubscribed slot allocation: a wrank of `slots` co-located slots is
+  // placed on one physical rank by the active placement policy. The
+  // Manager maps hosting ranks in its own name, so the sysfs observer sees
+  // them busy like any other holder. Same retry-with-timeout shape as
+  // request_rank; quota violations are rejected without retrying. All
+  // decisions read only table state and virtual time — bit-identical at
+  // any VPIM_THREADS.
+  AllocResult allocate_wrank(const std::string& tenant, std::uint32_t slots);
+  AllocStatus release_wrank(std::uint64_t wrank_id);
+  // Grows or shrinks a wrank in place when its rank has room, otherwise
+  // live-migrates it to a rank the policy picks (charging the move).
+  AllocResult resize_wrank(std::uint64_t wrank_id, std::uint32_t new_slots);
+
+  // One background consolidation pass: re-places wranks displaced off
+  // quarantined ranks, then drains underfull hosting ranks onto fuller
+  // ones (never onto a quarantined rank) so whole ranks free up for
+  // multi-slot and exclusive requests. Returns the number of wrank moves.
+  std::uint32_t consolidate();
+
+  // Current fragmentation of the wrank population (see placement.h).
+  std::uint32_t fragmentation_permille() const;
+
+  void set_placement_policy(PlacementPolicyKind kind);
+  PlacementPolicyKind placement_policy() const;
+  bool policy_wants_consolidation() const;
+  // Per-tenant quota override (slots; 0 = unlimited).
+  void set_tenant_quota(const std::string& tenant, std::uint32_t slots);
+  std::uint32_t tenant_slots(const std::string& tenant) const;
+  std::vector<WrankInfo> wranks() const;
+
+  // Observability sinks (wired by the Host): modeled allocation latency
+  // per allocate/resize call, and the fragmentation level sampled after
+  // every mutating wrank operation.
+  void attach_histograms(obs::Histogram* alloc_ns, obs::Histogram* frag);
 
   // Observer pass: detects releases via sysfs (ALLO ranks whose mapping
   // disappeared -> NANA) and, when `do_resets`, erases NANA ranks
@@ -141,11 +234,39 @@ class Manager {
     bool quarantine_on_release = false;
     SimNs probe_backoff = 0;
     SimNs next_probe = 0;
+    // Wrank hosting (ISSUE 9): while the manager hosts wranks on this
+    // rank it holds the driver mapping itself, so sysfs keeps the rank
+    // busy and the observer treats it like any other active holder.
+    std::uint32_t wrank_used = 0;
+    std::optional<driver::RankMapping> host_mapping;
+  };
+
+  struct Wrank {
+    std::uint64_t id = 0;
+    std::string tenant;
+    std::uint32_t rank = kNoRank;
+    std::uint32_t slots = 0;
   };
 
   std::optional<std::uint32_t> try_allocate_locked(const std::string& owner);
   void reset_rank_locked(std::uint32_t rank);
   void quarantine_locked(std::uint32_t rank, SimNs now);
+
+  // --- wrank internals (all require mu_) --------------------------------
+  std::vector<RankView> rank_views_locked() const;
+  // Binds `rank` for wrank hosting (reset if NANA, then map); returns the
+  // modeled cost of doing so.
+  SimNs host_bind_locked(std::uint32_t rank);
+  // Drops the hosting mapping of an emptied rank (-> NANA, reset later).
+  void host_unbind_locked(std::uint32_t rank);
+  void place_wrank_locked(Wrank& w, std::uint32_t rank);
+  // Re-places wranks whose hosting rank was quarantined under them.
+  std::uint32_t rescue_displaced_locked();
+  std::uint32_t quota_for_locked(const std::string& tenant) const;
+  SimNs wrank_move_cost(std::uint32_t slots, double gbps) const;
+  SimNs reset_cost_ns() const;
+  void charge(SimNs ns);
+  void observe_frag_locked();
 
   driver::UpmemDriver& drv_;
   ManagerConfig config_;
@@ -154,6 +275,14 @@ class Manager {
   std::vector<Entry> table_;
   std::uint32_t rr_cursor_ = 0;  // round-robin start position
   ManagerStats stats_;
+  // Wrank allocation service state (ISSUE 9).
+  std::unique_ptr<PlacementPolicy> policy_;
+  std::vector<Wrank> wranks_;  // ordered by id
+  std::uint64_t next_wrank_id_ = 1;
+  std::map<std::string, std::uint32_t> tenant_slots_;
+  std::map<std::string, std::uint32_t> tenant_quotas_;
+  obs::Histogram* alloc_hist_ = nullptr;
+  obs::Histogram* frag_hist_ = nullptr;
 };
 
 }  // namespace vpim::core

@@ -1,70 +1,182 @@
 #include "vpim/manager_service.h"
 
+#include <algorithm>
+#include <memory>
+#include <utility>
+
 namespace vpim::core {
 
-ManagerService::ManagerService(Manager& manager, std::uint32_t threads,
-                               std::chrono::milliseconds observe_period)
-    : manager_(manager), observe_period_(observe_period) {
-  workers_.reserve(threads);
-  for (std::uint32_t i = 0; i < threads; ++i) {
+ManagerService::ManagerService(Manager& manager, ManagerServiceConfig config)
+    : manager_(manager), config_(config), paused_(config.start_paused) {
+  workers_.reserve(config_.threads);
+  for (std::uint32_t i = 0; i < config_.threads; ++i) {
     workers_.emplace_back([this] { worker_loop(); });
   }
   observer_ = std::thread([this] { observer_loop(); });
 }
 
+ManagerService::ManagerService(Manager& manager, std::uint32_t threads,
+                               std::chrono::milliseconds observe_period)
+    : ManagerService(manager, ManagerServiceConfig{threads, observe_period,
+                                                   /*start_paused=*/false}) {}
+
 ManagerService::~ManagerService() { stop(); }
 
+void ManagerService::start() {
+  {
+    std::lock_guard lock(mu_);
+    paused_ = false;
+  }
+  cv_.notify_all();
+}
+
 void ManagerService::stop() {
+  std::deque<Pending> orphans;
   {
     std::lock_guard lock(mu_);
     if (stopping_) return;
     stopping_ = true;
+    paused_ = false;
+    // Satellite bugfix: the old packaged_task queue was discarded here,
+    // leaving every queued caller blocked on a future that would never
+    // resolve. Drain instead and reject each entry with a typed
+    // kShutdown outside the lock.
+    orphans.swap(queue_);
+    shutdown_rejections_ += orphans.size();
   }
   cv_.notify_all();
+  observer_cv_.notify_all();
   for (auto& w : workers_) w.join();
   observer_.join();
+  for (Pending& p : orphans) p.reject();
 }
 
-std::future<std::optional<std::uint32_t>> ManagerService::request_rank(
-    std::string owner) {
-  std::packaged_task<std::optional<std::uint32_t>()> task(
-      [this, owner = std::move(owner)] {
-        return manager_.request_rank(owner);
-      });
-  auto fut = task.get_future();
+std::uint64_t ManagerService::shutdown_rejections() const {
+  std::lock_guard lock(mu_);
+  return shutdown_rejections_;
+}
+
+void ManagerService::enqueue(std::int32_t priority, std::function<void()> run,
+                             std::function<void()> reject) {
+  bool rejected = false;
   {
     std::lock_guard lock(mu_);
-    queue_.push_back(std::move(task));
+    if (stopping_) {
+      ++shutdown_rejections_;
+      rejected = true;
+    } else {
+      Pending p{priority, next_seq_++, std::move(run), std::move(reject)};
+      // Insertion sort keeps the deque ordered (priority desc, seq asc);
+      // queues are short relative to service time, so O(n) is fine.
+      const auto it = std::find_if(
+          queue_.begin(), queue_.end(),
+          [&p](const Pending& q) { return q.priority < p.priority; });
+      queue_.insert(it, std::move(p));
+    }
+  }
+  if (rejected) {
+    reject();  // resolve immediately: no worker will ever see this entry
+    return;
   }
   cv_.notify_one();
-  return fut;
+}
+
+bool ManagerService::pop(Pending& out) {
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] {
+    return stopping_ || (!paused_ && !queue_.empty());
+  });
+  if (stopping_) return false;  // stop() drains the queue itself
+  out = std::move(queue_.front());
+  queue_.pop_front();
+  return true;
 }
 
 void ManagerService::worker_loop() {
-  while (true) {
-    std::packaged_task<std::optional<std::uint32_t>()> task;
-    {
-      std::unique_lock lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();
-  }
+  Pending p;
+  while (pop(p)) p.run();
 }
 
 void ManagerService::observer_loop() {
   while (true) {
     {
       std::unique_lock lock(mu_);
-      if (cv_.wait_for(lock, observe_period_,
-                       [this] { return stopping_; })) {
+      if (observer_cv_.wait_for(lock, config_.observe_period,
+                                [this] { return stopping_; })) {
         return;
       }
     }
     manager_.observe();
+    // Background consolidation rides the observer tick when the active
+    // placement policy asks for it (the `consolidating` ablation arm).
+    if (manager_.policy_wants_consolidation()) manager_.consolidate();
   }
+}
+
+std::future<ServiceResponse> ManagerService::allocate(std::string tenant,
+                                                      std::uint32_t slots,
+                                                      std::int32_t priority) {
+  auto promise = std::make_shared<std::promise<ServiceResponse>>();
+  auto fut = promise->get_future();
+  enqueue(
+      priority,
+      [this, promise, tenant = std::move(tenant), slots] {
+        const AllocResult r = manager_.allocate_wrank(tenant, slots);
+        promise->set_value({r.status, r.wrank, r.rank});
+      },
+      [promise] { promise->set_value({}); });
+  return fut;
+}
+
+std::future<ServiceResponse> ManagerService::release(std::uint64_t wrank,
+                                                     std::int32_t priority) {
+  auto promise = std::make_shared<std::promise<ServiceResponse>>();
+  auto fut = promise->get_future();
+  enqueue(
+      priority,
+      [this, promise, wrank] {
+        const AllocStatus s = manager_.release_wrank(wrank);
+        promise->set_value({s, wrank, Manager::kNoRank});
+      },
+      [promise, wrank] {
+        promise->set_value({AllocStatus::kShutdown, wrank,
+                            Manager::kNoRank});
+      });
+  return fut;
+}
+
+std::future<ServiceResponse> ManagerService::resize(std::uint64_t wrank,
+                                                    std::uint32_t new_slots,
+                                                    std::int32_t priority) {
+  auto promise = std::make_shared<std::promise<ServiceResponse>>();
+  auto fut = promise->get_future();
+  enqueue(
+      priority,
+      [this, promise, wrank, new_slots] {
+        const AllocResult r = manager_.resize_wrank(wrank, new_slots);
+        promise->set_value({r.status, r.wrank, r.rank});
+      },
+      [promise, wrank] {
+        promise->set_value({AllocStatus::kShutdown, wrank,
+                            Manager::kNoRank});
+      });
+  return fut;
+}
+
+std::future<std::optional<std::uint32_t>> ManagerService::request_rank(
+    std::string owner, std::int32_t priority) {
+  auto promise =
+      std::make_shared<std::promise<std::optional<std::uint32_t>>>();
+  auto fut = promise->get_future();
+  enqueue(
+      priority,
+      [this, promise, owner = std::move(owner)] {
+        promise->set_value(manager_.request_rank(owner));
+      },
+      // Typed rejection for the legacy shape is "no rank": the optional
+      // stays empty, but crucially the future resolves.
+      [promise] { promise->set_value(std::nullopt); });
+  return fut;
 }
 
 }  // namespace vpim::core

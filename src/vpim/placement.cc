@@ -1,0 +1,110 @@
+#include "vpim/placement.h"
+
+#include <string>
+
+namespace vpim::core {
+namespace {
+
+bool fits(const RankView& v, std::uint32_t slots) {
+  return v.usable && v.free_slots >= slots;
+}
+
+// Preference order shared by both fitting policies when scores tie:
+// an already-hosting rank beats a fresh one (no bind), a fresh NAAV rank
+// beats a NANA one (no ~597 ms erase), and the lowest index breaks the
+// final tie so decisions are total and deterministic.
+std::uint32_t tier(const RankView& v) {
+  if (v.hosting) return 0;
+  if (!v.needs_reset) return 1;
+  return 2;
+}
+
+class FirstFit final : public PlacementPolicy {
+ public:
+  const char* name() const override { return "first_fit"; }
+  std::optional<std::uint32_t> place(std::span<const RankView> ranks,
+                                     std::uint32_t slots) const override {
+    for (const RankView& v : ranks) {
+      if (fits(v, slots)) return v.rank;
+    }
+    return std::nullopt;
+  }
+};
+
+class BestFit : public PlacementPolicy {
+ public:
+  const char* name() const override { return "best_fit"; }
+  std::optional<std::uint32_t> place(std::span<const RankView> ranks,
+                                     std::uint32_t slots) const override {
+    const RankView* best = nullptr;
+    for (const RankView& v : ranks) {
+      if (!fits(v, slots)) continue;
+      if (best == nullptr || v.free_slots < best->free_slots ||
+          (v.free_slots == best->free_slots && tier(v) < tier(*best))) {
+        best = &v;
+      }
+    }
+    if (best == nullptr) return std::nullopt;
+    return best->rank;
+  }
+};
+
+class Consolidating final : public BestFit {
+ public:
+  const char* name() const override { return "consolidating"; }
+  bool wants_consolidation() const override { return true; }
+};
+
+}  // namespace
+
+const char* to_string(PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kFirstFit:
+      return "first_fit";
+    case PlacementPolicyKind::kBestFit:
+      return "best_fit";
+    case PlacementPolicyKind::kConsolidating:
+      return "consolidating";
+  }
+  return "?";
+}
+
+std::optional<PlacementPolicyKind> parse_placement_policy(
+    std::string_view name) {
+  if (name == "first_fit") return PlacementPolicyKind::kFirstFit;
+  if (name == "best_fit") return PlacementPolicyKind::kBestFit;
+  if (name == "consolidating") return PlacementPolicyKind::kConsolidating;
+  return std::nullopt;
+}
+
+std::unique_ptr<PlacementPolicy> make_placement_policy(
+    PlacementPolicyKind kind) {
+  switch (kind) {
+    case PlacementPolicyKind::kFirstFit:
+      return std::make_unique<FirstFit>();
+    case PlacementPolicyKind::kBestFit:
+      return std::make_unique<BestFit>();
+    case PlacementPolicyKind::kConsolidating:
+      return std::make_unique<Consolidating>();
+  }
+  return std::make_unique<FirstFit>();
+}
+
+std::uint32_t fragmentation_permille(std::span<const RankView> ranks,
+                                     std::uint32_t slots_per_rank) {
+  if (ranks.empty() || slots_per_rank == 0) return 0;
+  std::uint32_t hosting = 0;
+  std::uint64_t used_slots = 0;
+  for (const RankView& v : ranks) {
+    if (!v.hosting) continue;
+    ++hosting;
+    used_slots += slots_per_rank - v.free_slots;
+  }
+  const std::uint64_t min_needed =
+      (used_slots + slots_per_rank - 1) / slots_per_rank;
+  if (hosting <= min_needed) return 0;
+  return static_cast<std::uint32_t>(1000ull * (hosting - min_needed) /
+                                    ranks.size());
+}
+
+}  // namespace vpim::core

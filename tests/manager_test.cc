@@ -318,5 +318,110 @@ TEST(ManagerService, ConcurrentRequestsNeverDoubleAllocate) {
   EXPECT_GT(successes.load(), 16);  // most rounds should succeed
 }
 
+// ---- ManagerService typed vocabulary, priorities, shutdown (ISSUE 9) -----
+
+TEST(ManagerService, TypedVocabularyRoundTrips) {
+  test::TestRig rig(test::small_machine());
+  Manager mgr(rig.drv, fast_config(/*charge=*/false));
+  ManagerService service(mgr, /*threads=*/2,
+                         std::chrono::milliseconds(1));
+
+  const ServiceResponse a = service.allocate("vm-a", 2).get();
+  ASSERT_EQ(a.status, AllocStatus::kOk);
+  EXPECT_NE(a.wrank, 0u);
+
+  const ServiceResponse grown = service.resize(a.wrank, 3).get();
+  EXPECT_EQ(grown.status, AllocStatus::kOk);
+  EXPECT_EQ(mgr.tenant_slots("vm-a"), 3u);
+
+  EXPECT_EQ(service.allocate("vm-a", 9).get().status,
+            AllocStatus::kBadRequest);
+  EXPECT_EQ(service.resize(999, 1).get().status, AllocStatus::kNotFound);
+
+  EXPECT_EQ(service.release(a.wrank).get().status, AllocStatus::kOk);
+  EXPECT_EQ(service.release(a.wrank).get().status, AllocStatus::kNotFound);
+  EXPECT_EQ(mgr.tenant_slots("vm-a"), 0u);
+}
+
+TEST(ManagerService, PerTenantQuotaIsEnforced) {
+  test::TestRig rig(test::small_machine());
+  Manager mgr(rig.drv, fast_config(/*charge=*/false));
+  mgr.set_tenant_quota("capped", 2);
+  ManagerService service(mgr, /*threads=*/2,
+                         std::chrono::milliseconds(1));
+
+  EXPECT_EQ(service.allocate("capped", 4).get().status,
+            AllocStatus::kQuotaExceeded);
+  const ServiceResponse ok = service.allocate("capped", 2).get();
+  ASSERT_EQ(ok.status, AllocStatus::kOk);
+  EXPECT_EQ(service.allocate("capped", 1).get().status,
+            AllocStatus::kQuotaExceeded);
+  EXPECT_EQ(service.resize(ok.wrank, 3).get().status,
+            AllocStatus::kQuotaExceeded);
+  EXPECT_EQ(mgr.stats().quota_rejections, 3u);
+  // An uncapped tenant is unaffected.
+  EXPECT_EQ(service.allocate("free", 4).get().status, AllocStatus::kOk);
+}
+
+TEST(ManagerService, HigherPriorityDrainsFirst) {
+  // One rank, one worker, workers paused: both requests sit queued, then
+  // the single 4-slot hole must go to the higher-priority request no
+  // matter the submission order.
+  test::TestRig rig({.nr_ranks = 1, .functional_dpus_per_rank = 8});
+  ManagerConfig cfg = fast_config(/*charge=*/false);
+  cfg.max_attempts = 1;
+  Manager mgr(rig.drv, cfg);
+  ManagerServiceConfig scfg;
+  scfg.threads = 1;
+  scfg.observe_period = std::chrono::milliseconds(1);
+  scfg.start_paused = true;
+  ManagerService service(mgr, scfg);
+
+  auto low = service.allocate("low", 4, /*priority=*/0);
+  auto high = service.allocate("high", 4, /*priority=*/5);
+  service.start();
+  EXPECT_EQ(high.get().status, AllocStatus::kOk);
+  EXPECT_EQ(low.get().status, AllocStatus::kNoCapacity);
+  EXPECT_EQ(mgr.tenant_slots("high"), 4u);
+  EXPECT_EQ(mgr.tenant_slots("low"), 0u);
+}
+
+TEST(ManagerService, StopDrainsQueueWithTypedShutdown) {
+  test::TestRig rig(test::small_machine());
+  Manager mgr(rig.drv, fast_config(/*charge=*/false));
+  ManagerServiceConfig scfg;
+  scfg.threads = 1;
+  scfg.observe_period = std::chrono::milliseconds(1);
+  scfg.start_paused = true;  // nothing dequeues before stop()
+  ManagerService service(mgr, scfg);
+
+  std::vector<std::future<ServiceResponse>> queued;
+  for (int i = 0; i < 4; ++i) queued.push_back(service.allocate("t", 1));
+  auto legacy = service.request_rank("vm-legacy");
+  service.stop();
+
+  // Regression (satellite bugfix): the old packaged_task queue was
+  // discarded on stop(), so these futures never resolved and callers
+  // blocked forever.
+  for (auto& f : queued) {
+    ASSERT_EQ(f.wait_for(std::chrono::seconds(5)),
+              std::future_status::ready);
+    EXPECT_EQ(f.get().status, AllocStatus::kShutdown);
+  }
+  ASSERT_EQ(legacy.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_FALSE(legacy.get().has_value());
+  EXPECT_EQ(service.shutdown_rejections(), 5u);
+  EXPECT_EQ(mgr.wranks().size(), 0u);  // nothing leaked into the manager
+
+  // Submissions after stop() resolve immediately with the same typed
+  // rejection instead of queueing into the void.
+  auto late = service.allocate("t", 1);
+  ASSERT_EQ(late.wait_for(std::chrono::seconds(5)),
+            std::future_status::ready);
+  EXPECT_EQ(late.get().status, AllocStatus::kShutdown);
+  EXPECT_EQ(service.shutdown_rejections(), 6u);
+}
+
 }  // namespace
 }  // namespace vpim::core

@@ -13,11 +13,12 @@ Two gates, one file:
   one-sided: only a slowdown beyond the tolerance fails, a speedup prints a
   reminder to refresh the baselines.
 
-Points that carry a p99_admitted_ns column (the overload bench) get a third
-gate: admitted-request tail latency in *virtual* time, checked per run at
---p99-tol (default 0.10). Like simulated_ns it is deterministic, but it sits
-on a percentile so a deliberate cost-model retune may move it slightly;
-hence a tolerance rather than an exact match.
+Points that carry percentile columns — any key matching pNN_*_ns, e.g.
+p99_admitted_ns (overload) or p50_alloc_ns/p99_alloc_ns (manager_policies)
+— get a third gate: latency percentiles in *virtual* time, checked per run
+at --p99-tol (default 0.10). Like simulated_ns they are deterministic, but
+they sit on percentiles so a deliberate cost-model retune may move them
+slightly; hence a tolerance rather than an exact match.
 
 Usage:
   tools/bench_diff.py --baseline bench/baselines/BENCH_fig12.json \
@@ -33,16 +34,20 @@ missing points, or unreadable files.
 import argparse
 import json
 import pathlib
+import re
 import statistics
 import sys
+
+# Percentile-in-virtual-time columns: p50_alloc_ns, p99_admitted_ns, ...
+PERCENTILE_RE = re.compile(r"^p\d+_\w+_ns$")
 
 
 def load_points(path):
     with open(path, encoding="utf-8") as f:
         doc = json.load(f)
     return {p["name"]: (int(p["simulated_ns"]), float(p.get("wall_ms", 0.0)),
-                        int(p["p99_admitted_ns"])
-                        if "p99_admitted_ns" in p else None)
+                        {k: int(v) for k, v in p.items()
+                         if PERCENTILE_RE.match(k)})
             for p in doc["points"]}
 
 
@@ -72,24 +77,23 @@ def diff_simulated(baseline_path, base, current_path, cur, rel_tol):
     return ok
 
 
-def diff_p99(baseline_path, base, current_path, cur, p99_tol):
+def diff_percentiles(baseline_path, base, current_path, cur, p99_tol):
     ok = True
-    for name, (_, _, expect) in sorted(base.items()):
-        if expect is None:
-            continue
-        if name not in cur or cur[name][2] is None:
-            print(f"FAIL {name}: p99_admitted_ns in baseline but missing "
-                  f"from {current_path}")
-            ok = False
-            continue
-        got = cur[name][2]
-        drift = abs(got - expect) / expect if expect else (0.0 if got == expect else 1.0)
-        if drift > p99_tol:
-            print(f"FAIL {name}: p99_admitted_ns {got} vs baseline {expect} "
-                  f"({drift * 100:.1f}% > {p99_tol * 100:.0f}%)")
-            ok = False
-        else:
-            print(f"ok   {name}: p99 {got} ns ({drift * 100:+.1f}%)")
+    for name, (_, _, expected_cols) in sorted(base.items()):
+        for col, expect in sorted(expected_cols.items()):
+            if name not in cur or col not in cur[name][2]:
+                print(f"FAIL {name}: {col} in baseline but missing "
+                      f"from {current_path}")
+                ok = False
+                continue
+            got = cur[name][2][col]
+            drift = abs(got - expect) / expect if expect else (0.0 if got == expect else 1.0)
+            if drift > p99_tol:
+                print(f"FAIL {name}: {col} {got} vs baseline {expect} "
+                      f"({drift * 100:.1f}% > {p99_tol * 100:.0f}%)")
+                ok = False
+            else:
+                print(f"ok   {name}: {col} {got} ns ({drift * 100:+.1f}%)")
     return ok
 
 
@@ -136,7 +140,8 @@ def diff_one(baseline_path, current_paths, rel_tol, wall_tol, p99_tol):
         # that drifts only sometimes is a determinism bug.
         ok &= diff_simulated(baseline_path, base, current_path, cur, rel_tol)
         # Tail latency is virtual time too, so every run must hold it.
-        ok &= diff_p99(baseline_path, base, current_path, cur, p99_tol)
+        ok &= diff_percentiles(baseline_path, base, current_path, cur,
+                               p99_tol)
     if not runs:
         return False
     if wall_tol is not None:
@@ -161,8 +166,9 @@ def main():
                          "median across runs; wall gating is off unless set "
                          "(e.g. 0.10)")
     ap.add_argument("--p99-tol", type=float, default=0.10,
-                    help="max relative p99_admitted_ns drift per point, for "
-                         "baselines that carry the column (default 0.10)")
+                    help="max relative drift per percentile column "
+                         "(pNN_*_ns) for baselines that carry one "
+                         "(default 0.10)")
     args = ap.parse_args()
 
     pairs = []

@@ -1,0 +1,58 @@
+#!/usr/bin/env python3
+"""Gate the quick test tier's wall-clock time against a committed budget.
+
+The quick tier (`ctest -L quick`) is the repo's fail-fast signal: it is
+supposed to stay well under a minute so every push gets a verdict before
+the slow/prop tiers spin up. This script turns that intent into a gate:
+
+  tools/quick_budget.py --elapsed <seconds> [--budget tools/quick_tier_budget.json]
+
+* elapsed >  budget_seconds                -> FAIL (exit 1)
+* elapsed >= warn_fraction * budget        -> WARN (exit 0, loud)
+* otherwise                                -> ok
+
+Tests that legitimately outgrow the budget should move to the slow tier
+(drop the `quick` label); raising budget_seconds is a deliberate,
+reviewed change to the same committed file.
+"""
+
+import argparse
+import json
+import sys
+
+
+def main():
+    ap = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    ap.add_argument("--elapsed", type=float, required=True,
+                    help="measured wall-clock seconds of `ctest -L quick`")
+    ap.add_argument("--budget", default="tools/quick_tier_budget.json",
+                    help="committed budget file")
+    args = ap.parse_args()
+
+    try:
+        with open(args.budget, encoding="utf-8") as f:
+            doc = json.load(f)
+        budget = float(doc["budget_seconds"])
+        warn_at = budget * float(doc.get("warn_fraction", 0.8))
+    except (OSError, ValueError, KeyError) as e:
+        print(f"FAIL quick-budget: unreadable budget file {args.budget} ({e})")
+        return 1
+
+    used = 100.0 * args.elapsed / budget if budget else float("inf")
+    if args.elapsed > budget:
+        print(f"FAIL quick tier took {args.elapsed:.1f}s — over the "
+              f"{budget:.0f}s budget ({used:.0f}%). Move tests to the slow "
+              f"tier or raise {args.budget} deliberately.")
+        return 1
+    if args.elapsed >= warn_at:
+        print(f"WARN quick tier took {args.elapsed:.1f}s — {used:.0f}% of "
+              f"the {budget:.0f}s budget (warn threshold "
+              f"{warn_at:.0f}s). Headroom is running out.")
+        return 0
+    print(f"ok   quick tier took {args.elapsed:.1f}s "
+          f"({used:.0f}% of the {budget:.0f}s budget)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
