@@ -74,6 +74,7 @@ inline CostModel bench_cost() {
       slow(cost.vm_boot_base_ns);
       slow(cost.vupmem_boot_ns);
       slow(cost.admission_check_ns);
+      slow(cost.kv_cache_hit_ns);
       throttle(cost.mram_dma_gbps);
       throttle(cost.interleave_wide_gbps);
       throttle(cost.interleave_naive_gbps);

@@ -114,6 +114,11 @@ struct CostModel {
   // lines and a branch — far below one ioctl.
   SimNs admission_check_ns = 300;
 
+  // ---- KV service (ISSUE 10) ----------------------------------------------
+  // Host-side hot-key cache lookup on the KV enqueue path: one hash probe
+  // plus LRU bookkeeping, served without touching the device.
+  SimNs kv_cache_hit_ns = 150;
+
   // ---- Faults & recovery --------------------------------------------------
   // Base backoff before the backend retries a transiently faulted rank
   // operation; doubles per attempt up to VpimConfig::fault_max_retries.

@@ -63,10 +63,14 @@ enum class SpanKind : std::uint8_t {
   // Overload protection (ISSUE 8): the admission decision on the
   // try_submit path — token-bucket + budget check, shed or admitted.
   kAdmission,
+  // KV service (ISSUE 10): one executed batch (enqueue -> DPU cycles ->
+  // result parse) and one partition migration of the rebalancer.
+  kKvBatch,
+  kKvRebalance,
 };
 
 inline constexpr std::size_t kNumSpanKinds =
-    static_cast<std::size_t>(SpanKind::kAdmission) + 1;
+    static_cast<std::size_t>(SpanKind::kKvRebalance) + 1;
 
 inline constexpr std::array<std::string_view, kNumSpanKinds> kSpanKindNames =
     {"write",          "write.batched",    "write.flush",
@@ -77,7 +81,8 @@ inline constexpr std::array<std::string_view, kNumSpanKinds> kSpanKindNames =
      "backend.request", "backend.transfer", "backend.broadcast",
      "backend.batch_apply", "driver.xfer", "driver.ci",
      "rank.launch",    "dpu.compute",      "sq.slot",
-     "cq.drain",       "admission"};
+     "cq.drain",       "admission",        "kv.batch",
+     "kv.rebalance"};
 
 inline constexpr std::string_view kind_name(SpanKind k) {
   return kSpanKindNames[static_cast<std::size_t>(k)];
@@ -93,15 +98,20 @@ enum class Layer : std::uint8_t {
   kDriver,
   kRank,
   kAdmission,  // ISSUE 8: admission decisions get their own trace lane
+  kKv,         // ISSUE 10: KV batches and rebalances get their own lane
 };
 
-inline constexpr std::array<std::string_view, 7> kLayerNames = {
-    "frontend", "wire", "virtio", "backend", "driver", "rank", "admission"};
+inline constexpr std::array<std::string_view, 8> kLayerNames = {
+    "frontend", "wire",   "virtio",    "backend",
+    "driver",   "rank",   "admission", "kv"};
 
 inline constexpr Layer layer_of(SpanKind k) {
   switch (k) {
     case SpanKind::kAdmission:
       return Layer::kAdmission;
+    case SpanKind::kKvBatch:
+    case SpanKind::kKvRebalance:
+      return Layer::kKv;
     case SpanKind::kSerialize:
     case SpanKind::kDeserialize:
       return Layer::kWire;

@@ -1,0 +1,126 @@
+#include "common/proptest/kv_oracle.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/error.h"
+
+namespace vpim::prop {
+
+KvOracle::KvOracle(std::uint32_t partitions,
+                   std::uint32_t partition_capacity,
+                   std::uint32_t scan_limit)
+    : partitions_(partitions), capacity_(partition_capacity),
+      scan_limit_(scan_limit), store_(partitions) {
+  VPIM_CHECK(partitions >= 1, "oracle needs at least one partition");
+}
+
+std::uint32_t KvOracle::partition_of(std::uint64_t key) const {
+  // DESIGN.md §5h partition hash spec (64-bit murmur finalizer), written
+  // out digit-for-digit from the doc rather than shared with src/kv/.
+  std::uint64_t mixed = key;
+  mixed ^= mixed >> 33;
+  mixed *= UINT64_C(18397679294719823053);  // 0xff51afd7ed558ccd
+  mixed ^= mixed >> 33;
+  mixed *= UINT64_C(14181476777654086739);  // 0xc4ceb9fe1a85ec53
+  mixed ^= mixed >> 33;
+  return static_cast<std::uint32_t>(mixed % partitions_);
+}
+
+std::vector<KvOracle::Row>& KvOracle::rows_for(std::uint64_t key) {
+  return store_[partition_of(key)];
+}
+
+KvOracle::Reply KvOracle::get(std::uint64_t key) {
+  Reply r;
+  const auto& rows = rows_for(key);
+  auto it = std::lower_bound(
+      rows.begin(), rows.end(), key,
+      [](const Row& row, std::uint64_t k) { return row.key < k; });
+  if (it != rows.end() && it->key == key) {
+    r.status = 0;
+    r.value = it->value;
+    r.nresults = 1;
+  } else {
+    r.status = 1;
+  }
+  return r;
+}
+
+KvOracle::Reply KvOracle::put(std::uint64_t key, std::uint64_t value) {
+  Reply r;
+  auto& rows = rows_for(key);
+  auto it = std::lower_bound(
+      rows.begin(), rows.end(), key,
+      [](const Row& row, std::uint64_t k) { return row.key < k; });
+  if (it != rows.end() && it->key == key) {
+    r.status = 0;
+    r.value = it->value;  // previous value
+    r.nresults = 1;
+    it->value = value;
+  } else if (rows.size() >= capacity_) {
+    r.status = 2;
+  } else {
+    rows.insert(it, {key, value});
+    r.status = 0;
+  }
+  return r;
+}
+
+KvOracle::Reply KvOracle::del(std::uint64_t key) {
+  Reply r;
+  auto& rows = rows_for(key);
+  auto it = std::lower_bound(
+      rows.begin(), rows.end(), key,
+      [](const Row& row, std::uint64_t k) { return row.key < k; });
+  if (it != rows.end() && it->key == key) {
+    r.status = 0;
+    r.value = it->value;
+    r.nresults = 1;
+    rows.erase(it);
+  } else {
+    r.status = 1;
+  }
+  return r;
+}
+
+KvOracle::Reply KvOracle::scan(std::uint64_t lo, std::uint64_t hi) {
+  Reply r;
+  r.status = 0;
+  // Collect every row with lo <= key < hi across all partitions, then
+  // keep the smallest scan_limit keys. The service merges per-partition
+  // fragments; the oracle just walks the whole store.
+  for (const auto& rows : store_) {
+    for (const Row& row : rows) {
+      if (row.key >= lo && row.key < hi) {
+        r.pairs.emplace_back(row.key, row.value);
+      }
+    }
+  }
+  std::sort(r.pairs.begin(), r.pairs.end());
+  if (r.pairs.size() > scan_limit_) r.pairs.resize(scan_limit_);
+  r.nresults = static_cast<std::uint32_t>(r.pairs.size());
+  return r;
+}
+
+std::vector<std::uint8_t> KvOracle::partition_image(
+    std::uint32_t partition) const {
+  VPIM_CHECK(partition < partitions_, "partition out of range");
+  const auto& rows = store_[partition];
+  std::vector<std::uint8_t> image(8 + rows.size() * 16);
+  const std::uint64_t count = rows.size();
+  std::memcpy(image.data(), &count, 8);
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    std::memcpy(image.data() + 8 + i * 16, &rows[i].key, 8);
+    std::memcpy(image.data() + 8 + i * 16 + 8, &rows[i].value, 8);
+  }
+  return image;
+}
+
+std::uint64_t KvOracle::size() const {
+  std::uint64_t n = 0;
+  for (const auto& rows : store_) n += rows.size();
+  return n;
+}
+
+}  // namespace vpim::prop

@@ -1,0 +1,62 @@
+// Independent in-memory reference KV for the ISSUE-10 differential suite.
+//
+// PR-5 oracle rules apply: this file re-derives the KV result spec and the
+// partition hash from DESIGN.md §5h with its own code and its own literal
+// constants — it includes nothing from src/kv/ and shares no helpers with
+// the production service, so a bug in the DPU kernel, the batching path or
+// the hot-key cache cannot cancel out against the reference.
+//
+// Semantics checked against it (see TESTING.md "KV oracle"):
+//   GET    -> {0, value} when present, {1, 0} when absent
+//   PUT    -> {0, previous value} on overwrite, {0, 0} on fresh insert,
+//             {2, 0} when the key's partition is full
+//   DELETE -> {0, deleted value} when present, {1, 0} when absent
+//   SCAN   -> {0, up to `limit` key-sorted pairs with keys in [lo, hi)}
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace vpim::prop {
+
+class KvOracle {
+ public:
+  struct Reply {
+    std::uint32_t status = 0;
+    std::uint64_t value = 0;
+    std::uint32_t nresults = 0;  // rows touched/returned, mirrors the spec
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+  };
+
+  KvOracle(std::uint32_t partitions, std::uint32_t partition_capacity,
+           std::uint32_t scan_limit);
+
+  Reply get(std::uint64_t key);
+  Reply put(std::uint64_t key, std::uint64_t value);
+  Reply del(std::uint64_t key);
+  Reply scan(std::uint64_t lo, std::uint64_t hi);
+
+  // The partition a key routes to, per the documented hash spec.
+  std::uint32_t partition_of(std::uint64_t key) const;
+
+  // Byte image of one partition as the device would store it:
+  // [u64 count | count x {u64 key, u64 value}] in ascending key order.
+  std::vector<std::uint8_t> partition_image(std::uint32_t partition) const;
+
+  std::uint64_t size() const;
+
+ private:
+  struct Row {
+    std::uint64_t key = 0;
+    std::uint64_t value = 0;
+  };
+  std::vector<Row>& rows_for(std::uint64_t key);
+
+  std::uint32_t partitions_;
+  std::uint32_t capacity_;
+  std::uint32_t scan_limit_;
+  std::vector<std::vector<Row>> store_;  // per partition, key-sorted
+};
+
+}  // namespace vpim::prop

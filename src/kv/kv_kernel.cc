@@ -1,0 +1,219 @@
+// DPU-side half of the KV service: one kernel launch drains the inbox
+// batch against this DPU's sorted runs and writes fixed-size results to
+// the outbox.
+//
+// The kernel is deliberately single-tasklet: ops in one batch may touch
+// the same slot (the host preserves per-key submission order by routing a
+// key to one partition for its whole life), so processing the inbox
+// sequentially on tasklet 0 keeps the result stream trivially
+// deterministic at any VPIM_THREADS. Parallelism comes from the host
+// fanning independent DPUs out through the SQ/CQ pipeline, not from
+// tasklets racing within one partition.
+//
+// Costs: every probe/shift pays real MRAM DMA through DpuCtx (64-cycle
+// engine setup + streaming time), and ctx.exec() charges the comparison
+// and bookkeeping instructions, so skewed batches make the hot DPU's
+// launch measurably longer — the effect fig_kv_skew measures.
+#include "kv/kv_kernel.h"
+
+#include <algorithm>
+#include <cstring>
+#include <span>
+
+#include "kv/kv_types.h"
+#include "upmem/kernel.h"
+
+namespace vpim::kv {
+namespace {
+
+using upmem::DpuCtx;
+using upmem::DpuKernel;
+using upmem::KernelRegistry;
+
+// WRAM staging for record shifts: one MRAM page of records per hop.
+constexpr std::uint32_t kShiftBytes = 4096;
+
+template <typename T>
+std::span<std::uint8_t> bytes_of(T& v) {
+  return {reinterpret_cast<std::uint8_t*>(&v), sizeof(T)};
+}
+
+KvRecord read_record(DpuCtx& ctx, std::uint64_t base, std::uint64_t idx) {
+  KvRecord rec;
+  ctx.mram_read(base + 8 + idx * sizeof(KvRecord), bytes_of(rec));
+  return rec;
+}
+
+void write_record(DpuCtx& ctx, std::uint64_t base, std::uint64_t idx,
+                  const KvRecord& rec) {
+  KvRecord copy = rec;
+  ctx.mram_write(bytes_of(copy), base + 8 + idx * sizeof(KvRecord));
+}
+
+// First index in [0, count) whose key >= target.
+std::uint64_t lower_bound(DpuCtx& ctx, std::uint64_t base,
+                          std::uint64_t count, std::uint64_t target) {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = count;
+  while (lo < hi) {
+    const std::uint64_t mid = lo + (hi - lo) / 2;
+    const KvRecord rec = read_record(ctx, base, mid);
+    if (rec.key < target) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+    ctx.exec(12);  // compare + branch + index arithmetic per probe
+  }
+  return lo;
+}
+
+// Moves records [from, from + n) to [to, to + n) within one slot, page
+// block at a time through WRAM, ordered so source and destination never
+// overlap mid-move.
+void shift_records(DpuCtx& ctx, std::span<std::uint8_t> buf,
+                   std::uint64_t base, std::uint64_t from, std::uint64_t to,
+                   std::uint64_t n) {
+  if (n == 0 || from == to) return;
+  const std::uint64_t rec = sizeof(KvRecord);
+  const std::uint64_t per_block = buf.size() / rec;
+  if (to > from) {
+    // Shift up: copy from the top down.
+    std::uint64_t remaining = n;
+    while (remaining > 0) {
+      const std::uint64_t chunk = std::min(per_block, remaining);
+      const std::uint64_t src = from + remaining - chunk;
+      auto block = buf.first(chunk * rec);
+      ctx.mram_read(base + 8 + src * rec, block);
+      ctx.mram_write(block, base + 8 + (to - from + src) * rec);
+      ctx.exec(4 * chunk);
+      remaining -= chunk;
+    }
+  } else {
+    // Shift down: copy from the bottom up.
+    std::uint64_t done = 0;
+    while (done < n) {
+      const std::uint64_t chunk = std::min(per_block, n - done);
+      auto block = buf.first(chunk * rec);
+      ctx.mram_read(base + 8 + (from + done) * rec, block);
+      ctx.mram_write(block, base + 8 + (to + done) * rec);
+      ctx.exec(4 * chunk);
+      done += chunk;
+    }
+  }
+}
+
+// `inclusive_hi` is the teeth knob: the correct kernel stops a scan at
+// key >= hi (exclusive bound), the planted-bug variant at key > hi.
+void kv_stage(DpuCtx& ctx, bool inclusive_hi) {
+  if (ctx.me() != 0) return;
+  const KvArgs args = ctx.var<KvArgs>(kKvArgsSymbol);
+  std::uint64_t nr_ops = 0;
+  ctx.mram_read(args.inbox_off, bytes_of(nr_ops));
+  if (nr_ops == 0) return;
+  auto shift_buf = ctx.mem_alloc(kShiftBytes);
+  const std::uint64_t region =
+      8 + static_cast<std::uint64_t>(args.slot_capacity) * 16;
+
+  for (std::uint64_t i = 0; i < nr_ops; ++i) {
+    KvOpSlot op;
+    ctx.mram_read(args.inbox_off + 8 + i * sizeof(KvOpSlot), bytes_of(op));
+    const std::uint64_t base = op.slot * region;
+    std::uint64_t count = 0;
+    ctx.mram_read(base, bytes_of(count));
+
+    KvResultSlot res{};
+    const std::uint64_t pos = lower_bound(ctx, base, count, op.key);
+    KvRecord at{};
+    bool found = false;
+    if (pos < count) {
+      at = read_record(ctx, base, pos);
+      found = at.key == op.key;
+    }
+    ctx.exec(8);
+
+    switch (static_cast<KvOpKind>(op.opcode)) {
+      case KvOpKind::kGet:
+        if (found) {
+          res.status = static_cast<std::uint32_t>(KvStatus::kOk);
+          res.value = at.value;
+          res.nresults = 1;
+        } else {
+          res.status = static_cast<std::uint32_t>(KvStatus::kNotFound);
+        }
+        break;
+      case KvOpKind::kPut:
+        if (found) {
+          write_record(ctx, base, pos, {op.key, op.aux});
+          res.status = static_cast<std::uint32_t>(KvStatus::kOk);
+          res.value = at.value;  // previous value
+          res.nresults = 1;
+        } else if (count >= args.slot_capacity) {
+          res.status = static_cast<std::uint32_t>(KvStatus::kNoSpace);
+        } else {
+          shift_records(ctx, shift_buf, base, pos, pos + 1, count - pos);
+          write_record(ctx, base, pos, {op.key, op.aux});
+          ++count;
+          std::uint64_t header = count;
+          ctx.mram_write(bytes_of(header), base);
+          res.status = static_cast<std::uint32_t>(KvStatus::kOk);
+        }
+        break;
+      case KvOpKind::kDelete:
+        if (found) {
+          shift_records(ctx, shift_buf, base, pos + 1, pos,
+                        count - pos - 1);
+          --count;
+          std::uint64_t header = count;
+          ctx.mram_write(bytes_of(header), base);
+          res.status = static_cast<std::uint32_t>(KvStatus::kOk);
+          res.value = at.value;
+          res.nresults = 1;
+        } else {
+          res.status = static_cast<std::uint32_t>(KvStatus::kNotFound);
+        }
+        break;
+      case KvOpKind::kScan: {
+        res.status = static_cast<std::uint32_t>(KvStatus::kOk);
+        std::uint64_t j = pos;
+        while (j < count && res.nresults < args.scan_limit) {
+          const KvRecord rec = read_record(ctx, base, j);
+          const bool past =
+              inclusive_hi ? rec.key > op.aux : rec.key >= op.aux;
+          ctx.exec(10);
+          if (past) break;
+          res.pairs[res.nresults++] = rec;
+          ++j;
+        }
+        break;
+      }
+      default:
+        res.status = static_cast<std::uint32_t>(KvStatus::kNotFound);
+        break;
+    }
+
+    ctx.mram_write(bytes_of(res),
+                   args.outbox_off + i * sizeof(KvResultSlot));
+    ctx.exec(16);  // per-op dispatch + outbox bookkeeping
+  }
+}
+
+DpuKernel make_kernel(const char* name, bool inclusive_hi) {
+  DpuKernel k;
+  k.name = name;
+  k.symbols = {{kKvArgsSymbol, sizeof(KvArgs)}};
+  k.stages = {
+      [inclusive_hi](DpuCtx& ctx) { kv_stage(ctx, inclusive_hi); }};
+  return k;
+}
+
+}  // namespace
+
+void register_kv_kernels() {
+  KernelRegistry& reg = KernelRegistry::instance();
+  if (reg.contains(kKvKernelName)) return;
+  reg.add(make_kernel(kKvKernelName, /*inclusive_hi=*/false));
+  reg.add(make_kernel(kKvTeethKernelName, /*inclusive_hi=*/true));
+}
+
+}  // namespace vpim::kv

@@ -1,0 +1,10 @@
+// Registration hook for the KV partition kernel (see kv_kernel.cc).
+#pragma once
+
+namespace vpim::kv {
+
+// Registers "kv_partition" (and its planted-bug teeth variant) in the
+// global KernelRegistry. Idempotent; KvService::open() calls it.
+void register_kv_kernels();
+
+}  // namespace vpim::kv

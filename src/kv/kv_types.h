@@ -1,0 +1,169 @@
+// Shared vocabulary of the partitioned KV/index service (ISSUE 10).
+//
+// The key space is hash-partitioned (murmur-style finalizer, spec in
+// DESIGN.md §5h) across `partitions` sorted runs; each partition lives in
+// one MRAM *slot* of one DPU and the host moves partitions between slots
+// to chase load. Everything in this header is wire format shared between
+// the host service (kv_service.cc) and the DPU kernel (kv_kernel.cc) —
+// the independent correctness oracle (common/proptest/kv_oracle.cc)
+// deliberately re-derives the result spec from DESIGN.md instead of
+// including this file's logic.
+//
+// Per-DPU MRAM layout (offsets from MRAM 0, all regions page-aligned):
+//
+//   [slot 0: u64 count | slot_capacity x KvRecord] ... [slot S-1]
+//   inbox:  [u64 nr_ops | nr_ops x KvOpSlot]        (host -> DPU batch)
+//   outbox: [nr_ops x KvResultSlot]                 (DPU -> host results)
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/error.h"
+#include "common/units.h"
+#include "upmem/layout.h"
+
+namespace vpim::kv {
+
+// ---- result statuses -----------------------------------------------------
+// The device side only ever produces kOk/kNotFound/kNoSpace; the host
+// service maps transport failures onto kDeviceFault/kTimeout so every
+// request resolves with a typed status even under fault storms.
+enum class KvStatus : std::uint32_t {
+  kOk = 0,
+  kNotFound = 1,     // GET/DELETE of an absent key
+  kNoSpace = 2,      // PUT into a full partition
+  kDeviceFault = 3,  // transport/device failure (typed, per batch cycle)
+  kTimeout = 4,      // deadline expired before the cycle completed
+};
+const char* to_string(KvStatus status);
+
+enum class KvOpKind : std::uint8_t { kGet = 0, kPut = 1, kDelete = 2,
+                                     kScan = 3 };
+
+// One client operation. SCAN returns the smallest `scan_limit` keys in
+// [key, hi) — `hi` is exclusive (the planted-bug teeth kernel gets exactly
+// this bound wrong).
+struct KvOp {
+  KvOpKind kind = KvOpKind::kGet;
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;  // PUT payload
+  std::uint64_t hi = 0;     // SCAN exclusive upper bound
+};
+
+// One client result. PUT: value = previous value (when the key existed,
+// nresults = 1). DELETE/GET: value = the stored value. SCAN: pairs holds
+// the merged, key-sorted result rows.
+struct KvResult {
+  KvStatus status = KvStatus::kOk;
+  std::uint64_t value = 0;
+  std::uint32_t nresults = 0;
+  bool cache_hit = false;  // served host-side by the hot-key cache
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> pairs;
+};
+
+// ---- device wire format --------------------------------------------------
+
+struct KvRecord {
+  std::uint64_t key = 0;
+  std::uint64_t value = 0;
+};
+static_assert(sizeof(KvRecord) == 16);
+
+// Inbox entry: opcode = KvOpKind; slot = the target store slot on this
+// DPU; aux = PUT value or SCAN upper bound.
+struct KvOpSlot {
+  std::uint32_t opcode = 0;
+  std::uint32_t slot = 0;
+  std::uint64_t key = 0;
+  std::uint64_t aux = 0;
+};
+static_assert(sizeof(KvOpSlot) == 24);
+
+// Most rows one SCAN returns per partition (and, post-merge, per op).
+inline constexpr std::uint32_t kKvScanLimit = 8;
+
+// Outbox entry, fixed size so result i lives at i * sizeof(KvResultSlot).
+struct KvResultSlot {
+  std::uint32_t status = 0;  // KvStatus (device statuses only)
+  std::uint32_t nresults = 0;
+  std::uint64_t value = 0;
+  KvRecord pairs[kKvScanLimit];
+};
+static_assert(sizeof(KvResultSlot) == 16 + 16 * kKvScanLimit);
+
+// WRAM argument block pushed to every serving DPU at open().
+struct KvArgs {
+  std::uint64_t inbox_off = 0;
+  std::uint64_t outbox_off = 0;
+  std::uint32_t slot_capacity = 0;
+  std::uint32_t scan_limit = kKvScanLimit;
+};
+inline constexpr const char* kKvArgsSymbol = "kv_args";
+
+inline constexpr const char* kKvKernelName = "kv_partition";
+// Teeth variant with the planted range-scan off-by-one (see TESTING.md).
+inline constexpr const char* kKvTeethKernelName = "kv_partition_teeth";
+
+// ---- service configuration ----------------------------------------------
+
+struct KvConfig {
+  std::uint32_t partitions = 32;
+  std::uint32_t nr_dpus = 8;        // DPUs the partitions spread over
+  std::uint32_t slots_per_dpu = 8;  // partition homes per DPU
+  std::uint32_t slot_capacity = 2048;  // records per partition
+  std::uint32_t max_batch_ops = 64;    // inbox capacity per DPU per cycle
+  std::uint32_t scan_limit = kKvScanLimit;  // rows per scan (<= kKvScanLimit)
+  // Hot-key mitigation tier.
+  bool hot_key_cache = true;
+  std::uint32_t hot_cache_entries = 64;
+  bool rebalance = true;
+  std::uint32_t rebalance_period = 4;  // batches per load window
+  // Trigger: hottest DPU's window load > ratio/1000 x mean DPU load.
+  std::uint32_t rebalance_ratio_permille = 1500;
+  std::uint32_t rebalance_max_moves = 2;  // migrations per pass
+  // Virtual time between run-status polls while a launch drains (the
+  // serving path polls much tighter than the SDK's 100 us default).
+  SimNs launch_poll_ns = 5 * kUs;
+  // Teeth hook: load the kernel variant with the scan-bound off-by-one.
+  bool plant_scan_bug = false;
+};
+
+// MRAM placement derived from a config; see the layout comment above.
+struct KvLayout {
+  std::uint64_t region = 0;  // bytes of one store slot (header + records)
+  std::uint64_t inbox_off = 0;
+  std::uint64_t outbox_off = 0;
+  std::uint64_t end = 0;
+
+  static KvLayout of(const KvConfig& cfg) {
+    auto align_page = [](std::uint64_t off) {
+      const std::uint64_t page = upmem::kMramPageSize;
+      return (off + page - 1) / page * page;
+    };
+    KvLayout l;
+    l.region = 8 + static_cast<std::uint64_t>(cfg.slot_capacity) * 16;
+    l.inbox_off = align_page(cfg.slots_per_dpu * l.region);
+    l.outbox_off = align_page(l.inbox_off + 8 +
+                              cfg.max_batch_ops * sizeof(KvOpSlot));
+    l.end = l.outbox_off + cfg.max_batch_ops * sizeof(KvResultSlot);
+    VPIM_CHECK(l.end <= upmem::kMramSize, "KV config does not fit MRAM");
+    return l;
+  }
+};
+
+// Partition routing: 64-bit murmur finalizer mod the partition count
+// (DESIGN.md §5h "partition hash spec"). The oracle re-implements this
+// from the spec; keep the constants in sync with the doc, not with code.
+inline std::uint32_t partition_of(std::uint64_t key,
+                                  std::uint32_t partitions) {
+  std::uint64_t h = key;
+  h ^= h >> 33;
+  h *= 0xFF51AFD7ED558CCDULL;
+  h ^= h >> 33;
+  h *= 0xC4CEB9FE1A85EC53ULL;
+  h ^= h >> 33;
+  return static_cast<std::uint32_t>(h % partitions);
+}
+
+}  // namespace vpim::kv

@@ -1,0 +1,122 @@
+#include "kv/loadgen.h"
+
+#include <cmath>
+
+#include "common/error.h"
+#include "common/rng.h"
+
+namespace vpim::kv {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double zeta(std::uint64_t n, double theta) {
+  double sum = 0.0;
+  for (std::uint64_t i = 1; i <= n; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  return sum;
+}
+
+// Rank -> key scramble: splitmix64 finalizer restricted to the key space
+// by rejection-free folding. Hot ranks land on unrelated keys, so skew
+// exercises the partition hash instead of aliasing with it.
+std::uint64_t scramble(std::uint64_t rank, std::uint64_t key_space) {
+  std::uint64_t z = rank + 0x9E3779B97F4A7C15ULL;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  z = z ^ (z >> 31);
+  return z % key_space;
+}
+
+}  // namespace
+
+ZipfSampler::ZipfSampler(std::uint64_t n, double theta)
+    : n_(n), theta_(theta) {
+  VPIM_CHECK(n >= 1, "zipf needs a non-empty universe");
+  zetan_ = zeta(n, theta);
+  const double zeta2 = zeta(2, theta);
+  alpha_ = 1.0 / (1.0 - theta);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n), 1.0 - theta)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+std::uint64_t ZipfSampler::sample(double u01) const {
+  // Standard YCSB ZipfianGenerator inversion.
+  const double uz = u01 * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const std::uint64_t rank = static_cast<std::uint64_t>(
+      static_cast<double>(n_) *
+      std::pow(eta_ * u01 - eta_ + 1.0, alpha_));
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+std::vector<KvTraceOp> generate_trace(const LoadgenConfig& config) {
+  VPIM_CHECK(config.key_space >= 1, "empty key space");
+  VPIM_CHECK(config.base_rate_ops_per_sec > 0, "rate must be positive");
+  VPIM_CHECK(config.put_permille + config.delete_permille +
+                     config.scan_permille <=
+                 1000,
+             "op mix exceeds 1000 permille");
+  Rng rng(config.seed);
+  const bool zipf = config.zipf_theta_permille > 0;
+  ZipfSampler sampler(config.key_space,
+                      zipf ? config.zipf_theta_permille / 1000.0 : 0.0);
+
+  std::vector<KvTraceOp> trace;
+  trace.reserve(config.nr_ops);
+  // Arrival integration in double ns; the diurnal curve modulates the
+  // instantaneous rate, never below 10% of base so time always advances.
+  double t = 0.0;
+  const double base_gap_ns = 1e9 / config.base_rate_ops_per_sec;
+  for (std::uint64_t i = 0; i < config.nr_ops; ++i) {
+    double gap = base_gap_ns;
+    if (config.diurnal_amplitude_permille > 0) {
+      const double amp = config.diurnal_amplitude_permille / 1000.0;
+      const double phase =
+          2.0 * kPi * t /
+          static_cast<double>(config.diurnal_period_ns);
+      const double rate_scale =
+          std::max(0.1, 1.0 + amp * std::sin(phase));
+      gap = base_gap_ns / rate_scale;
+    }
+    t += gap;
+
+    KvTraceOp out;
+    out.arrival = static_cast<SimNs>(t);
+    out.tenant = config.tenants <= 1
+                     ? 0
+                     : static_cast<std::uint32_t>(
+                           rng.uniform(0, config.tenants - 1));
+
+    const std::uint64_t rank =
+        zipf ? sampler.sample(rng.uniform_real(0.0, 1.0))
+             : static_cast<std::uint64_t>(rng.uniform(
+                   0, static_cast<std::int64_t>(config.key_space) - 1));
+    const std::uint64_t key = scramble(rank, config.key_space);
+
+    const std::int64_t dice = rng.uniform(0, 999);
+    if (dice < config.put_permille) {
+      out.op.kind = KvOpKind::kPut;
+      out.op.key = key;
+      out.op.value = rng.next_u64();
+    } else if (dice < config.put_permille + config.delete_permille) {
+      out.op.kind = KvOpKind::kDelete;
+      out.op.key = key;
+    } else if (dice < config.put_permille + config.delete_permille +
+                          config.scan_permille) {
+      out.op.kind = KvOpKind::kScan;
+      out.op.key = key;
+      out.op.hi = key + config.scan_span;
+    } else {
+      out.op.kind = KvOpKind::kGet;
+      out.op.key = key;
+    }
+    trace.push_back(out);
+  }
+  return trace;
+}
+
+}  // namespace vpim::kv

@@ -1,0 +1,69 @@
+// Open-loop trace-replay load generator for the KV service (ISSUE 10).
+//
+// A LoadgenConfig is a fully seeded description of client traffic: key
+// popularity (uniform or Zipfian with a permille-scaled theta), an op mix,
+// a diurnal rate curve and a tenant mix. generate() expands it into a
+// deterministic trace of arrival-stamped ops in *virtual* time; replaying
+// the trace open-loop (arrivals do not wait for completions) is what turns
+// the figure benches into a serving-style evaluation with goodput and
+// latency percentiles (bench/fig_kv_skew.cc, tests/kv_fault_test.cc).
+//
+// Zipfian sampling follows the standard YCSB construction (precomputed
+// zeta, rank rejection), and ranks are scrambled into the key space with a
+// splitmix-style mix so "hot" keys spread across partitions the way real
+// skewed workloads do.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/units.h"
+#include "kv/kv_types.h"
+
+namespace vpim::kv {
+
+struct LoadgenConfig {
+  std::uint64_t seed = 1;
+  std::uint64_t nr_ops = 10000;
+  std::uint64_t key_space = 16384;  // distinct keys
+  // Popularity skew: Zipf theta in permille (0 = uniform, 990 = the
+  // classic theta=0.99 YCSB skew).
+  std::uint32_t zipf_theta_permille = 0;
+  // Op mix in permille of nr_ops; the remainder becomes GETs.
+  std::uint32_t put_permille = 40;
+  std::uint32_t delete_permille = 5;
+  std::uint32_t scan_permille = 5;
+  std::uint64_t scan_span = 1 << 16;  // SCAN range width in key units
+  // Open-loop arrival process: base rate with an optional diurnal swing
+  // rate(t) = base * (1 + amplitude_permille/1000 * sin(2*pi*t/period)).
+  double base_rate_ops_per_sec = 50000.0;
+  std::uint32_t diurnal_amplitude_permille = 0;
+  SimNs diurnal_period_ns = 100 * kMs;
+  std::uint32_t tenants = 1;
+};
+
+struct KvTraceOp {
+  SimNs arrival = 0;  // virtual arrival time, monotone across the trace
+  std::uint32_t tenant = 0;
+  KvOp op;
+};
+
+// Deterministic trace expansion; same config -> bit-identical trace.
+std::vector<KvTraceOp> generate_trace(const LoadgenConfig& config);
+
+// The Zipfian popularity sampler on its own, for tests: returns a rank in
+// [0, n) with P(rank) ~ 1/(rank+1)^theta.
+class ZipfSampler {
+ public:
+  ZipfSampler(std::uint64_t n, double theta);
+  std::uint64_t sample(double u01) const;  // u01 in [0,1)
+
+ private:
+  std::uint64_t n_;
+  double theta_;
+  double zetan_;
+  double alpha_;
+  double eta_;
+};
+
+}  // namespace vpim::kv

@@ -190,6 +190,7 @@ class Manager {
 
   RankState state(std::uint32_t rank) const;
   ManagerStats stats() const;
+  const ManagerConfig& config() const { return config_; }
 
   // Marks a rank the manager should not hand out (e.g. a native app took
   // it before the manager existed). Normally discovered via observe().

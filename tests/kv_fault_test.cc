@@ -1,0 +1,230 @@
+// KV service under a seeded fault storm (ISSUE 10, satellite 2): a
+// Zipfian trace replays while a FaultPlan throws a correlated volley —
+// transient DPU faults, ECC aborts, a lost completion and a rank death —
+// at the serving rank. The contract under fire:
+//
+//   - durability: every PUT/DELETE the service *acked* (KvStatus::kOk)
+//     survives the rank death + rescue migration; a read-back at the end
+//     must see the last acked value on the rescued rank. Ops that
+//     resolved with a fault status leave their key indeterminate (the
+//     write may or may not have landed before the cycle died) and are
+//     excluded, exactly like a real client would treat an errored write.
+//   - typed statuses: no request is dropped or resolved with an
+//     out-of-vocabulary status, storm or not.
+//   - reproducibility: the same (trace seed, fault seed) pair produces a
+//     bit-identical status stream, stats fingerprint and virtual end time.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "common/fault.h"
+#include "kv/kv_service.h"
+#include "kv/loadgen.h"
+#include "tests/testutil.h"
+#include "vpim/host.h"
+#include "vpim/vpim_vm.h"
+
+namespace vpim::kv {
+namespace {
+
+core::ManagerConfig fast_manager() {
+  core::ManagerConfig cfg;
+  cfg.retry_wait_ns = 1 * kMs;
+  cfg.max_attempts = 2;
+  return cfg;
+}
+
+// Cache off: the end-of-run durability read-back must hit MRAM on the
+// rescued rank, not a host-side copy that would mask lost device state.
+KvConfig storm_config() {
+  KvConfig cfg;
+  cfg.partitions = 8;
+  cfg.nr_dpus = 4;
+  cfg.slots_per_dpu = 4;
+  cfg.slot_capacity = 64;
+  cfg.max_batch_ops = 16;
+  cfg.hot_key_cache = false;
+  cfg.rebalance_period = 4;
+  return cfg;
+}
+
+LoadgenConfig storm_trace() {
+  LoadgenConfig lg;
+  lg.seed = 7;
+  lg.nr_ops = 400;
+  lg.key_space = 96;
+  lg.zipf_theta_permille = 990;
+  lg.put_permille = 400;  // write-heavy so acks pile up before the death
+  lg.delete_permille = 50;
+  lg.scan_permille = 30;
+  return lg;
+}
+
+FaultPlanConfig storm_faults(std::uint64_t seed) {
+  FaultPlanConfig cfg;
+  cfg.seed = seed;
+  cfg.transient_dpu_faults = 2;
+  cfg.mram_ecc_faults = 2;
+  cfg.rank_deaths = 1;
+  cfg.lost_completions = 1;
+  cfg.max_op = 60;
+  cfg.storm_bursts = 1;
+  cfg.storm_width = 2;
+  return cfg;
+}
+
+bool typed_kv_status(KvStatus s) {
+  switch (s) {
+    case KvStatus::kOk:
+    case KvStatus::kNotFound:
+    case KvStatus::kNoSpace:
+    case KvStatus::kDeviceFault:
+    case KvStatus::kTimeout:
+      return true;
+  }
+  return false;
+}
+
+struct StormRun {
+  std::vector<KvStatus> statuses;  // every op, replay order
+  // key -> last acked value (nullopt = acked DELETE); keys whose writes
+  // errored are dropped as indeterminate.
+  std::map<std::uint64_t, std::optional<std::uint64_t>> acked;
+  std::vector<std::uint64_t> indeterminate;
+  KvStats stats;
+  SimNs clock_end = 0;
+  std::uint64_t faults_fired = 0;
+  std::uint64_t deaths_fired = 0;
+};
+
+StormRun replay_storm(const FaultPlanConfig& faults,
+                      std::uint32_t fault_ranks = 1,
+                      bool verify_durability = true) {
+  core::Host host(test::small_machine(), CostModel{}, fast_manager());
+  // fault_ranks=1 aims every event at rank 0 — the rank the service
+  // binds — so the storm actually lands; the death migrates onto rank 1.
+  host.install_fault_plan(FaultPlan::generate(faults, fault_ranks));
+  core::VpimVm vm(host, {.name = "kv-storm"}, 1);
+  KvService svc(vm.device(0).frontend, vm.vmm().memory(), host.clock,
+                host.cost, host.obs, storm_config());
+  EXPECT_TRUE(svc.open());
+
+  const auto trace = generate_trace(storm_trace());
+  StormRun run;
+  std::map<std::uint64_t, std::optional<std::uint64_t>> acked;
+  std::vector<KvOp> window;
+  auto flush = [&] {
+    if (window.empty()) return;
+    const auto results = svc.execute(window);
+    for (std::size_t i = 0; i < window.size(); ++i) {
+      const KvOp& op = window[i];
+      const KvStatus s = results[i].status;
+      run.statuses.push_back(s);
+      EXPECT_TRUE(typed_kv_status(s)) << "untyped status under storm";
+      const bool mutation =
+          op.kind == KvOpKind::kPut || op.kind == KvOpKind::kDelete;
+      if (!mutation) continue;
+      if (s == KvStatus::kOk || s == KvStatus::kNotFound ||
+          s == KvStatus::kNoSpace) {
+        // Definitive outcome: the device answered, so the key's durable
+        // state is known (kNotFound DELETE / kNoSpace PUT change nothing).
+        if (op.kind == KvOpKind::kPut && s == KvStatus::kOk) {
+          acked[op.key] = op.value;
+        } else if (op.kind == KvOpKind::kDelete && s == KvStatus::kOk) {
+          acked[op.key] = std::nullopt;
+        }
+      } else {
+        // Errored write: indeterminate from here on.
+        run.indeterminate.push_back(op.key);
+        acked.erase(op.key);
+      }
+    }
+    window.clear();
+  };
+  for (const KvTraceOp& t : trace) {
+    window.push_back(t.op);
+    if (window.size() == 16) flush();
+  }
+  flush();
+
+  run.acked = std::move(acked);
+  run.stats = svc.stats();
+  run.clock_end = host.clock.now();
+  run.faults_fired = host.fault_plan->fired().size();
+  run.deaths_fired = host.fault_plan->fired_count(FaultKind::kRankDeath);
+
+  // ---- durability read-back (post-storm, on the rescued rank) ----------
+  std::vector<KvOp> probes;
+  std::vector<std::optional<std::uint64_t>> want;
+  for (const auto& [key, value] : run.acked) {
+    probes.push_back({KvOpKind::kGet, key, 0, 0});
+    want.push_back(value);
+  }
+  if (verify_durability && !probes.empty()) {
+    const auto results = svc.execute(probes);
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      if (want[i].has_value()) {
+        EXPECT_EQ(results[i].status, KvStatus::kOk)
+            << "acked PUT of key " << probes[i].key
+            << " lost after the storm";
+        EXPECT_EQ(results[i].value, *want[i])
+            << "acked value of key " << probes[i].key << " regressed";
+      } else {
+        EXPECT_EQ(results[i].status, KvStatus::kNotFound)
+            << "acked DELETE of key " << probes[i].key << " resurrected";
+      }
+    }
+  }
+  svc.close();
+  return run;
+}
+
+TEST(KvFaultTest, NoAckedWriteLostAcrossRankDeathAndRescue) {
+  const StormRun run = replay_storm(storm_faults(11));
+  // The storm must have actually happened for the test to mean anything:
+  // faults fired, the rank died, and at least some writes were acked both
+  // before and in spite of it. (With a rescue rank available the backend
+  // absorbs the whole volley transparently — clients may see zero errors;
+  // the un-absorbable case is pinned below.)
+  EXPECT_GT(run.faults_fired, 0u);
+  EXPECT_EQ(run.deaths_fired, 1u) << "rank death never fired";
+  EXPECT_GT(run.acked.size(), 10u) << "storm killed nearly every write";
+}
+
+TEST(KvFaultTest, EveryRequestResolvesTyped) {
+  const StormRun run = replay_storm(storm_faults(23));
+  EXPECT_EQ(run.statuses.size(), storm_trace().nr_ops);
+  EXPECT_EQ(run.deaths_fired, 1u);
+}
+
+// Both ranks of the small machine die mid-trace: no rescue target is
+// left, so the service cannot hide the failure — every op from then on
+// must resolve with a typed fault status, never hang or throw.
+TEST(KvFaultTest, DoubleRankDeathSurfacesTypedErrors) {
+  FaultPlanConfig cfg = storm_faults(47);
+  cfg.rank_deaths = 4;  // drawn across both ranks; >=1 each in practice
+  const StormRun run =
+      replay_storm(cfg, /*fault_ranks=*/2, /*verify_durability=*/false);
+  EXPECT_GE(run.deaths_fired, 2u) << "both ranks must die for this case";
+  EXPECT_GT(run.stats.device_errors, 0u)
+      << "ops on a dead, unrescuable rank must surface fault statuses";
+  EXPECT_EQ(run.statuses.size(), storm_trace().nr_ops);
+}
+
+TEST(KvFaultTest, StormOutcomeIsSeedReproducible) {
+  const StormRun a = replay_storm(storm_faults(31));
+  const StormRun b = replay_storm(storm_faults(31));
+  EXPECT_EQ(a.statuses, b.statuses);
+  EXPECT_EQ(a.acked, b.acked);
+  EXPECT_EQ(a.indeterminate, b.indeterminate);
+  EXPECT_EQ(a.clock_end, b.clock_end);
+  EXPECT_EQ(a.faults_fired, b.faults_fired);
+  EXPECT_EQ(a.stats.cycles, b.stats.cycles);
+  EXPECT_EQ(a.stats.device_errors, b.stats.device_errors);
+  EXPECT_EQ(a.stats.rebalances, b.stats.rebalances);
+}
+
+}  // namespace
+}  // namespace vpim::kv

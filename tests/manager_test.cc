@@ -423,5 +423,78 @@ TEST(ManagerService, StopDrainsQueueWithTypedShutdown) {
   EXPECT_EQ(service.shutdown_rejections(), 6u);
 }
 
+// ---- regression: resize under concurrent wrank churn (ISSUE 10) ---------
+// The KV service's rebalancer calls resize_wrank from its serving path
+// while other tenants churn allocations on the same Manager (the
+// examples/kv_service demo drives exactly this shape). The ledger must
+// stay consistent under that interleaving: per-rank slot occupancy never
+// exceeds wrank_slots_per_rank, every result is typed, and the resized
+// wrank ends at the last requested size on a live rank.
+TEST(ManagerService, ResizeUnderConcurrentChurnKeepsLedgerConsistent) {
+  test::TestRig rig;  // 8 ranks
+  ManagerConfig cfg;
+  cfg.charge_time = false;
+  cfg.max_attempts = 8;
+  Manager mgr(rig.drv, cfg);
+  const std::uint32_t per_rank = cfg.wrank_slots_per_rank;
+
+  const AllocResult kv = mgr.allocate_wrank("kv", 1);
+  ASSERT_EQ(kv.status, AllocStatus::kOk);
+
+  std::atomic<bool> stop{false};
+  std::atomic<bool> bad_status{false};
+  auto churn = [&](int id) {
+    const std::string tenant = "churn-" + std::to_string(id);
+    while (!stop.load()) {
+      const AllocResult r =
+          mgr.allocate_wrank(tenant, 1 + static_cast<std::uint32_t>(id) % 2);
+      if (r.status == AllocStatus::kOk) {
+        if (mgr.release_wrank(r.wrank) != AllocStatus::kOk) {
+          bad_status = true;
+        }
+      } else if (r.status != AllocStatus::kNoCapacity) {
+        bad_status = true;
+      }
+    }
+  };
+  std::vector<std::thread> threads;
+  for (int i = 0; i < 8; ++i) threads.emplace_back(churn, i);
+
+  // The serving path: grow and shrink the KV wrank across the churn, the
+  // way the rebalancer tracks its hot-DPU footprint.
+  std::uint32_t last_ok = 1;
+  for (int round = 0; round < 200; ++round) {
+    const std::uint32_t want = 1 + static_cast<std::uint32_t>(round) % per_rank;
+    const AllocResult r = mgr.resize_wrank(kv.wrank, want);
+    if (r.status == AllocStatus::kOk) {
+      last_ok = want;
+    } else {
+      ASSERT_EQ(r.status, AllocStatus::kNoCapacity)
+          << "resize resolved untyped/unexpected: " << to_string(r.status);
+    }
+    // Ledger invariant at every step: no hosting rank oversubscribed.
+    std::vector<std::uint32_t> used(rig.machine.nr_ranks(), 0);
+    for (const WrankInfo& w : mgr.wranks()) {
+      if (w.rank == Manager::kNoRank) continue;
+      used[w.rank] += w.slots;
+      ASSERT_LE(used[w.rank], per_rank)
+          << "rank " << w.rank << " oversubscribed mid-churn";
+    }
+  }
+  stop = true;
+  for (auto& t : threads) t.join();
+  EXPECT_FALSE(bad_status.load());
+
+  bool found = false;
+  for (const WrankInfo& w : mgr.wranks()) {
+    if (w.id != kv.wrank) continue;
+    found = true;
+    EXPECT_EQ(w.slots, last_ok);
+    EXPECT_NE(w.rank, Manager::kNoRank);
+  }
+  EXPECT_TRUE(found) << "churn destroyed the KV wrank";
+  EXPECT_EQ(mgr.release_wrank(kv.wrank), AllocStatus::kOk);
+}
+
 }  // namespace
 }  // namespace vpim::core
